@@ -1,0 +1,186 @@
+// Ablations of the design choices DESIGN.md calls out (paper §IV/§V):
+//  A. Candidate communities C_v (Eq. 9) vs searching all k communities.
+//  B. Louvain initialization vs hash initialization before optimization.
+//  C. Convergence threshold ε sweep (sweeps executed vs final Λ).
+//  D. The capacity clamp: optimizing with λ=∞ (pure cut minimization)
+//     then evaluating under the real λ — what makes TxAllo workload-aware
+//     and what METIS structurally lacks.
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "txallo/baselines/metis/partitioner.h"
+#include "txallo/core/global.h"
+
+namespace {
+
+using namespace txallo;
+
+struct RunOutcome {
+  core::GlobalRunInfo info;
+  alloc::EvaluationReport report;
+};
+
+RunOutcome Run(const bench::Fixture& fixture, uint32_t k, double eta,
+               const core::GlobalOptions& options,
+               double optimize_capacity = -1.0) {
+  alloc::AllocationParams params = fixture.ParamsFor(k, eta);
+  alloc::AllocationParams optimize_params = params;
+  if (optimize_capacity > 0.0) optimize_params.capacity = optimize_capacity;
+  RunOutcome out;
+  auto result = core::RunGlobalTxAllo(fixture.graph(), fixture.node_order(),
+                                      optimize_params, options, &out.info);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  auto report =
+      alloc::EvaluateAllocation(fixture.ledger(), result.value(), params);
+  if (!report.ok()) std::abort();
+  out.report = std::move(report.value());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags = bench::Flags::Parse(argc, argv);
+  bench::BenchScale scale = bench::ResolveBenchScale(flags);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  bench::Fixture fixture(scale, seed);
+  bench::PrintRunBanner("Ablations: TxAllo design choices", scale, fixture,
+                        seed);
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 20));
+  const double eta = flags.GetDouble("eta", 4.0);
+  const std::string csv_dir = flags.GetString("csv-dir", "bench_out");
+
+  // --- A: candidate set restriction. ---
+  {
+    core::GlobalOptions with_cv, full;
+    full.search_all_communities = true;
+    RunOutcome a = Run(fixture, k, eta, with_cv);
+    RunOutcome b = Run(fixture, k, eta, full);
+    bench::SeriesTable table(
+        "A. Candidate communities C_v (Eq. 9) vs full-k search",
+        {"variant", "optimize (s)", "Lambda/lambda", "gamma"});
+    table.AddRow({"C_v (paper)", bench::Fmt(a.info.optimize_seconds, 4),
+                  bench::Fmt(a.report.normalized_throughput),
+                  bench::Fmt(a.report.cross_shard_ratio)});
+    table.AddRow({"all k", bench::Fmt(b.info.optimize_seconds, 4),
+                  bench::Fmt(b.report.normalized_throughput),
+                  bench::Fmt(b.report.cross_shard_ratio)});
+    table.Print();
+    table.WriteCsv(csv_dir, "ablation_candidates.csv");
+  }
+
+  // --- B: initialization. ---
+  {
+    core::GlobalOptions louvain, hashed;
+    hashed.hash_initialization = true;
+    RunOutcome a = Run(fixture, k, eta, louvain);
+    RunOutcome b = Run(fixture, k, eta, hashed);
+    bench::SeriesTable table(
+        "B. Louvain initialization vs hash initialization",
+        {"variant", "total (s)", "sweeps", "Lambda/lambda", "gamma"});
+    table.AddRow({"Louvain (paper)", bench::Fmt(a.info.total_seconds, 4),
+                  std::to_string(a.info.sweeps),
+                  bench::Fmt(a.report.normalized_throughput),
+                  bench::Fmt(a.report.cross_shard_ratio)});
+    table.AddRow({"hash init", bench::Fmt(b.info.total_seconds, 4),
+                  std::to_string(b.info.sweeps),
+                  bench::Fmt(b.report.normalized_throughput),
+                  bench::Fmt(b.report.cross_shard_ratio)});
+    table.Print();
+    table.WriteCsv(csv_dir, "ablation_init.csv");
+  }
+
+  // --- C: ε sweep. ---
+  {
+    bench::SeriesTable table(
+        "C. Convergence threshold epsilon (paper: 1e-5 |T|)",
+        {"epsilon/|T|", "sweeps", "optimize (s)", "Lambda/lambda"});
+    for (double eps_scale : {1e-3, 1e-5, 1e-7}) {
+      alloc::AllocationParams params = fixture.ParamsFor(k, eta);
+      params.epsilon =
+          eps_scale * static_cast<double>(fixture.num_transactions());
+      core::GlobalRunInfo info;
+      auto result = core::RunGlobalTxAllo(fixture.graph(),
+                                          fixture.node_order(), params, {},
+                                          &info);
+      if (!result.ok()) std::abort();
+      auto report = alloc::EvaluateAllocation(fixture.ledger(),
+                                              result.value(), params);
+      if (!report.ok()) std::abort();
+      table.AddRow({bench::Fmt(eps_scale, 7), std::to_string(info.sweeps),
+                    bench::Fmt(info.optimize_seconds, 4),
+                    bench::Fmt(report->normalized_throughput)});
+    }
+    table.Print();
+    table.WriteCsv(csv_dir, "ablation_epsilon.csv");
+  }
+
+  // --- D: capacity clamp. ---
+  {
+    RunOutcome clamped = Run(fixture, k, eta, {});
+    RunOutcome unclamped = Run(fixture, k, eta, {}, /*optimize_capacity=*/
+                               1e18);
+    bench::SeriesTable table(
+        "D. Capacity clamp: optimize with real lambda vs lambda=inf "
+        "(evaluated under real lambda)",
+        {"variant", "Lambda/lambda", "gamma", "rho/lambda", "worst zeta"});
+    table.AddRow({"lambda=|T|/k (paper)",
+                  bench::Fmt(clamped.report.normalized_throughput),
+                  bench::Fmt(clamped.report.cross_shard_ratio),
+                  bench::Fmt(clamped.report.normalized_workload_stddev),
+                  bench::Fmt(clamped.report.worst_latency_blocks, 1)});
+    table.AddRow({"lambda=inf (cut only)",
+                  bench::Fmt(unclamped.report.normalized_throughput),
+                  bench::Fmt(unclamped.report.cross_shard_ratio),
+                  bench::Fmt(unclamped.report.normalized_workload_stddev),
+                  bench::Fmt(unclamped.report.worst_latency_blocks, 1)});
+    table.Print();
+    table.WriteCsv(csv_dir, "ablation_capacity_clamp.csv");
+    std::printf(
+        "\nReading: with lambda=inf the throughput objective COLLAPSES — "
+        "an intra edge credits 1,\na cross edge credits 1/2 per side, so "
+        "Lambda-hat is invariant under every move and the\noptimizer stops "
+        "at initialization. The capacity clamp is not merely a balance "
+        "knob: it is\nthe entire optimization signal of Eq. (8). This is "
+        "why TxAllo is workload-aware by\nconstruction while METIS's "
+        "objective (edge cut) cannot see eta or lambda at all.\n");
+  }
+
+  // --- E: what METIS balances (unit vs incident vertex weights). ---
+  {
+    bench::SeriesTable table(
+        "E. METIS vertex weighting: account-count balance (prior works) vs "
+        "incident-weight balance",
+        {"weighting", "gamma", "rho/lambda", "Lambda/lambda"});
+    for (auto weighting :
+         {baselines::metis::VertexWeighting::kUnitWeight,
+          baselines::metis::VertexWeighting::kIncidentWeight}) {
+      baselines::metis::PartitionOptions options;
+      options.weighting = weighting;
+      auto result =
+          baselines::metis::PartitionGraph(fixture.graph(), k, options);
+      if (!result.ok()) std::abort();
+      alloc::AllocationParams params = fixture.ParamsFor(k, eta);
+      auto report = alloc::EvaluateAllocation(fixture.ledger(),
+                                              result.value(), params);
+      if (!report.ok()) std::abort();
+      table.AddRow(
+          {weighting == baselines::metis::VertexWeighting::kUnitWeight
+               ? "unit (prior works)"
+               : "incident weight",
+           bench::Fmt(report->cross_shard_ratio),
+           bench::Fmt(report->normalized_workload_stddev),
+           bench::Fmt(report->normalized_throughput)});
+    }
+    table.Print();
+    table.WriteCsv(csv_dir, "ablation_metis_weighting.csv");
+    std::printf("\nEither way METIS stays eta-oblivious: neither weighting "
+                "optimizes the workload\nsigma = intra + eta*cross that "
+                "TxAllo's objective contains natively.\n");
+  }
+  return 0;
+}

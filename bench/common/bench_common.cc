@@ -1,0 +1,408 @@
+#include "common/bench_common.h"
+
+#include <sys/stat.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "txallo/baselines/hash_allocator.h"
+#include "txallo/baselines/metis/partitioner.h"
+#include "txallo/baselines/shard_scheduler.h"
+#include "txallo/common/csv.h"
+#include "txallo/common/stopwatch.h"
+#include "txallo/core/controller.h"
+#include "txallo/core/global.h"
+#include "txallo/graph/builder.h"
+
+namespace txallo::bench {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kTxAllo:
+      return "Our Method";
+    case Method::kRandom:
+      return "Random";
+    case Method::kMetis:
+      return "Metis";
+    case Method::kShardScheduler:
+      return "Shard Scheduler";
+  }
+  return "?";
+}
+
+Fixture::Fixture(const BenchScale& scale, uint64_t seed) {
+  config_.num_accounts = scale.num_accounts;
+  // Block geometry: keep ~200 tx per block, enough blocks for timelines.
+  config_.txs_per_block = 200;
+  config_.num_blocks =
+      (scale.num_transactions + config_.txs_per_block - 1) /
+      config_.txs_per_block;
+  config_.num_communities =
+      static_cast<uint32_t>(std::max<uint64_t>(64, scale.num_accounts / 160));
+  config_.seed = seed;
+  generator_ =
+      std::make_unique<workload::EthereumLikeGenerator>(config_);
+  registry_ = &generator_->registry();
+  ledger_ = generator_->GenerateLedger(config_.num_blocks);
+  graph_ = graph::BuildTransactionGraph(ledger_);
+  graph_.EnsureNodeCount(registry_->size());
+  graph_.Consolidate();
+  node_order_ = registry_->IdsInHashOrder();
+}
+
+MethodResult Fixture::RunMethod(Method method, uint32_t k, double eta) const {
+  alloc::AllocationParams params = ParamsFor(k, eta);
+  MethodResult out;
+  alloc::Allocation allocation;
+  Stopwatch watch;
+  switch (method) {
+    case Method::kTxAllo: {
+      auto result = core::RunGlobalTxAllo(graph_, node_order_, params);
+      if (!result.ok()) {
+        std::fprintf(stderr, "G-TxAllo failed: %s\n",
+                     result.status().ToString().c_str());
+        std::abort();
+      }
+      out.allocation_seconds = watch.ElapsedSeconds();
+      allocation = std::move(result.value());
+      break;
+    }
+    case Method::kRandom: {
+      allocation = baselines::AllocateByHash(*registry_, k);
+      out.allocation_seconds = watch.ElapsedSeconds();
+      break;
+    }
+    case Method::kMetis: {
+      auto result = baselines::metis::PartitionGraph(graph_, k);
+      if (!result.ok()) {
+        std::fprintf(stderr, "METIS failed: %s\n",
+                     result.status().ToString().c_str());
+        std::abort();
+      }
+      out.allocation_seconds = watch.ElapsedSeconds();
+      allocation = std::move(result.value());
+      break;
+    }
+    case Method::kShardScheduler: {
+      baselines::ShardScheduler scheduler(k, eta);
+      scheduler.ProcessLedger(ledger_);
+      out.allocation_seconds = watch.ElapsedSeconds();
+      allocation = scheduler.SnapshotAllocation(registry_->size());
+      break;
+    }
+  }
+  auto report = alloc::EvaluateAllocation(ledger_, allocation, params);
+  if (!report.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 report.status().ToString().c_str());
+    std::abort();
+  }
+  out.report = std::move(report.value());
+  return out;
+}
+
+SweepCache::SweepCache(const Fixture* fixture, const BenchScale& scale,
+                       uint64_t seed, bool enabled)
+    : fixture_(fixture), enabled_(enabled) {
+  char name[256];
+  std::snprintf(name, sizeof(name),
+                "txallo_bench_cache/sweep_%" PRIu64 "_%" PRIu64 "_%" PRIu64
+                ".csv",
+                scale.num_transactions, scale.num_accounts, seed);
+  path_ = name;
+  if (enabled_) Load();
+}
+
+void SweepCache::Load() {
+  auto rows = ReadCsvFile(path_);
+  if (!rows.ok()) return;  // Cold cache.
+  for (const auto& row : rows.value()) {
+    if (row.size() != 11) continue;
+    Key key{std::atoi(row[0].c_str()),
+            static_cast<uint32_t>(std::atoi(row[1].c_str())),
+            std::atof(row[2].c_str())};
+    Row value{std::atof(row[3].c_str()), std::atof(row[4].c_str()),
+              std::atof(row[5].c_str()), std::atof(row[6].c_str()),
+              std::atof(row[7].c_str()), std::atof(row[8].c_str()),
+              std::atof(row[9].c_str()),
+              static_cast<uint64_t>(std::atoll(row[10].c_str()))};
+    rows_[key] = value;
+  }
+}
+
+MethodResult SweepCache::Get(Method method, uint32_t k, double eta) {
+  Key key{static_cast<int>(method), k, eta};
+  auto it = rows_.find(key);
+  if (enabled_ && it != rows_.end()) {
+    const Row& row = it->second;
+    MethodResult out;
+    out.report.num_shards = k;
+    out.report.total_transactions = fixture_->num_transactions();
+    out.report.cross_shard_transactions = row.cross_txs;
+    out.report.cross_shard_ratio = row.gamma;
+    out.report.normalized_workload_stddev = row.rho_norm;
+    out.report.normalized_throughput = row.throughput_norm;
+    out.report.avg_latency_blocks = row.avg_latency;
+    out.report.worst_latency_blocks = row.worst_latency;
+    out.report.mean_shards_per_tx = row.mean_mu;
+    out.allocation_seconds = row.seconds;
+    return out;
+  }
+  MethodResult result = fixture_->RunMethod(method, k, eta);
+  rows_[key] = Row{result.report.cross_shard_ratio,
+                   result.report.normalized_workload_stddev,
+                   result.report.normalized_throughput,
+                   result.report.avg_latency_blocks,
+                   result.report.worst_latency_blocks,
+                   result.allocation_seconds,
+                   result.report.mean_shards_per_tx,
+                   result.report.cross_shard_transactions};
+  dirty_ = true;
+  return result;
+}
+
+SweepCache::~SweepCache() {
+  if (!enabled_ || !dirty_) return;
+  ::mkdir("txallo_bench_cache", 0755);
+  CsvWriter writer(path_);
+  if (!writer.ok()) return;
+  for (const auto& [key, row] : rows_) {
+    (void)writer.WriteRow({std::to_string(key.method),
+                           std::to_string(key.k), Fmt(key.eta, 6),
+                           Fmt(row.gamma, 9), Fmt(row.rho_norm, 9),
+                           Fmt(row.throughput_norm, 9),
+                           Fmt(row.avg_latency, 9), Fmt(row.worst_latency, 9),
+                           Fmt(row.seconds, 9), Fmt(row.mean_mu, 9),
+                           std::to_string(row.cross_txs)});
+  }
+  (void)writer.Close();
+}
+
+SweepGrid ResolveGrid(const Flags& flags, const BenchScale& scale) {
+  SweepGrid grid;
+  std::string eta_list = flags.GetString("eta-list", "2,4,6,8,10");
+  size_t start = 0;
+  while (start <= eta_list.size()) {
+    size_t end = eta_list.find(',', start);
+    if (end == std::string::npos) end = eta_list.size();
+    if (end > start) {
+      grid.etas.push_back(std::atof(eta_list.substr(start, end - start).c_str()));
+    }
+    start = end + 1;
+  }
+  grid.shard_counts.push_back(2);
+  for (int k = scale.shard_step; k <= scale.max_shards;
+       k += scale.shard_step) {
+    grid.shard_counts.push_back(static_cast<uint32_t>(k));
+  }
+  return grid;
+}
+
+SeriesTable::SeriesTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void SeriesTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void SeriesTable::Print() const {
+  std::printf("\n%s\n", title_.c_str());
+  std::vector<size_t> widths(columns_.size(), 0);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::string rule(total, '-');
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void SeriesTable::WriteCsv(const std::string& csv_dir,
+                           const std::string& filename) const {
+  ::mkdir(csv_dir.c_str(), 0755);
+  CsvWriter writer(csv_dir + "/" + filename);
+  if (!writer.ok()) return;
+  (void)writer.WriteRow(columns_);
+  for (const auto& row : rows_) (void)writer.WriteRow(row);
+  (void)writer.Close();
+}
+
+std::string Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+TimelineConfig ResolveTimelineConfig(const Flags& flags,
+                                     const BenchScale& scale, uint64_t seed) {
+  TimelineConfig config;
+  config.num_shards = static_cast<uint32_t>(flags.GetInt("k", 20));
+  config.eta = flags.GetDouble("eta", 2.0);
+  config.steps = scale.timeline_steps;
+  config.blocks_per_step = scale.blocks_per_step;
+  config.prefix_multiple =
+      static_cast<int>(flags.GetInt("prefix-multiple", 3));
+  config.seed = seed;
+  config.num_accounts = scale.num_accounts;
+  // Size blocks so the whole timeline stays within the scale's tx budget.
+  const uint64_t total_blocks =
+      static_cast<uint64_t>(config.steps) * config.blocks_per_step *
+      (1 + config.prefix_multiple);
+  config.txs_per_block =
+      std::max<uint64_t>(20, scale.num_transactions / total_blocks);
+  return config;
+}
+
+TimelineResult RunTimeline(const TimelineConfig& config,
+                           int global_gap_steps) {
+  workload::EthereumLikeConfig gen_config;
+  gen_config.num_accounts = config.num_accounts;
+  gen_config.txs_per_block = config.txs_per_block;
+  gen_config.num_blocks = static_cast<uint64_t>(config.steps) *
+                          config.blocks_per_step *
+                          (1 + config.prefix_multiple);
+  gen_config.num_communities = static_cast<uint32_t>(
+      std::max<uint64_t>(32, config.num_accounts / 160));
+  gen_config.seed = config.seed;
+  workload::EthereumLikeGenerator generator(gen_config);
+
+  alloc::AllocationParams params = alloc::AllocationParams::ForExperiment(
+      1, config.num_shards, config.eta);
+  core::TxAlloController controller(&generator.registry(), params);
+
+  // Prefix: absorb and allocate globally once (the paper's setup runs
+  // G-TxAllo on the first 90% of blocks).
+  const int prefix_blocks =
+      config.steps * config.blocks_per_step * config.prefix_multiple;
+  for (int b = 0; b < prefix_blocks; ++b) {
+    controller.ApplyBlock(generator.NextBlock());
+  }
+  {
+    auto info = controller.StepGlobal();
+    if (!info.ok()) {
+      std::fprintf(stderr, "prefix StepGlobal failed: %s\n",
+                   info.status().ToString().c_str());
+      std::abort();
+    }
+  }
+
+  TimelineResult result;
+  for (int step = 0; step < config.steps; ++step) {
+    // One window of new blocks.
+    std::vector<chain::Block> window;
+    window.reserve(config.blocks_per_step);
+    for (int b = 0; b < config.blocks_per_step; ++b) {
+      window.push_back(generator.NextBlock());
+      controller.ApplyBlock(window.back());
+    }
+    // Scheduled update.
+    double seconds = 0.0;
+    const bool global_now =
+        global_gap_steps > 0 && (step + 1) % global_gap_steps == 0;
+    if (global_now) {
+      auto info = controller.StepGlobal();
+      if (!info.ok()) std::abort();
+      seconds = info->total_seconds;
+    } else {
+      auto info = controller.StepAdaptive();
+      if (!info.ok()) std::abort();
+      seconds = info->total_seconds;
+    }
+    result.seconds_per_step.push_back(seconds);
+
+    // Evaluate this window's transactions under the updated mapping.
+    uint64_t window_txs = 0;
+    for (const chain::Block& blk : window) window_txs += blk.size();
+    alloc::AllocationParams window_params =
+        alloc::AllocationParams::ForExperiment(window_txs, config.num_shards,
+                                               config.eta);
+    std::vector<chain::Transaction> txs;
+    txs.reserve(window_txs);
+    for (const chain::Block& blk : window) {
+      txs.insert(txs.end(), blk.transactions().begin(),
+                 blk.transactions().end());
+    }
+    auto report = alloc::EvaluateAllocation(txs, controller.allocation(),
+                                            window_params);
+    if (!report.ok()) {
+      std::fprintf(stderr, "window evaluation failed: %s\n",
+                   report.status().ToString().c_str());
+      std::abort();
+    }
+    result.throughput_per_step.push_back(report->normalized_throughput);
+  }
+  double total = 0.0;
+  for (double t : result.throughput_per_step) total += t;
+  result.average_throughput =
+      result.throughput_per_step.empty()
+          ? 0.0
+          : total / static_cast<double>(result.throughput_per_step.size());
+  return result;
+}
+
+int RunStandardSweepFigure(int argc, char** argv, const char* figure_title,
+                           const char* metric_name,
+                           double (*extract)(const MethodResult&),
+                           const char* csv_prefix, const char* paper_note) {
+  Flags flags = Flags::Parse(argc, argv);
+  BenchScale scale = ResolveBenchScale(flags);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  Fixture fixture(scale, seed);
+  PrintRunBanner(figure_title, scale, fixture, seed);
+  std::printf("%s\n", paper_note);
+  SweepCache cache(&fixture, scale, seed, !flags.GetBool("no-cache", false));
+  SweepGrid grid = ResolveGrid(flags, scale);
+  const std::string csv_dir = flags.GetString("csv-dir", "bench_out");
+
+  for (double eta : grid.etas) {
+    char title[160];
+    std::snprintf(title, sizeof(title), "%s — eta = %g", metric_name, eta);
+    std::vector<std::string> columns{"k"};
+    for (Method m : kAllMethods) columns.emplace_back(MethodName(m));
+    SeriesTable table(title, std::move(columns));
+    for (uint32_t k : grid.shard_counts) {
+      std::vector<std::string> row{std::to_string(k)};
+      for (Method m : kAllMethods) {
+        row.push_back(Fmt(extract(cache.Get(m, k, eta))));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    char filename[160];
+    std::snprintf(filename, sizeof(filename), "%s_eta%g.csv", csv_prefix,
+                  eta);
+    table.WriteCsv(csv_dir, filename);
+  }
+  std::printf("\nCSV series written to %s/%s_eta*.csv\n", csv_dir.c_str(),
+              csv_prefix);
+  return 0;
+}
+
+void PrintRunBanner(const char* figure, const BenchScale& scale,
+                    const Fixture& fixture, uint64_t seed) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure);
+  std::printf(
+      "workload: %" PRIu64 " transactions, %zu accounts, seed %" PRIu64
+      " (synthetic Ethereum-like; TXALLO_SCALE to rescale)\n",
+      fixture.num_transactions(), fixture.registry().size(), seed);
+  std::printf("k sweep up to %d, step %d\n", scale.max_shards,
+              scale.shard_step);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace txallo::bench

@@ -1,0 +1,205 @@
+// Shared machinery for the figure-reproduction benchmarks: workload fixture
+// construction, the four allocation methods behind one interface, a disk
+// cache so the per-figure binaries share sweep results, and aligned table
+// printing.
+//
+// Every binary honours:
+//   TXALLO_SCALE=small|medium|large   (or --scale=...)
+//   --txs/--accounts/--seed/--max-shards/--shard-step/--eta-list
+//   --no-cache          recompute everything
+//   --csv-dir=DIR       where to drop machine-readable series (default
+//                       ./bench_out)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "txallo/alloc/metrics.h"
+#include "txallo/alloc/params.h"
+#include "txallo/chain/account.h"
+#include "txallo/chain/ledger.h"
+#include "txallo/common/flags.h"
+#include "txallo/graph/graph.h"
+#include "txallo/workload/ethereum_like.h"
+
+namespace txallo::bench {
+
+// Re-export the flag/scale helpers so bench binaries can use one namespace.
+using txallo::BenchScale;
+using txallo::Flags;
+using txallo::ResolveBenchScale;
+
+/// The four allocation methods of the paper's comparison.
+enum class Method {
+  kTxAllo = 0,
+  kRandom = 1,
+  kMetis = 2,
+  kShardScheduler = 3,
+};
+
+inline constexpr Method kAllMethods[] = {Method::kTxAllo, Method::kRandom,
+                                         Method::kMetis,
+                                         Method::kShardScheduler};
+
+/// Display name ("Our Method", "Random", "Metis", "Shard Scheduler" — the
+/// paper's legend).
+const char* MethodName(Method method);
+
+/// One evaluated datapoint of the sweep grid.
+struct MethodResult {
+  alloc::EvaluationReport report;
+  /// Wall-clock seconds to derive the mapping (Fig. 8's metric).
+  double allocation_seconds = 0.0;
+};
+
+/// Workload fixture shared by every figure: the synthetic Ethereum-like
+/// ledger, its transaction graph, and the deterministic node order.
+class Fixture {
+ public:
+  /// Builds (deterministically) from the resolved scale.
+  Fixture(const BenchScale& scale, uint64_t seed);
+
+  const chain::Ledger& ledger() const { return ledger_; }
+  const graph::TransactionGraph& graph() const { return graph_; }
+  const chain::AccountRegistry& registry() const { return *registry_; }
+  const std::vector<graph::NodeId>& node_order() const { return node_order_; }
+  const workload::EthereumLikeConfig& config() const { return config_; }
+  uint64_t num_transactions() const { return ledger_.num_transactions(); }
+
+  /// Paper setting: λ = |T|/k, ε = 1e-5 |T|.
+  alloc::AllocationParams ParamsFor(uint32_t k, double eta) const {
+    return alloc::AllocationParams::ForExperiment(num_transactions(), k, eta);
+  }
+
+  /// Runs one method at (k, η), measuring allocation wall-clock time.
+  MethodResult RunMethod(Method method, uint32_t k, double eta) const;
+
+ private:
+  workload::EthereumLikeConfig config_;
+  std::unique_ptr<workload::EthereumLikeGenerator> generator_;
+  const chain::AccountRegistry* registry_;
+  chain::Ledger ledger_;
+  graph::TransactionGraph graph_;
+  std::vector<graph::NodeId> node_order_;
+};
+
+/// Disk-backed memoization of MethodResult keyed by (method, k, eta),
+/// fingerprinted by (txs, accounts, seed) so scale changes invalidate it.
+class SweepCache {
+ public:
+  SweepCache(const Fixture* fixture, const BenchScale& scale, uint64_t seed,
+             bool enabled);
+
+  /// Cached or computed result.
+  MethodResult Get(Method method, uint32_t k, double eta);
+
+  /// Flushes newly computed entries to disk.
+  ~SweepCache();
+
+ private:
+  struct Key {
+    int method;
+    uint32_t k;
+    double eta;
+    bool operator<(const Key& other) const {
+      if (method != other.method) return method < other.method;
+      if (k != other.k) return k < other.k;
+      return eta < other.eta;
+    }
+  };
+  // The cached scalar projection of an EvaluationReport (per-shard vectors
+  // are not cached; figures needing them recompute directly).
+  struct Row {
+    double gamma, rho_norm, throughput_norm, avg_latency, worst_latency,
+        seconds, mean_mu;
+    uint64_t cross_txs;
+  };
+  void Load();
+
+  const Fixture* fixture_;
+  std::string path_;
+  bool enabled_;
+  bool dirty_ = false;
+  std::map<Key, Row> rows_;
+};
+
+/// Standard experiment grid (the paper's panels): η ∈ {2,4,6,8,10} and
+/// k from 2 to max_shards. Overridable via --eta-list="2,6,10".
+struct SweepGrid {
+  std::vector<double> etas;
+  std::vector<uint32_t> shard_counts;
+};
+SweepGrid ResolveGrid(const Flags& flags, const BenchScale& scale);
+
+/// Aligned table printing + CSV mirror.
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::vector<std::string> columns);
+  void AddRow(std::vector<std::string> cells);
+  /// Prints to stdout.
+  void Print() const;
+  /// Also writes <csv_dir>/<filename> (creates the directory).
+  void WriteCsv(const std::string& csv_dir,
+                const std::string& filename) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string Fmt(double value, int precision = 3);
+
+/// Shared banner: scale, |T|, |A|, seed.
+void PrintRunBanner(const char* figure, const BenchScale& scale,
+                    const Fixture& fixture, uint64_t seed);
+
+/// One timeline experiment (Figures 9 and 10): a prefix ledger is absorbed
+/// and allocated with G-TxAllo, then the suffix streams in windows of
+/// `blocks_per_step` blocks. Every step runs A-TxAllo; every
+/// `global_gap_steps`-th step runs G-TxAllo instead (1 = the paper's pure
+/// "Global Method" curve; 0 = never re-run the global method).
+struct TimelineResult {
+  /// Normalized throughput Λ/λ of each step's window transactions, under
+  /// the allocation in force after that step's update.
+  std::vector<double> throughput_per_step;
+  /// Wall-clock seconds of each step's allocation update.
+  std::vector<double> seconds_per_step;
+  double average_throughput = 0.0;
+};
+
+struct TimelineConfig {
+  uint32_t num_shards = 20;
+  double eta = 2.0;
+  int steps = 60;
+  int blocks_per_step = 12;
+  /// Prefix length in steps-worth of blocks (the paper's 9:1 split means
+  /// prefix_steps = 9 * steps; scale presets use a smaller multiple).
+  int prefix_multiple = 3;
+  uint64_t seed = 42;
+  uint64_t txs_per_block = 150;
+  uint64_t num_accounts = 64'000;
+};
+
+/// Runs one schedule over the (deterministic) generated stream.
+TimelineResult RunTimeline(const TimelineConfig& config,
+                           int global_gap_steps);
+
+/// Resolves the timeline shape from flags + scale presets.
+TimelineConfig ResolveTimelineConfig(const Flags& flags,
+                                     const BenchScale& scale, uint64_t seed);
+
+/// The common skeleton of Figures 2, 3, 5, 6, 7 and 8: for each η panel,
+/// sweep k and print one row per k with a column per method, extracting a
+/// single scalar from each MethodResult. `paper_note` restates what shape
+/// the paper reports so the console output is self-interpreting.
+int RunStandardSweepFigure(int argc, char** argv, const char* figure_title,
+                           const char* metric_name,
+                           double (*extract)(const MethodResult&),
+                           const char* csv_prefix, const char* paper_note);
+
+}  // namespace txallo::bench

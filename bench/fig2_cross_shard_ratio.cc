@@ -1,0 +1,20 @@
+// Figure 2 (paper §VI-B2): cross-shard transaction ratio γ vs number of
+// shards k, one panel per η ∈ {2,4,6,8,10}, four methods.
+#include "common/bench_common.h"
+
+namespace {
+double ExtractGamma(const txallo::bench::MethodResult& result) {
+  return result.report.cross_shard_ratio;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  return txallo::bench::RunStandardSweepFigure(
+      argc, argv,
+      "Figure 2: Cross-shard transaction ratio comparison (gamma vs k)",
+      "Cross-shard ratio",
+      &ExtractGamma, "fig2_cross_shard_ratio",
+      "Paper shape: Our Method lowest everywhere (~0.12 at k=60), METIS "
+      "next (~0.28 at k=60),\nRandom ~1-1/k (~0.98 at k=60); Our Method's "
+      "gamma shrinks as eta grows (self-adjustment).");
+}

@@ -1,0 +1,22 @@
+// Figure 3 (paper §VI-B3): workload balance ρ vs number of shards k, one
+// panel per η. ρ is reported normalized by λ (σ-stddev in units of shard
+// capacity) so numbers are comparable across scales — the paper's y-axis is
+// in the same normalized units.
+#include "common/bench_common.h"
+
+namespace {
+double ExtractRho(const txallo::bench::MethodResult& result) {
+  return result.report.normalized_workload_stddev;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  return txallo::bench::RunStandardSweepFigure(
+      argc, argv,
+      "Figure 3: Workload balance comparison (rho/lambda vs k)",
+      "Workload stddev / lambda",
+      &ExtractRho, "fig3_workload_balance",
+      "Paper shape: Shard Scheduler best (near 0), Our Method beats the "
+      "other graph methods;\nRandom and METIS degrade with k as the hub "
+      "account dominates one shard.");
+}

@@ -1,0 +1,20 @@
+// Figure 5 (paper §VI-B4): normalized system throughput Λ/λ vs number of
+// shards k — "how many times an unsharded chain", one panel per η.
+#include "common/bench_common.h"
+
+namespace {
+double ExtractThroughput(const txallo::bench::MethodResult& result) {
+  return result.report.normalized_throughput;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  return txallo::bench::RunStandardSweepFigure(
+      argc, argv,
+      "Figure 5: Throughput comparison (Lambda/lambda vs k)",
+      "Normalized throughput (x over unsharded)",
+      &ExtractThroughput, "fig5_throughput",
+      "Paper shape: linear growth in k for all methods, Our Method steepest "
+      "(34.7x at k=60, eta=2\nvs METIS 31.6x); all methods flatten as eta "
+      "grows, Our Method most stable.");
+}

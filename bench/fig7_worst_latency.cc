@@ -1,0 +1,20 @@
+// Figure 7 (paper §VI-B5): worst-case confirmation latency (the most
+// overloaded shard's drain time, ⌈σ_max/λ⌉ blocks) vs k, one panel per η.
+#include "common/bench_common.h"
+
+namespace {
+double ExtractWorstLatency(const txallo::bench::MethodResult& result) {
+  return result.report.worst_latency_blocks;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  return txallo::bench::RunStandardSweepFigure(
+      argc, argv,
+      "Figure 7: Worst-case latency comparison (blocks vs k)",
+      "Worst-case latency (blocks)",
+      &ExtractWorstLatency, "fig7_worst_latency",
+      "Paper shape: Shard Scheduler best (no overloaded shard), Our Method "
+      "second; Random and\nMETIS blow up with k because the hub account's "
+      "shard overloads.");
+}

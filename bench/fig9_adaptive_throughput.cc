@@ -1,0 +1,68 @@
+// Figure 9 (paper §VI-C1): throughput evolution of the hybrid schedule.
+// τ1 = one step of blocks (A-TxAllo every step); the curves vary the
+// global updating gap τ2 (G-TxAllo every gap steps), plus the pure
+// "Global Method" baseline (G-TxAllo every step). Panel (b) is the
+// per-curve average.
+//
+// Paper shape: all curves sit in a narrow band (10.45..10.8x at their
+// scale); pure A-TxAllo degrades only slowly as the gap grows — even a
+// 9-day gap (gap=200) loses little. Transaction-pattern noise moves the
+// curves more than the gap does.
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace txallo;
+  bench::Flags flags = bench::Flags::Parse(argc, argv);
+  bench::BenchScale scale = bench::ResolveBenchScale(flags);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  bench::TimelineConfig config =
+      bench::ResolveTimelineConfig(flags, scale, seed);
+
+  std::printf("==============================================================\n");
+  std::printf("Figure 9: Adaptive throughput evolution (tau1 = %d blocks/step,"
+              " %d steps, k=%u, eta=%g)\n",
+              config.blocks_per_step, config.steps, config.num_shards,
+              config.eta);
+  std::printf("Schedules: Global Method (G-TxAllo every step) and hybrid "
+              "with global gaps scaled\nfrom the paper's 20/40/100/200 to "
+              "this run's step count.\n");
+  std::printf("==============================================================\n");
+
+  // The paper's gaps relative to its 200 steps: 10%, 20%, 50%, 100%.
+  const int gaps[] = {std::max(1, config.steps / 10),
+                      std::max(1, config.steps / 5),
+                      std::max(1, config.steps / 2), config.steps};
+  std::vector<std::string> columns{"step", "Global"};
+  for (int gap : gaps) columns.push_back("Gap=" + std::to_string(gap));
+  bench::SeriesTable table("Normalized throughput per step", columns);
+
+  std::vector<bench::TimelineResult> results;
+  results.push_back(bench::RunTimeline(config, /*global_gap_steps=*/1));
+  for (int gap : gaps) {
+    results.push_back(bench::RunTimeline(config, gap));
+  }
+
+  for (int step = 0; step < config.steps; ++step) {
+    std::vector<std::string> row{std::to_string(step)};
+    for (const auto& result : results) {
+      row.push_back(bench::Fmt(result.throughput_per_step[step]));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  table.WriteCsv(flags.GetString("csv-dir", "bench_out"),
+                 "fig9_adaptive_throughput.csv");
+
+  std::printf("\nFigure 9b: Average throughput per schedule\n");
+  std::printf("  %-12s %.3f\n", "Global", results[0].average_throughput);
+  for (size_t i = 0; i < std::size(gaps); ++i) {
+    std::printf("  Gap=%-8d %.3f\n", gaps[i],
+                results[i + 1].average_throughput);
+  }
+  std::printf("\nPaper shape check: the averages should sit within a few "
+              "percent of each other;\nlonger gaps may dip slightly but the "
+              "loss stays small (the paper's 9-day claim).\n");
+  return 0;
+}

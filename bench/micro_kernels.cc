@@ -1,0 +1,186 @@
+// google-benchmark micro-kernels for the hot paths: SHA-256, Zipf
+// sampling, transaction-graph construction, CSR snapshot, Louvain, one
+// optimization sweep, the gain kernel, metric evaluation, and the Shard
+// Scheduler's per-transaction cost.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "txallo/alloc/metrics.h"
+#include "txallo/baselines/hash_allocator.h"
+#include "txallo/baselines/shard_scheduler.h"
+#include "txallo/common/sha256.h"
+#include "txallo/common/zipf.h"
+#include "txallo/core/gain.h"
+#include "txallo/core/global.h"
+#include "txallo/graph/builder.h"
+#include "txallo/graph/csr.h"
+#include "txallo/graph/louvain.h"
+#include "txallo/workload/ethereum_like.h"
+
+namespace {
+
+using namespace txallo;
+
+const workload::EthereumLikeGenerator& SharedGenerator() {
+  static auto* generator = [] {
+    workload::EthereumLikeConfig config;
+    config.num_blocks = 250;
+    config.txs_per_block = 200;
+    config.num_accounts = 20'000;
+    config.num_communities = 128;
+    config.seed = 7;
+    return new workload::EthereumLikeGenerator(config);
+  }();
+  return *generator;
+}
+
+const chain::Ledger& SharedLedger() {
+  static auto* ledger = [] {
+    auto* generator =
+        const_cast<workload::EthereumLikeGenerator*>(&SharedGenerator());
+    return new chain::Ledger(generator->GenerateLedger(250));
+  }();
+  return *ledger;
+}
+
+const graph::TransactionGraph& SharedGraph() {
+  static auto* g = [] {
+    auto* built =
+        new graph::TransactionGraph(graph::BuildTransactionGraph(SharedLedger()));
+    built->EnsureNodeCount(SharedGenerator().registry().size());
+    built->Consolidate();
+    return built;
+  }();
+  return *g;
+}
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::string data(1024, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_Sha256_AccountBucket(benchmark::State& state) {
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash64(i++) % 60);
+  }
+}
+BENCHMARK(BM_Sha256_AccountBucket);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(static_cast<uint64_t>(state.range(0)), 1.1);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1'000)->Arg(100'000);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const chain::Ledger& ledger = SharedLedger();
+  for (auto _ : state) {
+    graph::TransactionGraph g = graph::BuildTransactionGraph(ledger);
+    benchmark::DoNotOptimize(g.TotalWeight());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ledger.num_transactions()));
+}
+BENCHMARK(BM_GraphBuild);
+
+void BM_CsrSnapshot(benchmark::State& state) {
+  const graph::TransactionGraph& g = SharedGraph();
+  for (auto _ : state) {
+    graph::CsrGraph csr = graph::CsrGraph::FromGraph(g);
+    benchmark::DoNotOptimize(csr.num_edges());
+  }
+}
+BENCHMARK(BM_CsrSnapshot);
+
+void BM_Louvain(benchmark::State& state) {
+  graph::CsrGraph csr = graph::CsrGraph::FromGraph(SharedGraph());
+  std::vector<graph::NodeId> order(csr.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::RunLouvain(csr, order));
+  }
+}
+BENCHMARK(BM_Louvain);
+
+void BM_GainKernel(benchmark::State& state) {
+  alloc::CommunityState community_state;
+  community_state.eta = 4.0;
+  community_state.capacity = 100.0;
+  community_state.sigma.assign(60, 80.0);
+  community_state.lambda_hat.assign(60, 60.0);
+  core::NodeProfile node{0.5, 12.0};
+  uint32_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::MoveGain(community_state, q % 60, (q + 1) % 60, node, 3.0,
+                       4.0));
+    ++q;
+  }
+}
+BENCHMARK(BM_GainKernel);
+
+void BM_OptimizeSweep(benchmark::State& state) {
+  const graph::TransactionGraph& g = SharedGraph();
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  alloc::AllocationParams params = alloc::AllocationParams::ForExperiment(
+      SharedLedger().num_transactions(), k, 4.0);
+  std::vector<graph::NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    alloc::Allocation allocation = baselines::AllocateByHash(
+        g.num_nodes(), k);
+    alloc::CommunityState community_state =
+        alloc::ComputeCommunityState(g, allocation, params);
+    core::GlobalOptions options;
+    options.max_sweeps = 1;
+    state.ResumeTiming();
+    core::OptimizeSweeps(g, order, params, options, &allocation,
+                         &community_state);
+    benchmark::DoNotOptimize(community_state.TotalThroughput());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_OptimizeSweep)->Arg(8)->Arg(60);
+
+void BM_EvaluateAllocation(benchmark::State& state) {
+  const chain::Ledger& ledger = SharedLedger();
+  alloc::Allocation allocation =
+      baselines::AllocateByHash(SharedGenerator().registry(), 20);
+  alloc::AllocationParams params = alloc::AllocationParams::ForExperiment(
+      ledger.num_transactions(), 20, 2.0);
+  for (auto _ : state) {
+    auto report = alloc::EvaluateAllocation(ledger, allocation, params);
+    benchmark::DoNotOptimize(report.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ledger.num_transactions()));
+}
+BENCHMARK(BM_EvaluateAllocation);
+
+void BM_ShardSchedulerPerTx(benchmark::State& state) {
+  const chain::Ledger& ledger = SharedLedger();
+  auto txs = ledger.AllTransactions();
+  size_t i = 0;
+  baselines::ShardScheduler scheduler(20, 2.0);
+  for (auto _ : state) {
+    scheduler.Process(txs[i]);
+    i = (i + 1) % txs.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShardSchedulerPerTx);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Sharded-chain simulation scenario: run the operational discrete-block
+// simulator under two allocation policies (hash-based vs TxAllo) on the
+// same traffic and watch queues, latency, and committed throughput — the
+// paper's analytic claims enacted by a "running" chain with cross-shard
+// two-phase commits.
+//
+//   ./build/examples/sharded_simulator [--blocks=N] [--k=K] [--eta=E]
+#include <cstdio>
+
+#include "txallo/baselines/hash_allocator.h"
+#include "txallo/common/flags.h"
+#include "txallo/core/global.h"
+#include "txallo/graph/builder.h"
+#include "txallo/sim/shard_sim.h"
+#include "txallo/workload/dataset.h"
+#include "txallo/workload/ethereum_like.h"
+
+int main(int argc, char** argv) {
+  using namespace txallo;
+  Flags flags = Flags::Parse(argc, argv);
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 8));
+  const double eta = flags.GetDouble("eta", 2.0);
+  const int blocks = static_cast<int>(flags.GetInt("blocks", 400));
+
+  workload::EthereumLikeConfig config;
+  config.txs_per_block = 100;
+  config.num_blocks = static_cast<uint64_t>(blocks) * 2;
+  config.num_accounts = 16'000;
+  config.num_communities = 100;
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 5));
+  workload::EthereumLikeGenerator generator(config);
+
+  // Warmup history for the allocator, then live traffic for the sim.
+  chain::Ledger history = generator.GenerateLedger(blocks);
+  chain::Ledger live = generator.GenerateLedger(blocks);
+
+  graph::TransactionGraph graph = graph::BuildTransactionGraph(history);
+  graph.EnsureNodeCount(generator.registry().size());
+  graph.Consolidate();
+  alloc::AllocationParams params = alloc::AllocationParams::ForExperiment(
+      history.num_transactions(), k, eta);
+
+  auto txallo_alloc = core::RunGlobalTxAllo(
+      graph, generator.registry().IdsInHashOrder(), params);
+  if (!txallo_alloc.ok()) {
+    std::fprintf(stderr, "TxAllo failed: %s\n",
+                 txallo_alloc.status().ToString().c_str());
+    return 1;
+  }
+  auto hash_alloc = baselines::AllocateByHash(generator.registry(), k);
+
+  // Capacity: enough for the average per-block intra-only workload with a
+  // little headroom — cross-shard traffic then visibly congests.
+  sim::SimConfig sim_config;
+  sim_config.num_shards = k;
+  sim_config.eta = eta;
+  sim_config.capacity_per_block =
+      1.3 * static_cast<double>(config.txs_per_block) / k;
+
+  struct Policy {
+    const char* name;
+    const alloc::Allocation* allocation;
+  };
+  const Policy policies[] = {{"hash-based", &hash_alloc},
+                             {"TxAllo", &*txallo_alloc}};
+
+  std::printf("live traffic: %d blocks x %llu txs, k=%u, eta=%.0f, "
+              "capacity=%.0f work-units/block/shard\n\n",
+              blocks,
+              static_cast<unsigned long long>(config.txs_per_block), k, eta,
+              sim_config.capacity_per_block);
+  std::printf("%-12s %10s %10s %10s %10s %12s %10s\n", "policy", "commit",
+              "tput/blk", "zeta(avg)", "zeta(max)", "utilization",
+              "backlog");
+
+  for (const Policy& policy : policies) {
+    sim::ShardSimulator sim(sim_config);
+    for (const chain::Block& block : live.blocks()) {
+      if (!sim.SubmitBlock(block.transactions(), *policy.allocation).ok()) {
+        std::fprintf(stderr, "submit failed under %s\n", policy.name);
+        return 1;
+      }
+      sim.Tick();
+    }
+    sim::SimReport mid = sim.Snapshot();
+    const double backlog = mid.residual_work;
+    sim::SimReport report = sim.DrainAndReport();
+    std::printf("%-12s %9llu %10.1f %10.2f %10.0f %11.0f%% %10.0f\n",
+                policy.name,
+                static_cast<unsigned long long>(report.committed),
+                report.throughput_per_block, report.avg_latency_blocks,
+                report.max_latency_blocks, 100.0 * report.mean_utilization,
+                backlog);
+  }
+  std::printf("\nExpected: the same traffic under TxAllo carries a several-"
+              "times smaller live backlog,\nlower commit latency, and lower "
+              "utilization (less duplicated cross-shard work) —\nhash-based "
+              "routing makes ~all transactions pay the eta workload on "
+              "every involved shard.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "txallo/alloc/allocation.h"
+
+namespace txallo::alloc {
+
+Status Allocation::Validate() const {
+  for (size_t a = 0; a < shard_of_.size(); ++a) {
+    if (shard_of_[a] == kUnassignedShard) {
+      return Status::FailedPrecondition(
+          "account " + std::to_string(a) + " is unassigned");
+    }
+    if (shard_of_[a] >= num_shards_) {
+      return Status::Corruption("account " + std::to_string(a) +
+                                " mapped to out-of-range shard " +
+                                std::to_string(shard_of_[a]));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::vector<chain::AccountId>> Allocation::Groups() const {
+  std::vector<std::vector<chain::AccountId>> groups(num_shards_);
+  for (size_t a = 0; a < shard_of_.size(); ++a) {
+    if (shard_of_[a] < num_shards_) {
+      groups[shard_of_[a]].push_back(static_cast<chain::AccountId>(a));
+    }
+  }
+  return groups;
+}
+
+std::vector<uint64_t> Allocation::ShardSizes() const {
+  std::vector<uint64_t> sizes(num_shards_, 0);
+  for (ShardId s : shard_of_) {
+    if (s < num_shards_) ++sizes[s];
+  }
+  return sizes;
+}
+
+}  // namespace txallo::alloc

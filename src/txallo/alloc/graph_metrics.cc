@@ -1,0 +1,78 @@
+#include "txallo/alloc/graph_metrics.h"
+
+#include "txallo/common/math.h"
+
+namespace txallo::alloc {
+
+double CommunityState::ThroughputOf(uint32_t i) const {
+  return ClampThroughput(lambda_hat[i], sigma[i], capacity);
+}
+
+double CommunityState::TotalThroughput() const {
+  double total = 0.0;
+  for (uint32_t i = 0; i < sigma.size(); ++i) total += ThroughputOf(i);
+  return total;
+}
+
+CommunityState ComputeCommunityState(const graph::TransactionGraph& graph,
+                                     const Allocation& allocation,
+                                     const AllocationParams& params) {
+  CommunityState state;
+  state.eta = params.eta;
+  state.capacity = params.capacity;
+  state.sigma.assign(params.num_shards, 0.0);
+  state.lambda_hat.assign(params.num_shards, 0.0);
+
+  const size_t n = graph.num_nodes();
+  for (size_t v = 0; v < n; ++v) {
+    const auto vid = static_cast<graph::NodeId>(v);
+    const ShardId cv =
+        v < allocation.num_accounts() ? allocation.shard_of(vid)
+                                      : kUnassignedShard;
+    if (cv == kUnassignedShard) continue;
+    // Self-loops are intra workload and full throughput.
+    state.sigma[cv] += graph.SelfLoop(vid);
+    state.lambda_hat[cv] += graph.SelfLoop(vid);
+    for (const graph::Neighbor& nb : graph.Neighbors(vid)) {
+      const ShardId cu = nb.node < allocation.num_accounts()
+                             ? allocation.shard_of(nb.node)
+                             : kUnassignedShard;
+      if (cu == cv) {
+        // Intra edge: visited from both endpoints; halve to count once.
+        state.sigma[cv] += 0.5 * nb.weight;
+        state.lambda_hat[cv] += 0.5 * nb.weight;
+      } else {
+        // Cross edge (or edge to an unassigned node): this side carries η
+        // workload and half the throughput credit.
+        state.sigma[cv] += params.eta * nb.weight;
+        state.lambda_hat[cv] += 0.5 * nb.weight;
+      }
+    }
+  }
+  return state;
+}
+
+double GraphCrossWeightRatio(const graph::TransactionGraph& graph,
+                             const Allocation& allocation) {
+  double cross = 0.0;
+  double total = 0.0;
+  const size_t n = graph.num_nodes();
+  for (size_t v = 0; v < n; ++v) {
+    const auto vid = static_cast<graph::NodeId>(v);
+    total += graph.SelfLoop(vid);
+    const ShardId cv = vid < allocation.num_accounts()
+                           ? allocation.shard_of(vid)
+                           : kUnassignedShard;
+    for (const graph::Neighbor& nb : graph.Neighbors(vid)) {
+      if (nb.node < vid) continue;  // Count each undirected edge once.
+      total += nb.weight;
+      const ShardId cu = nb.node < allocation.num_accounts()
+                             ? allocation.shard_of(nb.node)
+                             : kUnassignedShard;
+      if (cv != cu || cv == kUnassignedShard) cross += nb.weight;
+    }
+  }
+  return total > 0.0 ? cross / total : 0.0;
+}
+
+}  // namespace txallo::alloc

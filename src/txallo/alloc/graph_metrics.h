@@ -1,0 +1,51 @@
+// Graph-level performance model (paper §III-C): the per-community workload
+// σ_i (Eq. 5), the capacity-sufficient throughput Λ̂_i, the weight-based
+// cross-community ratio γ, and the capacity-clamped total throughput Λ.
+// This is the state the G-/A-TxAllo optimizers maintain incrementally; the
+// from-scratch computation here doubles as the property-test oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "txallo/alloc/allocation.h"
+#include "txallo/alloc/params.h"
+#include "txallo/graph/graph.h"
+
+namespace txallo::alloc {
+
+/// Per-community σ_i and Λ̂_i plus the model parameters; everything the
+/// clamped throughput objective Λ = Σ_i Λ_i(σ_i, Λ̂_i, λ) needs.
+struct CommunityState {
+  std::vector<double> sigma;       // σ_i (Eq. 5)
+  std::vector<double> lambda_hat;  // Λ̂_i (§III-C)
+  double eta = 2.0;
+  double capacity = 0.0;  // λ
+
+  uint32_t num_communities() const {
+    return static_cast<uint32_t>(sigma.size());
+  }
+
+  /// Λ_i with the capacity clamp (Eq. 3/7).
+  double ThroughputOf(uint32_t i) const;
+
+  /// Λ = Σ_i Λ_i.
+  double TotalThroughput() const;
+};
+
+/// Computes CommunityState from scratch for `allocation` over `graph`.
+/// Unassigned nodes contribute nothing themselves; edges from an assigned
+/// node to an unassigned node count as cross-shard (η) for the assigned
+/// side, exactly how Algorithm 1's initialization phase treats the
+/// not-yet-absorbed small communities.
+CommunityState ComputeCommunityState(const graph::TransactionGraph& graph,
+                                     const Allocation& allocation,
+                                     const AllocationParams& params);
+
+/// Weight-based cross-community ratio: inter-community edge weight over
+/// total pairwise edge weight (self-loops are intra by definition and
+/// included in the denominator).
+double GraphCrossWeightRatio(const graph::TransactionGraph& graph,
+                             const Allocation& allocation);
+
+}  // namespace txallo::alloc

@@ -1,0 +1,163 @@
+#include "txallo/alloc/metrics.h"
+
+#include <algorithm>
+
+#include "txallo/common/math.h"
+
+namespace txallo::alloc {
+
+uint32_t ShardsTouched(const chain::Transaction& tx,
+                       const Allocation& allocation) {
+  // Transactions touch at most a handful of shards; a small stack-local
+  // array beats any set container here. Beyond its capacity (transactions
+  // spanning >16 shards — vanishingly rare), additional shards are assumed
+  // distinct, which can only overcount µ for such outliers.
+  constexpr size_t kCapacity = 16;
+  ShardId seen[kCapacity];
+  size_t n = 0;
+  for (chain::AccountId a : tx.accounts()) {
+    ShardId s = allocation.shard_of(a);
+    if (s == kUnassignedShard) return 0;
+    bool dup = false;
+    const size_t scan = n < kCapacity ? n : kCapacity;
+    for (size_t i = 0; i < scan; ++i) {
+      if (seen[i] == s) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      if (n < kCapacity) {
+        seen[n] = s;
+      }
+      ++n;
+    }
+  }
+  return static_cast<uint32_t>(n);
+}
+
+namespace {
+
+class Accumulator {
+ public:
+  Accumulator(const Allocation& allocation, const AllocationParams& params)
+      : allocation_(allocation),
+        intra_(params.num_shards, 0.0),
+        cross_(params.num_shards, 0.0),
+        uncapped_(params.num_shards, 0.0) {}
+
+  /// Returns false on the first unassigned account (records the offender).
+  bool Add(const chain::Transaction& tx) {
+    ++total_;
+    shards_touched_.clear();
+    for (chain::AccountId a : tx.accounts()) {
+      ShardId s = allocation_.shard_of(a);
+      if (s == kUnassignedShard) {
+        bad_account_ = a;
+        return false;
+      }
+      if (std::find(shards_touched_.begin(), shards_touched_.end(), s) ==
+          shards_touched_.end()) {
+        shards_touched_.push_back(s);
+      }
+    }
+    const uint32_t mu = static_cast<uint32_t>(shards_touched_.size());
+    mu_sum_ += mu;
+    if (mu <= 1) {
+      intra_[shards_touched_[0]] += 1.0;
+      uncapped_[shards_touched_[0]] += 1.0;
+    } else {
+      ++cross_count_;
+      const double share = 1.0 / static_cast<double>(mu);
+      for (ShardId s : shards_touched_) {
+        cross_[s] += 1.0;
+        uncapped_[s] += share;
+      }
+    }
+    return true;
+  }
+
+  EvaluationReport Finish(const AllocationParams& params) const {
+    EvaluationReport report;
+    report.total_transactions = total_;
+    report.cross_shard_transactions = cross_count_;
+    report.num_shards = params.num_shards;
+    if (total_ > 0) {
+      report.cross_shard_ratio =
+          static_cast<double>(cross_count_) / static_cast<double>(total_);
+      report.mean_shards_per_tx = mu_sum_ / static_cast<double>(total_);
+    }
+    const double lambda = params.capacity;
+    report.shard_workloads.resize(params.num_shards);
+    report.normalized_workloads.resize(params.num_shards);
+    double worst = 1.0;
+    double latency_sum = 0.0;
+    double throughput = 0.0;
+    for (uint32_t s = 0; s < params.num_shards; ++s) {
+      const double sigma = intra_[s] + params.eta * cross_[s];
+      report.shard_workloads[s] = sigma;
+      report.normalized_workloads[s] = lambda > 0.0 ? sigma / lambda : 0.0;
+      throughput += ClampThroughput(uncapped_[s], sigma, lambda);
+      latency_sum += AverageLatencyBlocks(sigma, lambda);
+      worst = std::max(worst, WorstCaseLatencyBlocks(sigma, lambda));
+    }
+    report.workload_stddev = PopulationStdDev(report.shard_workloads);
+    report.normalized_workload_stddev =
+        lambda > 0.0 ? report.workload_stddev / lambda : 0.0;
+    report.throughput = throughput;
+    report.normalized_throughput = lambda > 0.0 ? throughput / lambda : 0.0;
+    report.avg_latency_blocks =
+        latency_sum / static_cast<double>(params.num_shards);
+    report.worst_latency_blocks = worst;
+    return report;
+  }
+
+  chain::AccountId bad_account() const { return bad_account_; }
+
+ private:
+  const Allocation& allocation_;
+  std::vector<double> intra_;
+  std::vector<double> cross_;
+  std::vector<double> uncapped_;
+  std::vector<ShardId> shards_touched_;
+  uint64_t total_ = 0;
+  uint64_t cross_count_ = 0;
+  double mu_sum_ = 0.0;
+  chain::AccountId bad_account_ = chain::kInvalidAccount;
+};
+
+}  // namespace
+
+Result<EvaluationReport> EvaluateAllocation(const chain::Ledger& ledger,
+                                            const Allocation& allocation,
+                                            const AllocationParams& params) {
+  TXALLO_RETURN_NOT_OK(params.Validate());
+  Accumulator acc(allocation, params);
+  bool ok = true;
+  ledger.ForEachTransaction([&](const chain::Transaction& tx) {
+    if (ok) ok = acc.Add(tx);
+  });
+  if (!ok) {
+    return Status::FailedPrecondition(
+        "transaction references unassigned account " +
+        std::to_string(acc.bad_account()));
+  }
+  return acc.Finish(params);
+}
+
+Result<EvaluationReport> EvaluateAllocation(
+    const std::vector<chain::Transaction>& transactions,
+    const Allocation& allocation, const AllocationParams& params) {
+  TXALLO_RETURN_NOT_OK(params.Validate());
+  Accumulator acc(allocation, params);
+  for (const chain::Transaction& tx : transactions) {
+    if (!acc.Add(tx)) {
+      return Status::FailedPrecondition(
+          "transaction references unassigned account " +
+          std::to_string(acc.bad_account()));
+    }
+  }
+  return acc.Finish(params);
+}
+
+}  // namespace txallo::alloc

@@ -1,0 +1,70 @@
+// Blockchain-level evaluation metrics (paper §III-B), computed from the
+// actual transaction set and an account-shard mapping. This is the honest
+// "what would the sharded chain experience" layer the benches report:
+//   γ  cross-shard transaction ratio        |T_C| / |T|
+//   σ_i per-shard workload                  |T_I_i| + η·|T_C_i|
+//   ρ  workload balance                     population stddev of σ_i
+//   Λ  capacity-clamped system throughput   Eq. (2)/(3)
+//   ζ  average confirmation latency         Eq. (4)
+// plus the worst-case latency ⌈σ_max/λ⌉ used in Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "txallo/alloc/allocation.h"
+#include "txallo/alloc/params.h"
+#include "txallo/chain/ledger.h"
+#include "txallo/common/status.h"
+
+namespace txallo::alloc {
+
+/// Full evaluation of one allocation against one transaction set.
+struct EvaluationReport {
+  uint64_t total_transactions = 0;
+  uint64_t cross_shard_transactions = 0;
+  uint32_t num_shards = 0;
+
+  /// γ = |T_C| / |T|.
+  double cross_shard_ratio = 0.0;
+  /// Mean of µ(Tx) (shards touched per transaction).
+  double mean_shards_per_tx = 0.0;
+
+  /// σ_i per shard.
+  std::vector<double> shard_workloads;
+  /// σ_i / λ per shard (Fig. 4's y-axis).
+  std::vector<double> normalized_workloads;
+  /// ρ (population stddev of σ_i).
+  double workload_stddev = 0.0;
+  /// ρ normalized by λ — scale-free balance number used when comparing
+  /// datasets of different sizes.
+  double normalized_workload_stddev = 0.0;
+
+  /// Λ (Eq. 2, capacity-clamped per shard by Eq. 3).
+  double throughput = 0.0;
+  /// Λ / λ — "how many times an unsharded chain" (Fig. 5's y-axis).
+  double normalized_throughput = 0.0;
+
+  /// Mean over shards of ζ_i (Eq. 4), in block units (Fig. 6).
+  double avg_latency_blocks = 0.0;
+  /// max_i ⌈σ_i / λ⌉, in block units (Fig. 7).
+  double worst_latency_blocks = 0.0;
+};
+
+/// Evaluates `allocation` over every transaction of `ledger`.
+/// Fails if any involved account is unassigned or parameters are invalid.
+Result<EvaluationReport> EvaluateAllocation(const chain::Ledger& ledger,
+                                            const Allocation& allocation,
+                                            const AllocationParams& params);
+
+/// Same, over an explicit transaction list.
+Result<EvaluationReport> EvaluateAllocation(
+    const std::vector<chain::Transaction>& transactions,
+    const Allocation& allocation, const AllocationParams& params);
+
+/// µ(Tx): number of distinct shards maintaining the transaction's accounts.
+/// Unassigned accounts make the result 0 (invalid).
+uint32_t ShardsTouched(const chain::Transaction& tx,
+                       const Allocation& allocation);
+
+}  // namespace txallo::alloc

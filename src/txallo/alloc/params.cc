@@ -1,0 +1,36 @@
+#include "txallo/alloc/params.h"
+
+namespace txallo::alloc {
+
+AllocationParams AllocationParams::ForExperiment(uint64_t num_transactions,
+                                                 uint32_t num_shards,
+                                                 double eta) {
+  AllocationParams params;
+  params.num_shards = num_shards;
+  params.eta = eta;
+  params.capacity = num_shards > 0
+                        ? static_cast<double>(num_transactions) / num_shards
+                        : 0.0;
+  params.epsilon = 1e-5 * static_cast<double>(num_transactions);
+  return params;
+}
+
+Status AllocationParams::Validate() const {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (eta < 1.0) {
+    return Status::InvalidArgument(
+        "eta must be >= 1 (cross-shard work cannot be cheaper than "
+        "intra-shard)");
+  }
+  if (capacity <= 0.0) {
+    return Status::InvalidArgument("capacity must be positive");
+  }
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be non-negative");
+  }
+  return Status::OK();
+}
+
+}  // namespace txallo::alloc

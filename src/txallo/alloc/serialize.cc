@@ -1,0 +1,67 @@
+#include "txallo/alloc/serialize.h"
+
+#include <cstdlib>
+
+#include "txallo/common/csv.h"
+
+namespace txallo::alloc {
+
+Status SaveAllocationCsv(const Allocation& allocation,
+                         const chain::AccountRegistry& registry,
+                         const std::string& path) {
+  if (allocation.num_accounts() > registry.size()) {
+    return Status::InvalidArgument(
+        "allocation covers more accounts than the registry knows");
+  }
+  CsvWriter writer(path);
+  if (!writer.ok()) return Status::IOError("cannot open for write: " + path);
+  TXALLO_RETURN_NOT_OK(writer.WriteRow(
+      {"#txallo-allocation", std::to_string(allocation.num_shards()),
+       std::to_string(allocation.num_accounts())}));
+  TXALLO_RETURN_NOT_OK(writer.WriteRow({"account", "shard"}));
+  for (size_t a = 0; a < allocation.num_accounts(); ++a) {
+    const auto id = static_cast<chain::AccountId>(a);
+    if (!allocation.IsAssigned(id)) continue;  // Sparse mappings allowed.
+    TXALLO_RETURN_NOT_OK(
+        writer.WriteRow({registry.AddressOf(id),
+                         std::to_string(allocation.shard_of(id))}));
+  }
+  return writer.Close();
+}
+
+Result<Allocation> LoadAllocationCsv(chain::AccountRegistry* registry,
+                                     const std::string& path) {
+  auto rows_result = ReadCsvFile(path);
+  if (!rows_result.ok()) return rows_result.status();
+  const auto& rows = rows_result.value();
+  if (rows.size() < 2 || rows[0].size() != 3 ||
+      rows[0][0] != "#txallo-allocation") {
+    return Status::Corruption("missing #txallo-allocation metadata row");
+  }
+  const uint32_t num_shards =
+      static_cast<uint32_t>(std::atoi(rows[0][1].c_str()));
+  if (num_shards == 0) {
+    return Status::Corruption("allocation file declares zero shards");
+  }
+  Allocation allocation(registry->size(), num_shards);
+  for (size_t r = 2; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 2) {
+      return Status::Corruption("row " + std::to_string(r) +
+                                ": expected 2 columns");
+    }
+    const chain::AccountId id = registry->Intern(row[0]);
+    allocation.GrowAccounts(registry->size());
+    char* end = nullptr;
+    const long shard = std::strtol(row[1].c_str(), &end, 10);
+    if (end == row[1].c_str() || shard < 0 ||
+        shard >= static_cast<long>(num_shards)) {
+      return Status::Corruption("row " + std::to_string(r) +
+                                ": bad shard id '" + row[1] + "'");
+    }
+    allocation.Assign(id, static_cast<ShardId>(shard));
+  }
+  return allocation;
+}
+
+}  // namespace txallo::alloc

@@ -1,0 +1,30 @@
+// Allocation persistence. Miners run the allocator periodically and must
+// carry the account-shard mapping across restarts (and ship it to tooling);
+// the paper's determinism argument (§IV-A) makes the mapping itself the
+// consensus-free artifact worth persisting.
+//
+// Format: CSV with a header row ("account,shard") preceded by one metadata
+// row "#txallo-allocation,<num_shards>,<num_accounts>". Addresses are
+// resolved through an AccountRegistry so files survive id renumbering.
+#pragma once
+
+#include <string>
+
+#include "txallo/alloc/allocation.h"
+#include "txallo/chain/account.h"
+#include "txallo/common/status.h"
+
+namespace txallo::alloc {
+
+/// Writes `allocation` to `path`, one row per account with its address.
+Status SaveAllocationCsv(const Allocation& allocation,
+                         const chain::AccountRegistry& registry,
+                         const std::string& path);
+
+/// Reads a mapping written by SaveAllocationCsv. Unknown addresses are
+/// interned into `registry`; the returned allocation covers max(registry
+/// size after interning, file accounts).
+Result<Allocation> LoadAllocationCsv(chain::AccountRegistry* registry,
+                                     const std::string& path);
+
+}  // namespace txallo::alloc

@@ -1,0 +1,158 @@
+#include "txallo/alloc/workload_model.h"
+
+#include <algorithm>
+
+#include "txallo/common/math.h"
+
+namespace txallo::alloc {
+
+Status WorkloadModel::Validate() const {
+  if (intra <= 0.0) {
+    return Status::InvalidArgument("intra workload must be positive");
+  }
+  if (cross_input < intra || cross_output < intra) {
+    return Status::InvalidArgument(
+        "cross-shard work cannot be cheaper than intra-shard work");
+  }
+  if (per_extra_account < 0.0) {
+    return Status::InvalidArgument("per_extra_account must be >= 0");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+class ExtendedAccumulator {
+ public:
+  ExtendedAccumulator(const Allocation& allocation, uint32_t num_shards,
+                      const WorkloadModel& model)
+      : allocation_(allocation),
+        model_(model),
+        sigma_(num_shards, 0.0),
+        uncapped_(num_shards, 0.0) {}
+
+  Status Add(const chain::Transaction& tx) {
+    ++total_;
+    input_shards_.clear();
+    all_shards_.clear();
+    for (chain::AccountId a : tx.inputs()) {
+      const ShardId s = ShardOf(a);
+      if (s == kUnassignedShard) return Unassigned(a);
+      Insert(&input_shards_, s);
+      Insert(&all_shards_, s);
+    }
+    for (chain::AccountId a : tx.outputs()) {
+      const ShardId s = ShardOf(a);
+      if (s == kUnassignedShard) return Unassigned(a);
+      Insert(&all_shards_, s);
+    }
+    const uint32_t mu = static_cast<uint32_t>(all_shards_.size());
+    mu_sum_ += mu;
+    const double surcharge =
+        model_.per_extra_account *
+        static_cast<double>(
+            tx.NumDistinctAccounts() > 2 ? tx.NumDistinctAccounts() - 2 : 0);
+    if (mu <= 1) {
+      sigma_[all_shards_[0]] += model_.intra + surcharge;
+      uncapped_[all_shards_[0]] += 1.0;
+      return Status::OK();
+    }
+    ++cross_count_;
+    const double share = 1.0 / static_cast<double>(mu);
+    for (ShardId s : all_shards_) {
+      const bool is_input =
+          std::find(input_shards_.begin(), input_shards_.end(), s) !=
+          input_shards_.end();
+      sigma_[s] +=
+          (is_input ? model_.cross_input : model_.cross_output) + surcharge;
+      uncapped_[s] += share;
+    }
+    return Status::OK();
+  }
+
+  EvaluationReport Finish(uint32_t num_shards, double capacity) const {
+    EvaluationReport report;
+    report.total_transactions = total_;
+    report.cross_shard_transactions = cross_count_;
+    report.num_shards = num_shards;
+    if (total_ > 0) {
+      report.cross_shard_ratio =
+          static_cast<double>(cross_count_) / static_cast<double>(total_);
+      report.mean_shards_per_tx = mu_sum_ / static_cast<double>(total_);
+    }
+    report.shard_workloads = sigma_;
+    report.normalized_workloads.resize(num_shards);
+    double latency_sum = 0.0, throughput = 0.0, worst = 1.0;
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      report.normalized_workloads[s] =
+          capacity > 0.0 ? sigma_[s] / capacity : 0.0;
+      throughput += ClampThroughput(uncapped_[s], sigma_[s], capacity);
+      latency_sum += AverageLatencyBlocks(sigma_[s], capacity);
+      worst = std::max(worst, WorstCaseLatencyBlocks(sigma_[s], capacity));
+    }
+    report.workload_stddev = PopulationStdDev(report.shard_workloads);
+    report.normalized_workload_stddev =
+        capacity > 0.0 ? report.workload_stddev / capacity : 0.0;
+    report.throughput = throughput;
+    report.normalized_throughput =
+        capacity > 0.0 ? throughput / capacity : 0.0;
+    report.avg_latency_blocks =
+        latency_sum / static_cast<double>(num_shards);
+    report.worst_latency_blocks = worst;
+    return report;
+  }
+
+  chain::AccountId bad_account() const { return bad_account_; }
+
+ private:
+  ShardId ShardOf(chain::AccountId a) const {
+    return a < allocation_.num_accounts() ? allocation_.shard_of(a)
+                                          : kUnassignedShard;
+  }
+  static void Insert(std::vector<ShardId>* list, ShardId s) {
+    if (std::find(list->begin(), list->end(), s) == list->end()) {
+      list->push_back(s);
+    }
+  }
+  Status Unassigned(chain::AccountId a) {
+    bad_account_ = a;
+    return Status::FailedPrecondition(
+        "transaction references unassigned account " + std::to_string(a));
+  }
+
+  const Allocation& allocation_;
+  WorkloadModel model_;
+  std::vector<double> sigma_;
+  std::vector<double> uncapped_;
+  std::vector<ShardId> input_shards_;
+  std::vector<ShardId> all_shards_;
+  uint64_t total_ = 0;
+  uint64_t cross_count_ = 0;
+  double mu_sum_ = 0.0;
+  chain::AccountId bad_account_ = chain::kInvalidAccount;
+};
+
+}  // namespace
+
+Result<EvaluationReport> EvaluateAllocationExtended(
+    const std::vector<chain::Transaction>& transactions,
+    const Allocation& allocation, uint32_t num_shards, double capacity,
+    const WorkloadModel& model) {
+  TXALLO_RETURN_NOT_OK(model.Validate());
+  if (num_shards == 0) return Status::InvalidArgument("num_shards >= 1");
+  if (capacity <= 0.0) return Status::InvalidArgument("capacity > 0");
+  ExtendedAccumulator acc(allocation, num_shards, model);
+  for (const chain::Transaction& tx : transactions) {
+    TXALLO_RETURN_NOT_OK(acc.Add(tx));
+  }
+  return acc.Finish(num_shards, capacity);
+}
+
+Result<EvaluationReport> EvaluateAllocationExtended(
+    const chain::Ledger& ledger, const Allocation& allocation,
+    uint32_t num_shards, double capacity, const WorkloadModel& model) {
+  return EvaluateAllocationExtended(ledger.AllTransactions(), allocation,
+                                    num_shards, capacity, model);
+}
+
+}  // namespace txallo::alloc

@@ -1,0 +1,57 @@
+// Extended workload model — the fine-tuning the paper explicitly leaves
+// open (§III-A): "the processing workload may differ for input shards and
+// output shards, and for transactions with a different number of affected
+// accounts |A_Tx|. ... This can be easily extended by leveraging different
+// workload parameters based on the specific applications."
+//
+// The core algorithms optimize the single-η model (as in the paper); this
+// module evaluates any mapping under a role- and size-aware model so users
+// can check how robust an allocation is to their application's real cost
+// structure (see bench/model_sensitivity).
+#pragma once
+
+#include <vector>
+
+#include "txallo/alloc/allocation.h"
+#include "txallo/alloc/metrics.h"
+#include "txallo/chain/ledger.h"
+#include "txallo/common/status.h"
+
+namespace txallo::alloc {
+
+/// Per-role workload parameters.
+struct WorkloadModel {
+  /// Workload of an intra-shard transaction for its (single) shard.
+  double intra = 1.0;
+  /// Workload for a shard holding at least one input account of a
+  /// cross-shard transaction (it must validate and debit — the expensive
+  /// side of the two-phase protocol).
+  double cross_input = 2.0;
+  /// Workload for a shard holding only output accounts (credit-only).
+  double cross_output = 2.0;
+  /// Extra workload per distinct account beyond the first two (state
+  /// touches scale with |A_Tx|).
+  double per_extra_account = 0.0;
+
+  /// The paper's single-η model: intra 1, both cross roles η.
+  static WorkloadModel Uniform(double eta) {
+    return WorkloadModel{1.0, eta, eta, 0.0};
+  }
+
+  Status Validate() const;
+};
+
+/// Evaluates `allocation` under the extended model. Throughput credit per
+/// shard stays 1/µ(Tx) (completion shares are role-independent); only the
+/// σ_i workload accounting changes.
+Result<EvaluationReport> EvaluateAllocationExtended(
+    const std::vector<chain::Transaction>& transactions,
+    const Allocation& allocation, uint32_t num_shards, double capacity,
+    const WorkloadModel& model);
+
+/// Ledger convenience overload.
+Result<EvaluationReport> EvaluateAllocationExtended(
+    const chain::Ledger& ledger, const Allocation& allocation,
+    uint32_t num_shards, double capacity, const WorkloadModel& model);
+
+}  // namespace txallo::alloc

@@ -1,0 +1,29 @@
+#include "txallo/baselines/hash_allocator.h"
+
+#include "txallo/common/sha256.h"
+
+namespace txallo::baselines {
+
+alloc::Allocation AllocateByHash(const chain::AccountRegistry& registry,
+                                 uint32_t num_shards) {
+  alloc::Allocation allocation(registry.size(), num_shards);
+  for (size_t a = 0; a < registry.size(); ++a) {
+    const auto id = static_cast<chain::AccountId>(a);
+    allocation.Assign(id, static_cast<alloc::ShardId>(registry.OrderKey(id) %
+                                                      num_shards));
+  }
+  return allocation;
+}
+
+alloc::Allocation AllocateByHash(size_t num_accounts, uint32_t num_shards) {
+  alloc::Allocation allocation(num_accounts, num_shards);
+  for (size_t a = 0; a < num_accounts; ++a) {
+    allocation.Assign(
+        static_cast<chain::AccountId>(a),
+        static_cast<alloc::ShardId>(
+            Sha256::Hash64(static_cast<uint64_t>(a)) % num_shards));
+  }
+  return allocation;
+}
+
+}  // namespace txallo::baselines

@@ -1,0 +1,24 @@
+// Hash-based random allocation — the traditional scheme of Chainspace /
+// Monoxide / OmniLedger / RapidChain (paper §II-C): an account lives in
+// shard SHA256(address) mod k. History-oblivious, so ~ (1 - 1/k) of
+// two-account transactions land cross-shard (the paper's 98% at k = 60).
+#pragma once
+
+#include <cstdint>
+
+#include "txallo/alloc/allocation.h"
+#include "txallo/chain/account.h"
+
+namespace txallo::baselines {
+
+/// Allocates every account of `registry` by SHA256(address) mod k.
+/// (The implementation uses the first 64 bits of the digest, which is
+/// equivalent modulo the truncation and what OrderKey already caches.)
+alloc::Allocation AllocateByHash(const chain::AccountRegistry& registry,
+                                 uint32_t num_shards);
+
+/// Id-keyed variant for synthetic account sets without a registry:
+/// SHA256(little-endian id) mod k.
+alloc::Allocation AllocateByHash(size_t num_accounts, uint32_t num_shards);
+
+}  // namespace txallo::baselines

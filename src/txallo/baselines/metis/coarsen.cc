@@ -1,0 +1,136 @@
+#include "txallo/baselines/metis/coarsen.h"
+
+#include <algorithm>
+
+namespace txallo::baselines::metis {
+
+WorkGraph WorkGraph::FromTransactionGraph(const graph::TransactionGraph& g,
+                                          VertexWeighting weighting) {
+  WorkGraph out;
+  const size_t n = g.num_nodes();
+  out.offsets.resize(n + 1, 0);
+  out.vertex_weights.resize(n);
+  for (size_t v = 0; v < n; ++v) {
+    const auto id = static_cast<graph::NodeId>(v);
+    out.offsets[v + 1] = out.offsets[v] + g.Neighbors(id).size();
+    out.vertex_weights[v] = weighting == VertexWeighting::kIncidentWeight
+                                ? g.Strength(id) + g.SelfLoop(id)
+                                : 1.0;
+    out.total_vertex_weight += out.vertex_weights[v];
+  }
+  out.neighbors.resize(out.offsets[n]);
+  out.edge_weights.resize(out.offsets[n]);
+  for (size_t v = 0; v < n; ++v) {
+    size_t pos = out.offsets[v];
+    for (const graph::Neighbor& nb : g.Neighbors(static_cast<graph::NodeId>(v))) {
+      out.neighbors[pos] = nb.node;
+      out.edge_weights[pos] = nb.weight;
+      ++pos;
+    }
+  }
+  return out;
+}
+
+CoarsenStep CoarsenOnce(const WorkGraph& fine) {
+  const size_t n = fine.num_nodes();
+  constexpr uint32_t kUnmatched = UINT32_MAX;
+  std::vector<uint32_t> match(n, kUnmatched);
+
+  // Deterministic HEM: ascending id order, heaviest unmatched neighbor.
+  for (uint32_t v = 0; v < n; ++v) {
+    if (match[v] != kUnmatched) continue;
+    uint32_t best = kUnmatched;
+    double best_weight = -1.0;
+    for (size_t e = fine.offsets[v]; e < fine.offsets[v + 1]; ++e) {
+      const uint32_t u = fine.neighbors[e];
+      if (match[u] != kUnmatched || u == v) continue;
+      const double w = fine.edge_weights[e];
+      if (w > best_weight || (w == best_weight && u < best)) {
+        best = u;
+        best_weight = w;
+      }
+    }
+    if (best == kUnmatched) {
+      match[v] = v;  // Singleton.
+    } else {
+      match[v] = best;
+      match[best] = v;
+    }
+  }
+
+  // Number coarse nodes: one per matched pair / singleton, in the order of
+  // the smaller endpoint.
+  CoarsenStep step;
+  step.projection.assign(n, kUnmatched);
+  uint32_t next = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (step.projection[v] != kUnmatched) continue;
+    step.projection[v] = next;
+    if (match[v] != v) step.projection[match[v]] = next;
+    ++next;
+  }
+
+  // Build the coarse graph.
+  WorkGraph& coarse = step.coarse;
+  coarse.vertex_weights.assign(next, 0.0);
+  for (uint32_t v = 0; v < n; ++v) {
+    coarse.vertex_weights[step.projection[v]] += fine.vertex_weights[v];
+  }
+  coarse.total_vertex_weight = fine.total_vertex_weight;
+
+  std::vector<std::vector<std::pair<uint32_t, double>>> rows(next);
+  for (uint32_t v = 0; v < n; ++v) {
+    const uint32_t cv = step.projection[v];
+    for (size_t e = fine.offsets[v]; e < fine.offsets[v + 1]; ++e) {
+      const uint32_t cu = step.projection[fine.neighbors[e]];
+      if (cu == cv) continue;  // Contracted or self edge: not cuttable.
+      rows[cv].emplace_back(cu, fine.edge_weights[e]);
+    }
+  }
+  coarse.offsets.assign(next + 1, 0);
+  for (uint32_t c = 0; c < next; ++c) {
+    auto& row = rows[c];
+    std::sort(row.begin(), row.end());
+    size_t w = 0;
+    for (size_t r = 0; r < row.size(); ++r) {
+      if (w > 0 && row[w - 1].first == row[r].first) {
+        row[w - 1].second += row[r].second;
+      } else {
+        row[w++] = row[r];
+      }
+    }
+    row.resize(w);
+    coarse.offsets[c + 1] = coarse.offsets[c] + w;
+  }
+  coarse.neighbors.resize(coarse.offsets[next]);
+  coarse.edge_weights.resize(coarse.offsets[next]);
+  for (uint32_t c = 0; c < next; ++c) {
+    size_t pos = coarse.offsets[c];
+    for (const auto& [u, w] : rows[c]) {
+      coarse.neighbors[pos] = u;
+      coarse.edge_weights[pos] = w;
+      ++pos;
+    }
+  }
+  return step;
+}
+
+CoarsenChain CoarsenToTarget(WorkGraph finest, size_t target_nodes) {
+  CoarsenChain chain;
+  WorkGraph current = std::move(finest);
+  while (current.num_nodes() > target_nodes) {
+    CoarsenStep step = CoarsenOnce(current);
+    const size_t before = current.num_nodes();
+    const size_t after = step.coarse.num_nodes();
+    if (after >= before || (before - after) < before / 10) {
+      // Matching stalled (e.g. star graphs); stop coarsening here.
+      break;
+    }
+    chain.projections.push_back(std::move(step.projection));
+    current = std::move(step.coarse);
+  }
+  chain.coarsest = std::move(current);
+  return chain;
+}
+
+}  // namespace txallo::baselines::metis

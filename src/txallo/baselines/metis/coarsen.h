@@ -1,0 +1,35 @@
+// Coarsening phase: deterministic heavy-edge matching (HEM). Pairs of
+// nodes joined by the heaviest incident edge are contracted into one coarse
+// node; edge weights between coarse nodes are accumulated; intra-pair
+// weight disappears (it can never be cut again at coarser levels).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "txallo/baselines/metis/metis_graph.h"
+
+namespace txallo::baselines::metis {
+
+/// Result of one coarsening step.
+struct CoarsenStep {
+  WorkGraph coarse;
+  /// fine node -> coarse node.
+  std::vector<uint32_t> projection;
+};
+
+/// One heavy-edge-matching contraction. Deterministic: nodes are visited in
+/// ascending id order; the match is the unmatched neighbor with the maximum
+/// edge weight (ties toward the smaller id).
+CoarsenStep CoarsenOnce(const WorkGraph& fine);
+
+/// Full coarsening chain: contracts until the graph has at most
+/// `target_nodes` nodes or a step shrinks the graph by less than 10%.
+/// Returns all levels' projections (finest first) and the coarsest graph.
+struct CoarsenChain {
+  WorkGraph coarsest;
+  std::vector<std::vector<uint32_t>> projections;  // Finest level first.
+};
+CoarsenChain CoarsenToTarget(WorkGraph finest, size_t target_nodes);
+
+}  // namespace txallo::baselines::metis

@@ -1,0 +1,119 @@
+#include "txallo/baselines/metis/initial.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace txallo::baselines::metis {
+
+std::vector<uint32_t> GreedyGrowPartition(const WorkGraph& graph,
+                                          uint32_t num_parts) {
+  const size_t n = graph.num_nodes();
+  constexpr uint32_t kUnassigned = UINT32_MAX;
+  std::vector<uint32_t> part(n, kUnassigned);
+  if (num_parts == 0) return part;
+  if (num_parts == 1) {
+    std::fill(part.begin(), part.end(), 0);
+    return part;
+  }
+
+  const double budget = graph.total_vertex_weight /
+                        static_cast<double>(num_parts);
+  std::vector<double> part_weight(num_parts, 0.0);
+
+  // Seeds: nodes in descending vertex-weight order (ties by id).
+  std::vector<uint32_t> by_weight(n);
+  std::iota(by_weight.begin(), by_weight.end(), 0);
+  std::sort(by_weight.begin(), by_weight.end(), [&](uint32_t a, uint32_t b) {
+    if (graph.vertex_weights[a] != graph.vertex_weights[b]) {
+      return graph.vertex_weights[a] > graph.vertex_weights[b];
+    }
+    return a < b;
+  });
+  size_t seed_cursor = 0;
+
+  // connection[v] = accumulated edge weight from v to the region being
+  // grown; reused across regions via an epoch stamp.
+  std::vector<double> connection(n, 0.0);
+  std::vector<uint32_t> epoch(n, 0);
+  uint32_t current_epoch = 0;
+
+  for (uint32_t p = 0; p + 1 < num_parts; ++p) {
+    ++current_epoch;
+    // Max-heap of (connection weight, node); stale entries are skipped.
+    std::priority_queue<std::pair<double, uint32_t>> frontier;
+
+    // Seed with the heaviest unassigned node.
+    while (seed_cursor < n && part[by_weight[seed_cursor]] != kUnassigned) {
+      ++seed_cursor;
+    }
+    if (seed_cursor >= n) break;
+    frontier.emplace(1.0, by_weight[seed_cursor]);
+
+    while (part_weight[p] < budget && !frontier.empty()) {
+      auto [w, v] = frontier.top();
+      frontier.pop();
+      if (part[v] != kUnassigned) continue;
+      if (epoch[v] == current_epoch && connection[v] > w) {
+        continue;  // Stale entry: a stronger connection was pushed later.
+      }
+      part[v] = p;
+      part_weight[p] += graph.vertex_weights[v];
+      for (size_t e = graph.offsets[v]; e < graph.offsets[v + 1]; ++e) {
+        const uint32_t u = graph.neighbors[e];
+        if (part[u] != kUnassigned) continue;
+        if (epoch[u] != current_epoch) {
+          epoch[u] = current_epoch;
+          connection[u] = 0.0;
+        }
+        connection[u] += graph.edge_weights[e];
+        frontier.emplace(connection[u], u);
+      }
+    }
+  }
+
+  // Everything left belongs to the last part... unless that unbalances it;
+  // pour leftovers into the lightest part, heaviest nodes first.
+  std::vector<uint32_t> leftovers;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (part[v] == kUnassigned) leftovers.push_back(v);
+  }
+  std::sort(leftovers.begin(), leftovers.end(), [&](uint32_t a, uint32_t b) {
+    if (graph.vertex_weights[a] != graph.vertex_weights[b]) {
+      return graph.vertex_weights[a] > graph.vertex_weights[b];
+    }
+    return a < b;
+  });
+  for (uint32_t v : leftovers) {
+    uint32_t lightest = 0;
+    for (uint32_t p = 1; p < num_parts; ++p) {
+      if (part_weight[p] < part_weight[lightest]) lightest = p;
+    }
+    part[v] = lightest;
+    part_weight[lightest] += graph.vertex_weights[v];
+  }
+  return part;
+}
+
+double EdgeCut(const WorkGraph& graph, const std::vector<uint32_t>& part) {
+  double cut = 0.0;
+  for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+    for (size_t e = graph.offsets[v]; e < graph.offsets[v + 1]; ++e) {
+      const uint32_t u = graph.neighbors[e];
+      if (u > v && part[u] != part[v]) cut += graph.edge_weights[e];
+    }
+  }
+  return cut;
+}
+
+std::vector<double> PartWeights(const WorkGraph& graph,
+                                const std::vector<uint32_t>& part,
+                                uint32_t num_parts) {
+  std::vector<double> weights(num_parts, 0.0);
+  for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+    weights[part[v]] += graph.vertex_weights[v];
+  }
+  return weights;
+}
+
+}  // namespace txallo::baselines::metis

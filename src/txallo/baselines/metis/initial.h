@@ -1,0 +1,27 @@
+// Initial partitioning of the coarsest graph: deterministic greedy graph
+// growing. Regions are grown from high-weight seeds by absorbing the
+// boundary node with the strongest connection until the region reaches its
+// vertex-weight budget; leftover nodes go to the lightest part.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "txallo/baselines/metis/metis_graph.h"
+
+namespace txallo::baselines::metis {
+
+/// Partitions `graph` into `num_parts` parts. Returns part[v] for every v.
+std::vector<uint32_t> GreedyGrowPartition(const WorkGraph& graph,
+                                          uint32_t num_parts);
+
+/// Edge cut of a partition: total weight of edges whose endpoints lie in
+/// different parts.
+double EdgeCut(const WorkGraph& graph, const std::vector<uint32_t>& part);
+
+/// Vertex-weight totals per part.
+std::vector<double> PartWeights(const WorkGraph& graph,
+                                const std::vector<uint32_t>& part,
+                                uint32_t num_parts);
+
+}  // namespace txallo::baselines::metis

@@ -1,0 +1,45 @@
+// METIS-style multilevel k-way graph partitioner (from scratch), standing
+// in for the METIS package used by Fynn et al. [17], Mizrahi et al. [18]
+// and BrokerChain [19] as the backbone allocator (paper §II-C).
+//
+// Pipeline: heavy-edge-matching coarsening -> greedy graph growing on the
+// coarsest level -> uncoarsen with boundary KL/FM refinement per level.
+// Objective: minimize edge cut under a vertex-weight balance constraint.
+// Deliberately NOT η-aware and NOT workload-aware — that is exactly the
+// gap TxAllo's evaluation demonstrates.
+#pragma once
+
+#include <cstdint>
+
+#include "txallo/alloc/allocation.h"
+#include "txallo/baselines/metis/metis_graph.h"
+#include "txallo/baselines/metis/refine.h"
+#include "txallo/common/status.h"
+#include "txallo/graph/graph.h"
+
+namespace txallo::baselines::metis {
+
+struct PartitionOptions {
+  /// What the balance constraint balances (prior works: unit weights).
+  VertexWeighting weighting = VertexWeighting::kUnitWeight;
+  /// Vertex-weight balance tolerance (1.03 = METIS default).
+  double imbalance = 1.03;
+  /// Coarsening stops at max(coarsest_factor * k, coarsest_min) nodes.
+  uint32_t coarsest_factor = 30;
+  uint32_t coarsest_min = 2000;
+  RefineOptions refine;
+};
+
+struct PartitionInfo {
+  double total_seconds = 0.0;
+  double edge_cut = 0.0;
+  int levels = 0;
+};
+
+/// Partitions the accounts of `graph` into `num_shards` parts.
+Result<alloc::Allocation> PartitionGraph(const graph::TransactionGraph& graph,
+                                         uint32_t num_shards,
+                                         const PartitionOptions& options = {},
+                                         PartitionInfo* info = nullptr);
+
+}  // namespace txallo::baselines::metis

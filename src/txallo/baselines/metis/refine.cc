@@ -1,0 +1,71 @@
+#include "txallo/baselines/metis/refine.h"
+
+#include <algorithm>
+
+#include "txallo/baselines/metis/initial.h"
+
+namespace txallo::baselines::metis {
+
+double RefinePartition(const WorkGraph& graph, uint32_t num_parts,
+                       const RefineOptions& options,
+                       std::vector<uint32_t>* part_ptr) {
+  std::vector<uint32_t>& part = *part_ptr;
+  const size_t n = graph.num_nodes();
+  std::vector<double> part_weight = PartWeights(graph, part, num_parts);
+  const double cap = options.imbalance *
+                     (graph.total_vertex_weight /
+                      static_cast<double>(num_parts));
+
+  double cut = EdgeCut(graph, part);
+  // Scratch per-part connection weights with a touched list.
+  std::vector<double> weight_to(num_parts, 0.0);
+  std::vector<uint32_t> touched;
+  touched.reserve(32);
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    double pass_gain = 0.0;
+    for (uint32_t v = 0; v < n; ++v) {
+      const uint32_t from = part[v];
+      touched.clear();
+      bool boundary = false;
+      for (size_t e = graph.offsets[v]; e < graph.offsets[v + 1]; ++e) {
+        const uint32_t p = part[graph.neighbors[e]];
+        if (p != from) boundary = true;
+        if (weight_to[p] == 0.0) touched.push_back(p);
+        weight_to[p] += graph.edge_weights[e];
+      }
+      if (!boundary) {
+        for (uint32_t p : touched) weight_to[p] = 0.0;
+        continue;
+      }
+      // Gain of moving v from `from` to p: w(v->p) - w(v->from).
+      uint32_t best = from;
+      double best_gain = 0.0;
+      for (uint32_t p : touched) {
+        if (p == from) continue;
+        if (part_weight[p] + graph.vertex_weights[v] > cap) continue;
+        const double gain = weight_to[p] - weight_to[from];
+        if (gain > best_gain + 1e-15) {
+          best = p;
+          best_gain = gain;
+        } else if (gain >= best_gain - 1e-15 && best != from && p < best) {
+          best = p;
+        }
+      }
+      if (best != from && best_gain > 0.0) {
+        part[v] = best;
+        part_weight[from] -= graph.vertex_weights[v];
+        part_weight[best] += graph.vertex_weights[v];
+        cut -= best_gain;
+        pass_gain += best_gain;
+      }
+      for (uint32_t p : touched) weight_to[p] = 0.0;
+    }
+    if (cut <= 0.0 || pass_gain < options.min_relative_gain * (cut + 1e-12)) {
+      break;
+    }
+  }
+  return cut;
+}
+
+}  // namespace txallo::baselines::metis

@@ -1,0 +1,31 @@
+// Refinement phase: greedy boundary Kernighan-Lin / Fiduccia-Mattheyses
+// moves. After each uncoarsening step, boundary nodes are moved to the
+// neighboring part that most reduces the edge cut, subject to the vertex-
+// weight balance constraint — METIS's notion of balance, which the TxAllo
+// paper contrasts with workload balance (§II-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "txallo/baselines/metis/metis_graph.h"
+
+namespace txallo::baselines::metis {
+
+struct RefineOptions {
+  /// A part may not exceed imbalance * (total_weight / k) after a move
+  /// (METIS's default tolerance is 1.03).
+  double imbalance = 1.03;
+  /// Max refinement passes per level.
+  int max_passes = 8;
+  /// Stop a pass early when its cut improvement falls below this fraction
+  /// of the current cut.
+  double min_relative_gain = 1e-4;
+};
+
+/// Refines `part` in place; returns the final edge cut.
+double RefinePartition(const WorkGraph& graph, uint32_t num_parts,
+                       const RefineOptions& options,
+                       std::vector<uint32_t>* part);
+
+}  // namespace txallo::baselines::metis

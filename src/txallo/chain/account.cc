@@ -1,0 +1,51 @@
+#include "txallo/chain/account.h"
+
+#include <algorithm>
+
+#include "txallo/common/sha256.h"
+
+namespace txallo::chain {
+
+AccountId AccountRegistry::Intern(const std::string& address,
+                                  AccountType type) {
+  auto it = index_.find(address);
+  if (it != index_.end()) return it->second;
+  AccountId id = static_cast<AccountId>(addresses_.size());
+  index_.emplace(address, id);
+  addresses_.push_back(address);
+  types_.push_back(type);
+  order_keys_.push_back(Sha256::Hash64(address));
+  return id;
+}
+
+AccountId AccountRegistry::CreateSynthetic(AccountType type) {
+  AccountId id = static_cast<AccountId>(addresses_.size());
+  std::string address = "acct-" + std::to_string(id);
+  index_.emplace(address, id);
+  addresses_.push_back(std::move(address));
+  types_.push_back(type);
+  order_keys_.push_back(Sha256::Hash64(addresses_.back()));
+  return id;
+}
+
+Result<AccountId> AccountRegistry::Find(const std::string& address) const {
+  auto it = index_.find(address);
+  if (it == index_.end()) {
+    return Status::NotFound("unknown account address: " + address);
+  }
+  return it->second;
+}
+
+std::vector<AccountId> AccountRegistry::IdsInHashOrder() const {
+  std::vector<AccountId> ids(addresses_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<AccountId>(i);
+  std::sort(ids.begin(), ids.end(), [this](AccountId a, AccountId b) {
+    if (order_keys_[a] != order_keys_[b]) {
+      return order_keys_[a] < order_keys_[b];
+    }
+    return a < b;
+  });
+  return ids;
+}
+
+}  // namespace txallo::chain

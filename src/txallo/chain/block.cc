@@ -1,0 +1,6 @@
+#include "txallo/chain/block.h"
+
+namespace txallo::chain {
+// Block is header-only today; this TU anchors the target and reserves room
+// for block-level validation (e.g., gas accounting) without touching users.
+}  // namespace txallo::chain

@@ -1,0 +1,31 @@
+// Block and ledger types, paper §III-A: a ledger L = {B_1, ..., B_n} is a
+// totally ordered sequence of blocks, each a sequence of transactions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "txallo/chain/transaction.h"
+
+namespace txallo::chain {
+
+/// One block of transactions.
+class Block {
+ public:
+  Block() = default;
+  Block(uint64_t number, std::vector<Transaction> transactions)
+      : number_(number), transactions_(std::move(transactions)) {}
+
+  uint64_t number() const { return number_; }
+  const std::vector<Transaction>& transactions() const {
+    return transactions_;
+  }
+  std::vector<Transaction>& mutable_transactions() { return transactions_; }
+  size_t size() const { return transactions_.size(); }
+
+ private:
+  uint64_t number_ = 0;
+  std::vector<Transaction> transactions_;
+};
+
+}  // namespace txallo::chain

@@ -1,0 +1,42 @@
+#include "txallo/chain/ledger.h"
+
+namespace txallo::chain {
+
+Status Ledger::Append(Block block) {
+  if (!blocks_.empty() && block.number() <= blocks_.back().number()) {
+    return Status::InvalidArgument(
+        "block numbers must be strictly increasing: got " +
+        std::to_string(block.number()) + " after " +
+        std::to_string(blocks_.back().number()));
+  }
+  num_transactions_ += block.size();
+  blocks_.push_back(std::move(block));
+  return Status::OK();
+}
+
+void Ledger::ForEachTransaction(
+    const std::function<void(const Transaction&)>& fn) const {
+  for (const Block& b : blocks_) {
+    for (const Transaction& tx : b.transactions()) fn(tx);
+  }
+}
+
+void Ledger::ForEachTransactionInRange(
+    size_t first_block_index, size_t last_block_index,
+    const std::function<void(const Transaction&)>& fn) const {
+  if (last_block_index > blocks_.size()) last_block_index = blocks_.size();
+  for (size_t i = first_block_index; i < last_block_index; ++i) {
+    for (const Transaction& tx : blocks_[i].transactions()) fn(tx);
+  }
+}
+
+std::vector<Transaction> Ledger::AllTransactions() const {
+  std::vector<Transaction> out;
+  out.reserve(num_transactions_);
+  for (const Block& b : blocks_) {
+    out.insert(out.end(), b.transactions().begin(), b.transactions().end());
+  }
+  return out;
+}
+
+}  // namespace txallo::chain

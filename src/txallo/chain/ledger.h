@@ -1,0 +1,46 @@
+// Append-only ledger: the input of the allocation problem.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "txallo/chain/block.h"
+#include "txallo/common/status.h"
+
+namespace txallo::chain {
+
+/// A totally ordered sequence of blocks with convenience iteration over the
+/// flattened transaction sequence.
+class Ledger {
+ public:
+  Ledger() = default;
+
+  /// Appends a block. Block numbers must be strictly increasing.
+  Status Append(Block block);
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+  size_t num_blocks() const { return blocks_.size(); }
+
+  /// Total number of transactions across all blocks (|T|).
+  uint64_t num_transactions() const { return num_transactions_; }
+
+  /// Invokes `fn` for every transaction in ledger order.
+  void ForEachTransaction(
+      const std::function<void(const Transaction&)>& fn) const;
+
+  /// Invokes `fn` for every transaction in blocks [first_block_index,
+  /// last_block_index) — index into blocks(), not block numbers.
+  void ForEachTransactionInRange(
+      size_t first_block_index, size_t last_block_index,
+      const std::function<void(const Transaction&)>& fn) const;
+
+  /// Collects all transactions into one flat vector (copies).
+  std::vector<Transaction> AllTransactions() const;
+
+ private:
+  std::vector<Block> blocks_;
+  uint64_t num_transactions_ = 0;
+};
+
+}  // namespace txallo::chain

@@ -1,0 +1,18 @@
+#include "txallo/chain/transaction.h"
+
+#include <algorithm>
+
+namespace txallo::chain {
+
+Transaction::Transaction(std::vector<AccountId> inputs,
+                         std::vector<AccountId> outputs)
+    : inputs_(std::move(inputs)), outputs_(std::move(outputs)) {
+  accounts_.reserve(inputs_.size() + outputs_.size());
+  accounts_.insert(accounts_.end(), inputs_.begin(), inputs_.end());
+  accounts_.insert(accounts_.end(), outputs_.begin(), outputs_.end());
+  std::sort(accounts_.begin(), accounts_.end());
+  accounts_.erase(std::unique(accounts_.begin(), accounts_.end()),
+                  accounts_.end());
+}
+
+}  // namespace txallo::chain

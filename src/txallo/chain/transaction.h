@@ -1,0 +1,47 @@
+// Transaction model, paper §III-A: a transaction is the pair of its input
+// and output account sets, Tx := (A_in, A_out), both non-empty. Everything
+// the allocation problem needs — whether a transaction is cross-shard, how
+// many shards process it — is a function of A_Tx = A_in ∪ A_out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "txallo/chain/account.h"
+
+namespace txallo::chain {
+
+/// A multi-input multi-output account-based transaction.
+class Transaction {
+ public:
+  Transaction() = default;
+
+  /// Builds a transaction; deduplicates and sorts the distinct account set.
+  /// Inputs/outputs may overlap (a self-transfer has A_in == A_out).
+  Transaction(std::vector<AccountId> inputs, std::vector<AccountId> outputs);
+
+  /// Convenience 1-input-1-output constructor (the dominant Ethereum case).
+  static Transaction Simple(AccountId from, AccountId to) {
+    return Transaction({from}, {to});
+  }
+
+  const std::vector<AccountId>& inputs() const { return inputs_; }
+  const std::vector<AccountId>& outputs() const { return outputs_; }
+
+  /// A_Tx = A_in ∪ A_out, sorted ascending, no duplicates.
+  const std::vector<AccountId>& accounts() const { return accounts_; }
+
+  /// |A_Tx|.
+  size_t NumDistinctAccounts() const { return accounts_.size(); }
+
+  /// True when the transaction touches exactly one account (self-transfer,
+  /// e.g. an Ethereum pending-transaction withdrawal, paper §V-B).
+  bool IsSelfLoop() const { return accounts_.size() == 1; }
+
+ private:
+  std::vector<AccountId> inputs_;
+  std::vector<AccountId> outputs_;
+  std::vector<AccountId> accounts_;
+};
+
+}  // namespace txallo::chain

@@ -1,0 +1,106 @@
+#include "txallo/common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace txallo {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(cur));
+        cur.clear();
+      } else if (c == '\r') {
+        // Swallow CR from CRLF files.
+      } else {
+        cur.push_back(c);
+      }
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string EscapeCsvField(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!field.empty() && (field.front() == ' ' || field.back() == ' ')) {
+    needs_quotes = true;
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(static_cast<FILE*>(file_));
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (file_ == nullptr) return Status::IOError("CSV writer is not open");
+  FILE* f = static_cast<FILE*>(file_);
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) std::fputc(',', f);
+    std::string escaped = EscapeCsvField(fields[i]);
+    std::fwrite(escaped.data(), 1, escaped.size(), f);
+  }
+  std::fputc('\n', f);
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  int rc = std::fclose(static_cast<FILE*>(file_));
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("fclose failed");
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open CSV file: " + path);
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(SplitCsvLine(line));
+  }
+  return rows;
+}
+
+}  // namespace txallo

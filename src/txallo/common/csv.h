@@ -1,0 +1,47 @@
+// Minimal CSV reader/writer used by the dataset import/export path
+// (Ethereum-ETL style extracts) and by the bench harness to emit figure
+// series for plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "txallo/common/status.h"
+
+namespace txallo {
+
+/// Splits one CSV line into fields. Handles double-quoted fields with
+/// embedded commas and doubled quotes; does not handle embedded newlines
+/// (the datasets this library reads/writes never contain them).
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// Quotes a field if it contains a comma, quote, or leading/trailing space.
+std::string EscapeCsvField(const std::string& field);
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check ok() before use.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  /// Writes one row.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  Status Close();
+
+ private:
+  void* file_;  // FILE*, kept opaque to avoid <cstdio> in the header.
+};
+
+/// Reads a whole CSV file into rows of fields.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+}  // namespace txallo

@@ -1,0 +1,94 @@
+#include "txallo/common/flags.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace txallo {
+
+Flags Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--", 0) != 0) continue;
+    arg.remove_prefix(2);
+    auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      flags.values_[std::string(arg.substr(0, eq))] =
+          std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) !=
+                                   0) {
+      flags.values_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      flags.values_[std::string(arg)] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str()) return default_value;
+  return v;
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str()) return default_value;
+  return v;
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes";
+}
+
+BenchScale ResolveBenchScale(const Flags& flags) {
+  std::string scale = flags.GetString("scale", "");
+  if (scale.empty()) {
+    const char* env = std::getenv("TXALLO_SCALE");
+    scale = env != nullptr ? env : "small";
+  }
+  BenchScale preset;
+  if (scale == "large") {
+    preset = {8'000'000, 1'200'000, 60, 10, 200, 100};
+  } else if (scale == "medium") {
+    preset = {2'000'000, 320'000, 60, 10, 120, 40};
+  } else {
+    preset = {400'000, 64'000, 60, 10, 60, 12};
+  }
+  // Explicit flags override the preset.
+  preset.num_transactions = static_cast<uint64_t>(
+      flags.GetInt("txs", static_cast<int64_t>(preset.num_transactions)));
+  preset.num_accounts = static_cast<uint64_t>(
+      flags.GetInt("accounts", static_cast<int64_t>(preset.num_accounts)));
+  preset.max_shards =
+      static_cast<int>(flags.GetInt("max-shards", preset.max_shards));
+  preset.shard_step =
+      static_cast<int>(flags.GetInt("shard-step", preset.shard_step));
+  preset.timeline_steps =
+      static_cast<int>(flags.GetInt("steps", preset.timeline_steps));
+  preset.blocks_per_step =
+      static_cast<int>(flags.GetInt("blocks-per-step", preset.blocks_per_step));
+  return preset;
+}
+
+}  // namespace txallo

@@ -1,0 +1,54 @@
+// Tiny command-line flag parser for the bench/example binaries.
+// Supports --name=value and --name value, plus environment-variable
+// defaults so `for b in build/bench/*; do $b; done` runs unattended.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace txallo {
+
+/// Parsed command line. Unknown flags are collected rather than rejected so
+/// harness binaries can share one parser.
+class Flags {
+ public:
+  /// Parses argv. Flags look like --key=value or --key value; a bare --key
+  /// is stored with value "true".
+  static Flags Parse(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+
+  /// String lookup with default.
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+
+  /// Integer lookup with default; falls back to default on parse failure.
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+
+  /// Double lookup with default.
+  double GetDouble(const std::string& key, double default_value) const;
+
+  /// Bool lookup ("true"/"1"/"yes" are true).
+  bool GetBool(const std::string& key, bool default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Scale presets shared by the bench binaries. Controlled by the
+/// TXALLO_SCALE environment variable: "small" (default, seconds per figure),
+/// "medium" (tens of seconds), "large" (minutes, closest to paper scale).
+struct BenchScale {
+  uint64_t num_transactions;
+  uint64_t num_accounts;
+  int max_shards;        // Largest k in sweeps (paper: 60).
+  int shard_step;        // Granularity of the k sweep.
+  int timeline_steps;    // Fig. 9/10 number of time steps (paper: 200).
+  int blocks_per_step;   // Fig. 9/10 blocks per step (paper: 300).
+};
+
+/// Resolves the scale preset from TXALLO_SCALE (or --scale).
+BenchScale ResolveBenchScale(const Flags& flags);
+
+}  // namespace txallo

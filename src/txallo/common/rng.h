@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation (splitmix64 seeding +
+// xoshiro256** state advance). Every stochastic component in this repository
+// (workload generation, simulator jitter) draws from this generator so that a
+// given seed reproduces a bit-identical experiment on any platform —
+// std::mt19937 distributions are not portable across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace txallo {
+
+/// splitmix64: the recommended seeder for xoshiro-family generators.
+/// Also usable standalone as a strong 64-bit mixing function.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** PRNG with utility draws for the distributions the library
+/// needs. Deterministic for a given seed.
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words via splitmix64.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit draw.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). Precondition: bound > 0. Uses Lemire-style
+  /// rejection so the result is unbiased.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability p of true.
+  bool NextBernoulli(double p);
+
+  /// Geometric number of failures before first success, success prob p.
+  /// Precondition: 0 < p <= 1.
+  uint64_t NextGeometric(double p);
+
+  /// Standard normal via Box-Muller (deterministic pairing).
+  double NextGaussian();
+
+  /// Poisson draw with mean `lambda` (Knuth for small lambda, normal
+  /// approximation above 64 to bound the loop).
+  uint64_t NextPoisson(double lambda);
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace txallo

@@ -1,0 +1,62 @@
+// From-scratch SHA-256 (FIPS 180-4). Used for two things in this repository:
+//  1. the hash-based baseline allocation (SHA256(address) mod k, as in
+//     Chainspace / Monoxide, paper §II-C), and
+//  2. the deterministic node iteration order of G-/A-TxAllo (paper §V-B:
+//     "The hash value of the accounts can determine the order of node
+//     sequence in real-world applications").
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace txallo {
+
+/// A 256-bit digest.
+using Sha256Digest = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+///
+/// Usage:
+///   Sha256 h;
+///   h.Update(data, len);
+///   Sha256Digest d = h.Finish();
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  /// Re-initializes the hasher to the empty-message state.
+  void Reset();
+
+  /// Absorbs `len` bytes at `data`.
+  void Update(const void* data, size_t len);
+
+  /// Finalizes and returns the digest. The hasher must be Reset() before
+  /// further use.
+  Sha256Digest Finish();
+
+  /// One-shot convenience over a byte string.
+  static Sha256Digest Hash(std::string_view data);
+
+  /// First 8 bytes of SHA256(data) as a big-endian uint64. Convenient for
+  /// "mod k" style bucket assignment and deterministic ordering keys.
+  static uint64_t Hash64(std::string_view data);
+
+  /// Hash64 over the little-endian byte representation of a uint64 key.
+  static uint64_t Hash64(uint64_t key);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+/// Lowercase hex encoding of a digest.
+std::string DigestToHex(const Sha256Digest& digest);
+
+}  // namespace txallo

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the running-time experiments (paper Figs. 8
+// and 10).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace txallo {
+
+/// Monotonic stopwatch. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Restart().
+  double ElapsedSeconds() const;
+
+  /// Elapsed microseconds.
+  int64_t ElapsedMicros() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace txallo

@@ -1,0 +1,33 @@
+#include "txallo/common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace txallo {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  if (n_ == 0) n_ = 1;
+  cdf_.resize(n_);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n_; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s_);
+    cdf_[i] = total;
+  }
+  normalizer_ = total;
+  for (uint64_t i = 0; i < n_; ++i) cdf_[i] /= total;
+  cdf_[n_ - 1] = 1.0;  // Guard against FP rounding below 1.
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(uint64_t rank) const {
+  if (rank >= n_) return 0.0;
+  return (1.0 / std::pow(static_cast<double>(rank + 1), s_)) / normalizer_;
+}
+
+}  // namespace txallo

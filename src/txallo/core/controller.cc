@@ -1,0 +1,176 @@
+#include "txallo/core/controller.h"
+
+#include <algorithm>
+
+#include "txallo/common/math.h"
+
+namespace txallo::core {
+
+using alloc::kUnassignedShard;
+using alloc::ShardId;
+using graph::NodeId;
+
+TxAlloController::TxAlloController(const chain::AccountRegistry* registry,
+                                   alloc::AllocationParams params,
+                                   ControllerOptions options)
+    : registry_(registry), params_(params), options_(options) {
+  allocation_ = alloc::Allocation(0, params_.num_shards);
+  state_.eta = params_.eta;
+  state_.capacity = params_.capacity;
+  state_.sigma.assign(params_.num_shards, 0.0);
+  state_.lambda_hat.assign(params_.num_shards, 0.0);
+}
+
+void TxAlloController::AccumulateEdgeIntoState(NodeId u, NodeId v,
+                                               double weight) {
+  const ShardId cu =
+      u < allocation_.num_accounts() && allocation_.IsAssigned(u)
+          ? allocation_.shard_of(u)
+          : kUnassignedShard;
+  const ShardId cv =
+      v < allocation_.num_accounts() && allocation_.IsAssigned(v)
+          ? allocation_.shard_of(v)
+          : kUnassignedShard;
+  if (u == v) {
+    // Self-loop: intra workload + full throughput for the owning shard.
+    if (cu != kUnassignedShard) {
+      state_.sigma[cu] += weight;
+      state_.lambda_hat[cu] += weight;
+    }
+    return;
+  }
+  if (cu != kUnassignedShard && cu == cv) {
+    state_.sigma[cu] += weight;
+    state_.lambda_hat[cu] += weight;
+    return;
+  }
+  // Cross-shard (or one side unassigned): each assigned side carries η
+  // workload and half the throughput credit. The unassigned side's
+  // contribution is accounted when that node joins (JoinDelta's η·s term).
+  if (cu != kUnassignedShard) {
+    state_.sigma[cu] += params_.eta * weight;
+    state_.lambda_hat[cu] += 0.5 * weight;
+  }
+  if (cv != kUnassignedShard) {
+    state_.sigma[cv] += params_.eta * weight;
+    state_.lambda_hat[cv] += 0.5 * weight;
+  }
+}
+
+void TxAlloController::ApplyBlock(const chain::Block& block) {
+  for (const chain::Transaction& tx : block.transactions()) {
+    ++transactions_applied_;
+    const std::vector<chain::AccountId>& accounts = tx.accounts();
+    if (accounts.empty()) continue;
+    // Grow tracking structures for brand-new accounts.
+    const chain::AccountId max_id = accounts.back();  // accounts() sorted.
+    if (static_cast<size_t>(max_id) >= touched_flag_.size()) {
+      touched_flag_.resize(static_cast<size_t>(max_id) + 1, 0);
+    }
+    allocation_.GrowAccounts(static_cast<size_t>(max_id) + 1);
+    for (chain::AccountId a : accounts) {
+      if (touched_flag_[a] == 0) {
+        touched_flag_[a] = 1;
+        touched_.push_back(a);
+      }
+    }
+    // Mirror GraphBuilder's weight-splitting, updating graph and state
+    // together so they never diverge.
+    if (accounts.size() == 1) {
+      graph_.AddSelfLoop(accounts[0], 1.0);
+      AccumulateEdgeIntoState(accounts[0], accounts[0], 1.0);
+      continue;
+    }
+    const double share =
+        1.0 / static_cast<double>(EdgeSplitCount(accounts.size()));
+    for (size_t i = 0; i < accounts.size(); ++i) {
+      for (size_t j = i + 1; j < accounts.size(); ++j) {
+        graph_.AddEdge(accounts[i], accounts[j], share);
+        AccumulateEdgeIntoState(accounts[i], accounts[j], share);
+      }
+    }
+  }
+}
+
+void TxAlloController::RefreshCapacity() {
+  if (options_.scale_capacity_with_transactions && params_.num_shards > 0) {
+    params_.capacity = static_cast<double>(transactions_applied_) /
+                       params_.num_shards;
+    params_.epsilon = 1e-5 * static_cast<double>(transactions_applied_);
+    state_.capacity = params_.capacity;
+  }
+}
+
+std::vector<NodeId> TxAlloController::PendingTouchedNodes() const {
+  std::vector<NodeId> nodes = touched_;
+  std::sort(nodes.begin(), nodes.end(), [this](NodeId a, NodeId b) {
+    const uint64_t ka = registry_->OrderKey(a);
+    const uint64_t kb = registry_->OrderKey(b);
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+  return nodes;
+}
+
+std::vector<NodeId> TxAlloController::FullNodeOrder() const {
+  std::vector<NodeId> order(graph_.num_nodes());
+  for (size_t v = 0; v < order.size(); ++v) {
+    order[v] = static_cast<NodeId>(v);
+  }
+  std::sort(order.begin(), order.end(), [this](NodeId a, NodeId b) {
+    const uint64_t ka = registry_->OrderKey(a);
+    const uint64_t kb = registry_->OrderKey(b);
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+  return order;
+}
+
+Result<AdaptiveRunInfo> TxAlloController::StepAdaptive() {
+  graph_.Consolidate();
+  allocation_.GrowAccounts(graph_.num_nodes());
+  RefreshCapacity();
+  std::vector<NodeId> touched = PendingTouchedNodes();
+  AdaptiveRunInfo info;
+  Status st = RunAdaptiveTxAllo(graph_, touched, params_, options_.global,
+                                &allocation_, &state_, &info);
+  if (!st.ok()) return st;
+  for (NodeId v : touched_) touched_flag_[v] = 0;
+  touched_.clear();
+  return info;
+}
+
+Result<GlobalRunInfo> TxAlloController::StepGlobal() {
+  graph_.Consolidate();
+  allocation_.GrowAccounts(graph_.num_nodes());
+  RefreshCapacity();
+  GlobalRunInfo info;
+  Result<alloc::Allocation> result = RunGlobalTxAllo(
+      graph_, FullNodeOrder(), params_, options_.global, &info);
+  if (!result.ok()) return result.status();
+  allocation_ = std::move(result.value());
+  RecomputeState();
+  for (NodeId v : touched_) touched_flag_[v] = 0;
+  touched_.clear();
+  return info;
+}
+
+void TxAlloController::RecomputeState() {
+  graph_.Consolidate();
+  state_ = alloc::ComputeCommunityState(graph_, allocation_, params_);
+}
+
+Status TxAlloController::ApplyHistoryDecay(double factor) {
+  if (factor <= 0.0 || factor > 1.0) {
+    return Status::InvalidArgument("decay factor must be in (0, 1]");
+  }
+  graph_.Consolidate();
+  graph_.ScaleWeights(factor);
+  // σ and Λ̂ are linear in the edge weights, so the incremental state
+  // scales with them (verified against the from-scratch oracle in tests).
+  for (double& s : state_.sigma) s *= factor;
+  for (double& l : state_.lambda_hat) l *= factor;
+  return Status::OK();
+}
+
+}  // namespace txallo::core

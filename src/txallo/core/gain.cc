@@ -1,0 +1,66 @@
+#include "txallo/core/gain.h"
+
+#include "txallo/common/math.h"
+
+namespace txallo::core {
+
+namespace {
+
+inline double Clamped(double lambda_hat, double sigma, double capacity) {
+  return ClampThroughput(lambda_hat, sigma, capacity);
+}
+
+}  // namespace
+
+CommunityDelta JoinDelta(const alloc::CommunityState& state, uint32_t q,
+                         const NodeProfile& node, double weight_to_q) {
+  CommunityDelta delta;
+  const double eta = state.eta;
+  delta.d_sigma = node.self_loop + eta * node.strength +
+                  (1.0 - 2.0 * eta) * weight_to_q;
+  delta.d_lambda_hat = node.self_loop + 0.5 * node.strength;
+  const double before =
+      Clamped(state.lambda_hat[q], state.sigma[q], state.capacity);
+  const double after = Clamped(state.lambda_hat[q] + delta.d_lambda_hat,
+                               state.sigma[q] + delta.d_sigma, state.capacity);
+  delta.throughput_gain = after - before;
+  return delta;
+}
+
+CommunityDelta LeaveDelta(const alloc::CommunityState& state, uint32_t p,
+                          const NodeProfile& node, double weight_to_p) {
+  CommunityDelta delta;
+  const double eta = state.eta;
+  delta.d_sigma = -node.self_loop - eta * (node.strength - weight_to_p) +
+                  (eta - 1.0) * weight_to_p;
+  delta.d_lambda_hat = -node.self_loop - 0.5 * node.strength;
+  const double before =
+      Clamped(state.lambda_hat[p], state.sigma[p], state.capacity);
+  const double after = Clamped(state.lambda_hat[p] + delta.d_lambda_hat,
+                               state.sigma[p] + delta.d_sigma, state.capacity);
+  delta.throughput_gain = after - before;
+  return delta;
+}
+
+double MoveGain(const alloc::CommunityState& state, uint32_t p, uint32_t q,
+                const NodeProfile& node, double weight_to_p,
+                double weight_to_q) {
+  return LeaveDelta(state, p, node, weight_to_p).throughput_gain +
+         JoinDelta(state, q, node, weight_to_q).throughput_gain;
+}
+
+void ApplyJoin(alloc::CommunityState* state, uint32_t q,
+               const NodeProfile& node, double weight_to_q) {
+  CommunityDelta delta = JoinDelta(*state, q, node, weight_to_q);
+  state->sigma[q] += delta.d_sigma;
+  state->lambda_hat[q] += delta.d_lambda_hat;
+}
+
+void ApplyLeave(alloc::CommunityState* state, uint32_t p,
+                const NodeProfile& node, double weight_to_p) {
+  CommunityDelta delta = LeaveDelta(*state, p, node, weight_to_p);
+  state->sigma[p] += delta.d_sigma;
+  state->lambda_hat[p] += delta.d_lambda_hat;
+}
+
+}  // namespace txallo::core

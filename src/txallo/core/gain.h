@@ -1,0 +1,60 @@
+// Closed-form throughput-gain kernel of TxAllo (paper §V-B).
+//
+// For a node v with self-loop weight ℓ = w{v,v}, strength s = w{v, V\v},
+// and edge weight c_X = w{v, V_X \ v} to a community X:
+//
+//   join q  (v ∉ V_q):  Δσ_q = ℓ + η·s + (1 − 2η)·c_q
+//                       ΔΛ̂_q = ℓ + s/2
+//   leave p (v ∈ V_p):  Δσ_p = −ℓ − η·(s − c_p) + (η − 1)·c_p
+//                       ΔΛ̂_p = −ℓ − s/2
+//
+// and the throughput gain of a move uses the capacity-clamped Λ (Eq. 7)
+// evaluated before/after, so Δ(i,p,q)Λ = ΔΛ_p + ΔΛ_q (Eq. 8). By Lemma 1,
+// no other community's throughput changes — the property tests verify this
+// against a from-scratch recomputation.
+#pragma once
+
+#include <cstdint>
+
+#include "txallo/alloc/graph_metrics.h"
+
+namespace txallo::core {
+
+/// Per-node quantities the delta formulas need.
+struct NodeProfile {
+  double self_loop = 0.0;  // ℓ
+  double strength = 0.0;   // s
+};
+
+/// Workload/throughput deltas for one community affected by a move.
+struct CommunityDelta {
+  double d_sigma = 0.0;
+  double d_lambda_hat = 0.0;
+  /// Λ'_X − Λ_X under the capacity clamp.
+  double throughput_gain = 0.0;
+};
+
+/// Deltas for community q when `v` joins it. `weight_to_q` = w{v, V_q}.
+/// Precondition: v is not currently in q.
+CommunityDelta JoinDelta(const alloc::CommunityState& state, uint32_t q,
+                         const NodeProfile& node, double weight_to_q);
+
+/// Deltas for community p when `v` leaves it. `weight_to_p` = w{v, V_p\v}.
+/// Precondition: v is currently in p.
+CommunityDelta LeaveDelta(const alloc::CommunityState& state, uint32_t p,
+                          const NodeProfile& node, double weight_to_p);
+
+/// Δ(i,p,q)Λ for moving v from p to q (Eq. 8). Precondition: p != q.
+double MoveGain(const alloc::CommunityState& state, uint32_t p, uint32_t q,
+                const NodeProfile& node, double weight_to_p,
+                double weight_to_q);
+
+/// Applies a join to the running state (σ_q, Λ̂_q updated in place).
+void ApplyJoin(alloc::CommunityState* state, uint32_t q,
+               const NodeProfile& node, double weight_to_q);
+
+/// Applies a leave to the running state.
+void ApplyLeave(alloc::CommunityState* state, uint32_t p,
+                const NodeProfile& node, double weight_to_p);
+
+}  // namespace txallo::core

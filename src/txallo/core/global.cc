@@ -1,0 +1,269 @@
+#include "txallo/core/global.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "txallo/common/sha256.h"
+#include "txallo/common/stopwatch.h"
+#include "txallo/core/gain.h"
+#include "txallo/graph/csr.h"
+
+namespace txallo::core {
+
+namespace {
+
+using alloc::Allocation;
+using alloc::AllocationParams;
+using alloc::CommunityState;
+using alloc::kUnassignedShard;
+using alloc::ShardId;
+using graph::NodeId;
+using graph::TransactionGraph;
+
+// Scratch accumulator of w{v, community}, reset via a touched list so a
+// sweep over the whole graph is O(Σ degree), not O(N·k).
+class WeightToCommunity {
+ public:
+  explicit WeightToCommunity(uint32_t num_communities)
+      : weight_(num_communities, 0.0) {
+    touched_.reserve(64);
+  }
+
+  void Accumulate(const TransactionGraph& graph, NodeId v,
+                  const Allocation& allocation) {
+    for (const graph::Neighbor& nb : graph.Neighbors(v)) {
+      const ShardId c = nb.node < allocation.num_accounts()
+                            ? allocation.shard_of(nb.node)
+                            : kUnassignedShard;
+      if (c == kUnassignedShard) continue;
+      if (weight_[c] == 0.0) touched_.push_back(c);
+      weight_[c] += nb.weight;
+    }
+  }
+
+  double WeightTo(ShardId c) const { return weight_[c]; }
+  const std::vector<ShardId>& touched() const { return touched_; }
+
+  void Reset() {
+    for (ShardId c : touched_) weight_[c] = 0.0;
+    touched_.clear();
+  }
+
+ private:
+  std::vector<double> weight_;
+  std::vector<ShardId> touched_;
+};
+
+// Phase 1a: Louvain + keep the k communities with the largest workload σ.
+// Fills `allocation` with shard ids for nodes of the top-k communities and
+// leaves every other node unassigned. Returns the Louvain community count.
+uint32_t LouvainInitialize(const TransactionGraph& graph,
+                           const std::vector<NodeId>& node_order,
+                           const AllocationParams& params,
+                           const GlobalOptions& options,
+                           Allocation* allocation) {
+  const graph::CsrGraph csr = graph::CsrGraph::FromGraph(graph);
+  graph::LouvainResult louvain =
+      graph::RunLouvain(csr, node_order, options.louvain);
+  const uint32_t l = louvain.num_communities;
+
+  // Workload σ of every Louvain community (η-aware), used for the top-k
+  // ranking. Reuse the from-scratch state computation with k' = l.
+  Allocation louvain_alloc(graph.num_nodes(), l);
+  for (size_t v = 0; v < graph.num_nodes(); ++v) {
+    louvain_alloc.Assign(static_cast<NodeId>(v), louvain.community[v]);
+  }
+  AllocationParams rank_params = params;
+  rank_params.num_shards = l;
+  CommunityState rank_state =
+      alloc::ComputeCommunityState(graph, louvain_alloc, rank_params);
+
+  // Rank communities by workload, descending; ties toward the smaller id
+  // keep the ranking deterministic.
+  std::vector<uint32_t> ranked(l);
+  std::iota(ranked.begin(), ranked.end(), 0);
+  std::sort(ranked.begin(), ranked.end(), [&](uint32_t a, uint32_t b) {
+    if (rank_state.sigma[a] != rank_state.sigma[b]) {
+      return rank_state.sigma[a] > rank_state.sigma[b];
+    }
+    return a < b;
+  });
+
+  std::vector<ShardId> community_to_shard(l, kUnassignedShard);
+  const uint32_t kept = std::min(params.num_shards, l);
+  for (uint32_t rank = 0; rank < kept; ++rank) {
+    community_to_shard[ranked[rank]] = rank;
+  }
+  for (size_t v = 0; v < graph.num_nodes(); ++v) {
+    const ShardId s = community_to_shard[louvain.community[v]];
+    if (s != kUnassignedShard) allocation->Assign(static_cast<NodeId>(v), s);
+  }
+  return l;
+}
+
+}  // namespace
+
+void AssignUnassignedNodes(const TransactionGraph& graph,
+                           const std::vector<NodeId>& node_order,
+                           const AllocationParams& params,
+                           Allocation* allocation, CommunityState* state) {
+  WeightToCommunity scratch(params.num_shards);
+  for (NodeId v : node_order) {
+    if (allocation->IsAssigned(v)) continue;
+    NodeProfile node{graph.SelfLoop(v), graph.Strength(v)};
+    scratch.Accumulate(graph, v, *allocation);
+
+    // Max join gain; ties break toward the smaller shard id (determinism).
+    ShardId best = kUnassignedShard;
+    double best_gain = 0.0;
+    if (!scratch.touched().empty()) {
+      for (ShardId q : scratch.touched()) {
+        const double gain =
+            JoinDelta(*state, q, node, scratch.WeightTo(q)).throughput_gain;
+        if (best == kUnassignedShard || gain > best_gain + 1e-15) {
+          best = q;
+          best_gain = gain;
+        } else if (gain >= best_gain - 1e-15 && q < best) {
+          best = q;
+        }
+      }
+    } else {
+      // C_v = ∅: force the candidate set to all k communities (Alg. 1 l.5).
+      for (ShardId q = 0; q < params.num_shards; ++q) {
+        const double gain = JoinDelta(*state, q, node, 0.0).throughput_gain;
+        if (best == kUnassignedShard || gain > best_gain + 1e-15) {
+          best = q;
+          best_gain = gain;
+        }
+      }
+    }
+    ApplyJoin(state, best, node, scratch.WeightTo(best));
+    allocation->Assign(v, best);
+    scratch.Reset();
+  }
+}
+
+int OptimizeSweeps(const TransactionGraph& graph,
+                   const std::vector<NodeId>& sweep_nodes,
+                   const AllocationParams& params,
+                   const GlobalOptions& options, Allocation* allocation,
+                   CommunityState* state) {
+  WeightToCommunity scratch(params.num_shards);
+  int sweeps = 0;
+  for (; sweeps < options.max_sweeps; ++sweeps) {
+    double sweep_gain = 0.0;
+    for (NodeId v : sweep_nodes) {
+      const ShardId p = allocation->shard_of(v);
+      if (p == kUnassignedShard) continue;  // Defensive; phase 1 assigns all.
+      NodeProfile node{graph.SelfLoop(v), graph.Strength(v)};
+      scratch.Accumulate(graph, v, *allocation);
+
+      const double w_to_p = scratch.WeightTo(p);
+      const CommunityDelta leave = LeaveDelta(*state, p, node, w_to_p);
+
+      ShardId best = p;
+      double best_gain = 0.0;
+      if (options.search_all_communities) {
+        for (ShardId q = 0; q < params.num_shards; ++q) {
+          if (q == p) continue;
+          const double gain =
+              leave.throughput_gain +
+              JoinDelta(*state, q, node, scratch.WeightTo(q)).throughput_gain;
+          if (gain > best_gain + 1e-15) {
+            best = q;
+            best_gain = gain;
+          } else if (gain >= best_gain - 1e-15 && best != p && q < best) {
+            best = q;
+          }
+        }
+      } else {
+        for (ShardId q : scratch.touched()) {
+          if (q == p) continue;
+          const double gain =
+              leave.throughput_gain +
+              JoinDelta(*state, q, node, scratch.WeightTo(q)).throughput_gain;
+          if (gain > best_gain + 1e-15) {
+            best = q;
+            best_gain = gain;
+          } else if (gain >= best_gain - 1e-15 && best != p && q < best) {
+            best = q;
+          }
+        }
+      }
+      if (best != p && best_gain > 0.0) {
+        ApplyLeave(state, p, node, w_to_p);
+        ApplyJoin(state, best, node, scratch.WeightTo(best));
+        allocation->Assign(v, best);
+        sweep_gain += best_gain;
+      }
+      scratch.Reset();
+    }
+    if (sweep_gain < params.epsilon) {
+      ++sweeps;
+      break;
+    }
+  }
+  return sweeps;
+}
+
+Result<Allocation> RunGlobalTxAllo(const TransactionGraph& graph,
+                                   const std::vector<NodeId>& node_order,
+                                   const AllocationParams& params,
+                                   const GlobalOptions& options,
+                                   GlobalRunInfo* info) {
+  TXALLO_RETURN_NOT_OK(params.Validate());
+  if (!graph.consolidated()) {
+    return Status::FailedPrecondition(
+        "transaction graph must be consolidated before allocation");
+  }
+  if (node_order.size() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "node_order must be a permutation of all graph nodes");
+  }
+
+  GlobalRunInfo local_info;
+  Stopwatch total_watch;
+  Allocation allocation(graph.num_nodes(), params.num_shards);
+
+  if (options.hash_initialization) {
+    // Ablation: seed shards by account hash instead of Louvain communities.
+    Stopwatch watch;
+    for (size_t v = 0; v < graph.num_nodes(); ++v) {
+      allocation.Assign(static_cast<NodeId>(v),
+                        static_cast<ShardId>(Sha256::Hash64(
+                                                 static_cast<uint64_t>(v)) %
+                                             params.num_shards));
+    }
+    local_info.louvain_seconds = watch.ElapsedSeconds();
+  } else {
+    Stopwatch watch;
+    local_info.louvain_communities =
+        LouvainInitialize(graph, node_order, params, options, &allocation);
+    local_info.louvain_seconds = watch.ElapsedSeconds();
+  }
+
+  CommunityState state =
+      alloc::ComputeCommunityState(graph, allocation, params);
+
+  {
+    Stopwatch watch;
+    AssignUnassignedNodes(graph, node_order, params, &allocation, &state);
+    local_info.init_seconds = watch.ElapsedSeconds();
+  }
+  local_info.initial_throughput = state.TotalThroughput();
+
+  {
+    Stopwatch watch;
+    local_info.sweeps = OptimizeSweeps(graph, node_order, params, options,
+                                       &allocation, &state);
+    local_info.optimize_seconds = watch.ElapsedSeconds();
+  }
+  local_info.final_throughput = state.TotalThroughput();
+  local_info.total_seconds = total_watch.ElapsedSeconds();
+  if (info != nullptr) *info = local_info;
+
+  TXALLO_RETURN_NOT_OK(allocation.Validate());
+  return allocation;
+}
+
+}  // namespace txallo::core

@@ -1,0 +1,49 @@
+// Ledger -> transaction-graph construction (paper Definition 2).
+//
+// A transaction touching m = |A_Tx| distinct accounts is expanded into
+// π(Tx) = C(m, 2) one-to-one edges, each carrying weight 1/π(Tx), so every
+// transaction distributes exactly one unit of weight into the graph. A
+// single-account transaction contributes one unit of self-loop weight.
+#pragma once
+
+#include <cstdint>
+
+#include "txallo/chain/ledger.h"
+#include "txallo/graph/graph.h"
+
+namespace txallo::graph {
+
+/// Incremental graph builder. One instance can absorb an initial ledger
+/// prefix (G-TxAllo input) and then successive new blocks (A-TxAllo input).
+class GraphBuilder {
+ public:
+  /// Wraps (and mutates) an externally owned graph.
+  explicit GraphBuilder(TransactionGraph* graph) : graph_(graph) {}
+
+  /// Adds one transaction's weight to the graph (buffered; callers must
+  /// Consolidate() via Finish()).
+  void AddTransaction(const chain::Transaction& tx);
+
+  /// Adds every transaction in a block.
+  void AddBlock(const chain::Block& block);
+
+  /// Adds every transaction of `ledger` whose block index lies in
+  /// [first_block_index, last_block_index).
+  void AddLedgerRange(const chain::Ledger& ledger, size_t first_block_index,
+                      size_t last_block_index);
+
+  /// Consolidates the underlying graph. Must be called before reads.
+  void Finish() { graph_->Consolidate(); }
+
+  /// Number of transactions absorbed so far.
+  uint64_t num_transactions_added() const { return num_added_; }
+
+ private:
+  TransactionGraph* graph_;
+  uint64_t num_added_ = 0;
+};
+
+/// Convenience: builds a consolidated graph from a whole ledger.
+TransactionGraph BuildTransactionGraph(const chain::Ledger& ledger);
+
+}  // namespace txallo::graph

@@ -1,0 +1,31 @@
+#include "txallo/graph/csr.h"
+
+namespace txallo::graph {
+
+CsrGraph CsrGraph::FromGraph(const TransactionGraph& graph) {
+  CsrGraph csr;
+  const size_t n = graph.num_nodes();
+  csr.offsets_.resize(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    csr.offsets_[v + 1] =
+        csr.offsets_[v] + graph.Neighbors(static_cast<NodeId>(v)).size();
+  }
+  csr.neighbors_.resize(csr.offsets_[n]);
+  csr.weights_.resize(csr.offsets_[n]);
+  csr.self_loop_.resize(n);
+  csr.strength_.resize(n);
+  for (size_t v = 0; v < n; ++v) {
+    size_t pos = csr.offsets_[v];
+    for (const Neighbor& nb : graph.Neighbors(static_cast<NodeId>(v))) {
+      csr.neighbors_[pos] = nb.node;
+      csr.weights_[pos] = nb.weight;
+      ++pos;
+    }
+    csr.self_loop_[v] = graph.SelfLoop(static_cast<NodeId>(v));
+    csr.strength_[v] = graph.Strength(static_cast<NodeId>(v));
+  }
+  csr.total_weight_ = graph.TotalWeight();
+  return csr;
+}
+
+}  // namespace txallo::graph

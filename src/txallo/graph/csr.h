@@ -1,0 +1,53 @@
+// Immutable compressed-sparse-row snapshot of a TransactionGraph. The hot
+// loops (Louvain local moving, the G-/A-TxAllo optimization sweeps) iterate
+// neighborhoods millions of times; CSR gives them contiguous memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "txallo/graph/graph.h"
+
+namespace txallo::graph {
+
+/// Read-only CSR view. Self-loops are kept out of the adjacency arrays and
+/// exposed via SelfLoop(), matching TransactionGraph.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Snapshots a consolidated TransactionGraph.
+  /// Precondition: graph.consolidated().
+  static CsrGraph FromGraph(const TransactionGraph& graph);
+
+  size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t num_edges() const { return neighbors_.size() / 2; }
+
+  std::span<const NodeId> NeighborIds(NodeId v) const {
+    return {neighbors_.data() + offsets_[v],
+            offsets_[v + 1] - offsets_[v]};
+  }
+  std::span<const double> NeighborWeights(NodeId v) const {
+    return {weights_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+  size_t Degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  double SelfLoop(NodeId v) const { return self_loop_[v]; }
+
+  /// strength(v) = Σ_{u != v} w{v,u}  (the paper's w{v, V\v}).
+  double Strength(NodeId v) const { return strength_[v]; }
+
+  /// Σ_{unordered pairs} w{u,v} + Σ_v w{v,v}.
+  double TotalWeight() const { return total_weight_; }
+
+ private:
+  std::vector<size_t> offsets_;
+  std::vector<NodeId> neighbors_;
+  std::vector<double> weights_;
+  std::vector<double> self_loop_;
+  std::vector<double> strength_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace txallo::graph

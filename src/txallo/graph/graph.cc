@@ -1,0 +1,121 @@
+#include "txallo/graph/graph.h"
+
+#include <algorithm>
+
+namespace txallo::graph {
+
+void TransactionGraph::EnsureNodeCount(size_t n) {
+  if (n <= adjacency_.size()) return;
+  adjacency_.resize(n);
+  pending_.resize(n);
+  self_loop_.resize(n, 0.0);
+  strength_.resize(n, 0.0);
+}
+
+void TransactionGraph::AddEdge(NodeId u, NodeId v, double weight) {
+  if (u == v) {
+    AddSelfLoop(u, weight);
+    return;
+  }
+  NodeId hi = std::max(u, v);
+  EnsureNodeCount(static_cast<size_t>(hi) + 1);
+  pending_[u].push_back({v, weight});
+  pending_[v].push_back({u, weight});
+  ++pending_edges_;
+}
+
+void TransactionGraph::AddSelfLoop(NodeId v, double weight) {
+  EnsureNodeCount(static_cast<size_t>(v) + 1);
+  self_loop_[v] += weight;
+}
+
+namespace {
+
+// Sorts a pending run by neighbor id and collapses duplicate neighbors.
+void SortAndDedup(std::vector<Neighbor>* pending) {
+  std::vector<Neighbor>& pend = *pending;
+  std::sort(pend.begin(), pend.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.node < b.node;
+            });
+  size_t w = 0;
+  for (size_t r = 0; r < pend.size(); ++r) {
+    if (w > 0 && pend[w - 1].node == pend[r].node) {
+      pend[w - 1].weight += pend[r].weight;
+    } else {
+      pend[w++] = pend[r];
+    }
+  }
+  pend.resize(w);
+}
+
+// Merges a sorted pending run into a sorted adjacency list.
+void MergeInto(std::vector<Neighbor>* adjacency,
+               const std::vector<Neighbor>& pend) {
+  std::vector<Neighbor>& adj = *adjacency;
+  std::vector<Neighbor> merged;
+  merged.reserve(adj.size() + pend.size());
+  size_t i = 0, j = 0;
+  while (i < adj.size() || j < pend.size()) {
+    if (j == pend.size() || (i < adj.size() && adj[i].node < pend[j].node)) {
+      merged.push_back(adj[i++]);
+    } else if (i == adj.size() || pend[j].node < adj[i].node) {
+      merged.push_back(pend[j++]);
+    } else {
+      merged.push_back({adj[i].node, adj[i].weight + pend[j].weight});
+      ++i;
+      ++j;
+    }
+  }
+  adj = std::move(merged);
+}
+
+}  // namespace
+
+void TransactionGraph::Consolidate() {
+  if (pending_edges_ != 0) {
+    for (size_t v = 0; v < pending_.size(); ++v) {
+      if (pending_[v].empty()) continue;
+      SortAndDedup(&pending_[v]);
+      MergeInto(&adjacency_[v], pending_[v]);
+      pending_[v].clear();
+      pending_[v].shrink_to_fit();
+    }
+    pending_edges_ = 0;
+  }
+  // Refresh the derived caches (strength, edge count, total weight).
+  num_edges_ = 0;
+  total_weight_ = 0.0;
+  for (size_t v = 0; v < adjacency_.size(); ++v) {
+    double s = 0.0;
+    for (const Neighbor& nb : adjacency_[v]) s += nb.weight;
+    strength_[v] = s;
+    num_edges_ += adjacency_[v].size();
+    total_weight_ += s;
+    total_weight_ += 2.0 * self_loop_[v];
+  }
+  num_edges_ /= 2;       // Each edge appears in two adjacency lists.
+  total_weight_ /= 2.0;  // Edge weights counted twice, self-loops once.
+}
+
+void TransactionGraph::ScaleWeights(double factor) {
+  for (size_t v = 0; v < adjacency_.size(); ++v) {
+    for (Neighbor& nb : adjacency_[v]) nb.weight *= factor;
+    self_loop_[v] *= factor;
+    strength_[v] *= factor;
+  }
+  total_weight_ *= factor;
+}
+
+double TransactionGraph::EdgeWeight(NodeId u, NodeId v) const {
+  if (u == v) return self_loop_[u];
+  const std::vector<Neighbor>& adj = adjacency_[u];
+  auto it = std::lower_bound(adj.begin(), adj.end(), v,
+                             [](const Neighbor& nb, NodeId target) {
+                               return nb.node < target;
+                             });
+  if (it == adj.end() || it->node != v) return 0.0;
+  return it->weight;
+}
+
+}  // namespace txallo::graph

@@ -1,0 +1,104 @@
+// The transaction graph (paper Definition 2): an undirected weighted graph
+// whose nodes are accounts and whose edge weights accumulate the 1/π(Tx)
+// shares of every historical transaction connecting the two endpoints.
+// Self-loop weight (single-account transactions) is tracked per node.
+//
+// The structure supports the two access patterns the paper needs:
+//  * bulk construction from a ledger (G-TxAllo input), and
+//  * incremental edge accumulation from newly committed blocks (A-TxAllo
+//    input), via buffered inserts + lazy consolidation so hub accounts with
+//    millions of neighbors do not pay O(degree) per inserted edge.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "txallo/chain/account.h"
+
+namespace txallo::graph {
+
+using NodeId = chain::AccountId;
+
+/// One adjacency entry: neighbor and accumulated weight.
+struct Neighbor {
+  NodeId node;
+  double weight;
+};
+
+/// Mutable transaction graph with buffered edge accumulation.
+///
+/// Writers call AddEdge()/AddSelfLoop() any number of times, then
+/// Consolidate() once; readers (Neighbors(), EdgeWeight()) require a
+/// consolidated graph.
+class TransactionGraph {
+ public:
+  TransactionGraph() = default;
+
+  /// Grows the node set so that ids [0, n) are valid.
+  void EnsureNodeCount(size_t n);
+
+  /// Accumulates weight on the undirected edge {u, v}. u == v is routed to
+  /// AddSelfLoop. Node ids are grown on demand.
+  void AddEdge(NodeId u, NodeId v, double weight);
+
+  /// Accumulates self-loop weight w{v,v}.
+  void AddSelfLoop(NodeId v, double weight);
+
+  /// Merges all buffered edges into the sorted adjacency arrays and refreshes
+  /// the per-node strength cache. Idempotent.
+  void Consolidate();
+
+  /// True when there are no pending buffered edges.
+  bool consolidated() const { return pending_edges_ == 0; }
+
+  size_t num_nodes() const { return adjacency_.size(); }
+
+  /// Number of distinct undirected edges (excluding self-loops).
+  /// Precondition: consolidated().
+  size_t num_edges() const { return num_edges_; }
+
+  /// Sorted adjacency of v (no self-loop entry). Precondition: consolidated().
+  std::span<const Neighbor> Neighbors(NodeId v) const {
+    return {adjacency_[v].data(), adjacency_[v].size()};
+  }
+
+  /// w{u,v} for u != v (0 when absent); w{v,v} when u == v.
+  /// Precondition: consolidated().
+  double EdgeWeight(NodeId u, NodeId v) const;
+
+  /// Self-loop weight w{v,v}.
+  double SelfLoop(NodeId v) const { return self_loop_[v]; }
+
+  /// strength(v) = Σ_{u != v} w{v,u}  (paper's w{v, V\v}).
+  /// Precondition: consolidated().
+  double Strength(NodeId v) const { return strength_[v]; }
+
+  /// Multiplies every edge and self-loop weight by `factor` (> 0).
+  /// This implements exponential history decay: calling
+  /// ScaleWeights(decay) once per window makes a transaction from w
+  /// windows ago weigh decay^w — recency weighting for the "predict future
+  /// transactions" extension the paper leaves as future work (§VIII), and
+  /// the "recent history only" practice it borrows from Shard Scheduler
+  /// (§VI-A). Precondition: consolidated().
+  void ScaleWeights(double factor);
+
+  /// Total graph weight: Σ_{unordered pairs} w{u,v} + Σ_v w{v,v}.
+  /// Equals |T| when every transaction distributed its unit weight here.
+  /// Precondition: consolidated().
+  double TotalWeight() const { return total_weight_; }
+
+ private:
+  // Sorted, merged adjacency per node.
+  std::vector<std::vector<Neighbor>> adjacency_;
+  // Unsorted per-node insert buffers, merged by Consolidate().
+  std::vector<std::vector<Neighbor>> pending_;
+  std::vector<double> self_loop_;
+  std::vector<double> strength_;
+  size_t pending_edges_ = 0;
+  size_t num_edges_ = 0;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace txallo::graph

@@ -1,0 +1,261 @@
+#include "txallo/graph/louvain.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace txallo::graph {
+
+namespace {
+
+// Working representation of one aggregation level: CSR adjacency (no
+// self-loop entries) plus per-node self-loop weight. The adjacency matrix
+// convention is A_vv = 2 * self_loop[v], so k_v = strength_v + 2*self_v and
+// 2m = sum_v k_v.
+struct LevelGraph {
+  std::vector<size_t> offsets;
+  std::vector<uint32_t> neighbors;
+  std::vector<double> weights;
+  std::vector<double> self_loop;
+  std::vector<double> degree;  // k_v
+  double m2 = 0.0;             // 2m
+
+  size_t num_nodes() const { return self_loop.size(); }
+};
+
+LevelGraph FromCsr(const CsrGraph& graph) {
+  LevelGraph lg;
+  const size_t n = graph.num_nodes();
+  lg.offsets.resize(n + 1, 0);
+  lg.self_loop.resize(n);
+  lg.degree.resize(n);
+  size_t total = 0;
+  for (size_t v = 0; v < n; ++v) {
+    total += graph.Degree(static_cast<NodeId>(v));
+    lg.offsets[v + 1] = total;
+  }
+  lg.neighbors.resize(total);
+  lg.weights.resize(total);
+  for (size_t v = 0; v < n; ++v) {
+    auto ids = graph.NeighborIds(static_cast<NodeId>(v));
+    auto ws = graph.NeighborWeights(static_cast<NodeId>(v));
+    size_t pos = lg.offsets[v];
+    for (size_t i = 0; i < ids.size(); ++i) {
+      lg.neighbors[pos + i] = ids[i];
+      lg.weights[pos + i] = ws[i];
+    }
+    lg.self_loop[v] = graph.SelfLoop(static_cast<NodeId>(v));
+    lg.degree[v] =
+        graph.Strength(static_cast<NodeId>(v)) + 2.0 * lg.self_loop[v];
+    lg.m2 += lg.degree[v];
+  }
+  return lg;
+}
+
+// One complete local-moving phase. Returns the total (scaled) modularity
+// gain accumulated over all sweeps. `community` is updated in place.
+double LocalMoving(const LevelGraph& g, const std::vector<uint32_t>& order,
+                   const LouvainOptions& options,
+                   std::vector<uint32_t>* community) {
+  const size_t n = g.num_nodes();
+  std::vector<double> comm_total(n, 0.0);  // Σ_tot per community.
+  for (size_t v = 0; v < n; ++v) comm_total[(*community)[v]] += g.degree[v];
+
+  // Scratch accumulation of w(v -> community), reset via touched list.
+  std::vector<double> weight_to(n, 0.0);
+  std::vector<uint32_t> touched;
+  touched.reserve(256);
+
+  const double inv_m2 = g.m2 > 0.0 ? 1.0 / g.m2 : 0.0;
+  double total_gain = 0.0;
+  for (int sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+    double sweep_gain = 0.0;
+    for (uint32_t v : order) {
+      const uint32_t from = (*community)[v];
+      // Accumulate edge weight from v to each adjacent community.
+      touched.clear();
+      for (size_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+        uint32_t c = (*community)[g.neighbors[e]];
+        if (weight_to[c] == 0.0) touched.push_back(c);
+        weight_to[c] += g.weights[e];
+      }
+      // Detach v from its community for the comparison.
+      comm_total[from] -= g.degree[v];
+      // Score of staying put; ties break toward the smaller community id so
+      // the outcome is independent of the touched-list order.
+      uint32_t best = from;
+      double best_score =
+          weight_to[from] -
+          options.resolution * g.degree[v] * comm_total[from] * inv_m2;
+      for (uint32_t c : touched) {
+        if (c == from) continue;
+        double score = weight_to[c] - options.resolution * g.degree[v] *
+                                          comm_total[c] * inv_m2;
+        if (score > best_score + 1e-15) {
+          best_score = score;
+          best = c;
+        } else if (score >= best_score - 1e-15 && c < best) {
+          best = c;
+        }
+      }
+      if (best != from) {
+        double gain =
+            (best_score - (weight_to[from] -
+                           options.resolution * g.degree[v] *
+                               comm_total[from] * inv_m2)) *
+            2.0 * inv_m2;
+        if (gain > 0.0) sweep_gain += gain;
+        (*community)[v] = best;
+      }
+      comm_total[(*community)[v]] += g.degree[v];
+      for (uint32_t c : touched) weight_to[c] = 0.0;
+    }
+    total_gain += sweep_gain;
+    if (sweep_gain < options.min_modularity_gain) break;
+  }
+  return total_gain;
+}
+
+// Renumbers communities to a dense range [0, count) by first appearance in
+// node-id order; returns the count.
+uint32_t CompactCommunities(std::vector<uint32_t>* community) {
+  std::vector<uint32_t> remap(community->size(), UINT32_MAX);
+  uint32_t next = 0;
+  for (uint32_t& c : *community) {
+    if (remap[c] == UINT32_MAX) remap[c] = next++;
+    c = remap[c];
+  }
+  return next;
+}
+
+// Builds the aggregated graph whose nodes are the (compacted) communities.
+LevelGraph Aggregate(const LevelGraph& g,
+                     const std::vector<uint32_t>& community,
+                     uint32_t num_communities) {
+  LevelGraph out;
+  const size_t nc = num_communities;
+  out.self_loop.assign(nc, 0.0);
+  out.degree.assign(nc, 0.0);
+
+  // Accumulate inter-community weights with a scratch row per community.
+  std::vector<std::vector<Neighbor>> rows(nc);
+  for (uint32_t c = 0; c < nc; ++c) rows[c].reserve(4);
+
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    const uint32_t cv = community[v];
+    out.self_loop[cv] += g.self_loop[v];
+    for (size_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+      const uint32_t cu = community[g.neighbors[e]];
+      if (cu == cv) {
+        // Each intra-community pair is visited from both endpoints; halve.
+        out.self_loop[cv] += 0.5 * g.weights[e];
+      } else {
+        rows[cv].push_back({cu, g.weights[e]});
+      }
+    }
+  }
+
+  out.offsets.resize(nc + 1, 0);
+  // Consolidate each row (sort by neighbor, merge duplicates).
+  for (uint32_t c = 0; c < nc; ++c) {
+    std::vector<Neighbor>& row = rows[c];
+    std::sort(row.begin(), row.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.node < b.node;
+              });
+    size_t w = 0;
+    for (size_t r = 0; r < row.size(); ++r) {
+      if (w > 0 && row[w - 1].node == row[r].node) {
+        row[w - 1].weight += row[r].weight;
+      } else {
+        row[w++] = row[r];
+      }
+    }
+    row.resize(w);
+    out.offsets[c + 1] = out.offsets[c] + w;
+  }
+  out.neighbors.resize(out.offsets[nc]);
+  out.weights.resize(out.offsets[nc]);
+  for (uint32_t c = 0; c < nc; ++c) {
+    size_t pos = out.offsets[c];
+    double strength = 0.0;
+    for (const Neighbor& nb : rows[c]) {
+      out.neighbors[pos] = nb.node;
+      out.weights[pos] = nb.weight;
+      strength += nb.weight;
+      ++pos;
+    }
+    out.degree[c] = strength + 2.0 * out.self_loop[c];
+    out.m2 += out.degree[c];
+  }
+  return out;
+}
+
+}  // namespace
+
+LouvainResult RunLouvain(const CsrGraph& graph,
+                         const std::vector<NodeId>& node_order,
+                         const LouvainOptions& options) {
+  LouvainResult result;
+  const size_t n = graph.num_nodes();
+  result.community.resize(n);
+  for (size_t v = 0; v < n; ++v) result.community[v] = static_cast<uint32_t>(v);
+  if (n == 0) return result;
+
+  LevelGraph level = FromCsr(graph);
+  std::vector<uint32_t> level_comm(n);
+  for (size_t v = 0; v < n; ++v) level_comm[v] = static_cast<uint32_t>(v);
+
+  std::vector<uint32_t> order(node_order.begin(), node_order.end());
+
+  for (int lvl = 0; lvl < options.max_levels; ++lvl) {
+    double gain = LocalMoving(level, order, options, &level_comm);
+    uint32_t nc = CompactCommunities(&level_comm);
+    // Fold this level's assignment into the global one.
+    for (size_t v = 0; v < n; ++v) {
+      result.community[v] = level_comm[result.community[v]];
+    }
+    ++result.levels;
+    if (nc == level.num_nodes() || gain < options.min_modularity_gain) break;
+    level = Aggregate(level, level_comm, nc);
+    level_comm.resize(nc);
+    for (uint32_t c = 0; c < nc; ++c) level_comm[c] = c;
+    order.resize(nc);
+    for (uint32_t c = 0; c < nc; ++c) order[c] = c;
+  }
+
+  result.num_communities = CompactCommunities(&result.community);
+  result.modularity = Modularity(graph, result.community, options.resolution);
+  return result;
+}
+
+double Modularity(const CsrGraph& graph,
+                  const std::vector<uint32_t>& community, double resolution) {
+  const size_t n = graph.num_nodes();
+  if (n == 0) return 0.0;
+  uint32_t nc = 0;
+  for (uint32_t c : community) nc = std::max(nc, c + 1);
+  std::vector<double> internal(nc, 0.0);  // Σ_{u,v in c} A_uv (ordered pairs).
+  std::vector<double> total(nc, 0.0);     // Σ_{v in c} k_v.
+  double m2 = 0.0;
+  for (size_t v = 0; v < n; ++v) {
+    const uint32_t cv = community[v];
+    const double k =
+        graph.Strength(static_cast<NodeId>(v)) + 2.0 * graph.SelfLoop(v);
+    total[cv] += k;
+    m2 += k;
+    internal[cv] += 2.0 * graph.SelfLoop(v);
+    auto ids = graph.NeighborIds(static_cast<NodeId>(v));
+    auto ws = graph.NeighborWeights(static_cast<NodeId>(v));
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (community[ids[i]] == cv) internal[cv] += ws[i];
+    }
+  }
+  if (m2 <= 0.0) return 0.0;
+  double q = 0.0;
+  for (uint32_t c = 0; c < nc; ++c) {
+    q += internal[c] / m2 - resolution * (total[c] / m2) * (total[c] / m2);
+  }
+  return q;
+}
+
+}  // namespace txallo::graph

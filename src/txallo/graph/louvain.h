@@ -1,0 +1,51 @@
+// Deterministic Louvain community detection (Blondel et al. 2008), used as
+// the initialization phase of G-TxAllo (Algorithm 1, line 1).
+//
+// Determinism requirements (paper §IV-A / §V-B): all miners must compute an
+// identical allocation without a consensus round, so the node visiting order
+// is an explicit input and every tie breaks toward the smaller community id.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "txallo/graph/csr.h"
+
+namespace txallo::graph {
+
+/// Options for the Louvain pass.
+struct LouvainOptions {
+  /// Modularity resolution (1.0 = classic modularity).
+  double resolution = 1.0;
+  /// Stop a local-moving sweep when total modularity gain falls below this.
+  double min_modularity_gain = 1e-7;
+  /// Safety valve on local-moving sweeps per level.
+  int max_sweeps_per_level = 32;
+  /// Safety valve on aggregation levels.
+  int max_levels = 32;
+};
+
+/// Result of the Louvain pass.
+struct LouvainResult {
+  /// community[v] in [0, num_communities) for every node v. Community ids
+  /// are compacted and ordered by first appearance in node-id order.
+  std::vector<uint32_t> community;
+  uint32_t num_communities = 0;
+  /// Final modularity Q of the returned partition.
+  double modularity = 0.0;
+  int levels = 0;
+};
+
+/// Runs Louvain on `graph`, visiting nodes in `node_order` (a permutation of
+/// [0, num_nodes)). The same graph and order always yield the same result.
+LouvainResult RunLouvain(const CsrGraph& graph,
+                         const std::vector<NodeId>& node_order,
+                         const LouvainOptions& options = {});
+
+/// Modularity of an arbitrary partition of `graph` (for tests/diagnostics).
+/// Self-loops count once in community-internal weight and twice in degree,
+/// following the standard convention.
+double Modularity(const CsrGraph& graph, const std::vector<uint32_t>& community,
+                  double resolution = 1.0);
+
+}  // namespace txallo::graph

@@ -1,0 +1,24 @@
+#include "txallo/sim/reconfig.h"
+
+#include <algorithm>
+
+namespace txallo::sim {
+
+ReconfigStats CompareAllocations(const alloc::Allocation& before,
+                                 const alloc::Allocation& after) {
+  ReconfigStats stats;
+  const size_t n = std::min(before.num_accounts(), after.num_accounts());
+  for (size_t a = 0; a < n; ++a) {
+    const auto id = static_cast<chain::AccountId>(a);
+    if (!before.IsAssigned(id) || !after.IsAssigned(id)) continue;
+    ++stats.accounts_compared;
+    if (before.shard_of(id) != after.shard_of(id)) ++stats.accounts_moved;
+  }
+  if (stats.accounts_compared > 0) {
+    stats.moved_fraction = static_cast<double>(stats.accounts_moved) /
+                           static_cast<double>(stats.accounts_compared);
+  }
+  return stats;
+}
+
+}  // namespace txallo::sim

@@ -1,0 +1,28 @@
+// Reallocation bookkeeping for a live sharded chain: when a new account-
+// shard mapping is adopted, accounts whose shard changed must have their
+// state available at the new shard. Per the paper's integration argument
+// (§VII) this costs storage, not extra network rounds — miners already
+// receive all shards' state through re-shuffling — but the *amount* of
+// churn is still the practical adoption metric, so we track it.
+#pragma once
+
+#include <cstdint>
+
+#include "txallo/alloc/allocation.h"
+
+namespace txallo::sim {
+
+/// Difference between two mappings over the common account prefix.
+struct ReconfigStats {
+  uint64_t accounts_compared = 0;
+  /// Accounts whose shard changed (state that must be live elsewhere).
+  uint64_t accounts_moved = 0;
+  double moved_fraction = 0.0;
+};
+
+/// Compares `before` -> `after` (accounts beyond `before`'s domain are new
+/// placements, not moves).
+ReconfigStats CompareAllocations(const alloc::Allocation& before,
+                                 const alloc::Allocation& after);
+
+}  // namespace txallo::sim

@@ -1,0 +1,148 @@
+#include "txallo/sim/shard_sim.h"
+
+#include <algorithm>
+
+#include "txallo/alloc/metrics.h"
+
+namespace txallo::sim {
+
+ShardSimulator::ShardSimulator(SimConfig config)
+    : config_(config),
+      queues_(config.num_shards),
+      processed_work_(config.num_shards, 0.0) {}
+
+Status ShardSimulator::SubmitBlock(
+    const std::vector<chain::Transaction>& transactions,
+    const alloc::Allocation& allocation) {
+  for (const chain::Transaction& tx : transactions) {
+    // Distinct shards this transaction touches.
+    std::vector<alloc::ShardId> shards;
+    for (chain::AccountId a : tx.accounts()) {
+      if (a >= allocation.num_accounts() || !allocation.IsAssigned(a)) {
+        return Status::FailedPrecondition(
+            "unassigned account " + std::to_string(a) +
+            " submitted to simulator");
+      }
+      const alloc::ShardId s = allocation.shard_of(a);
+      if (std::find(shards.begin(), shards.end(), s) == shards.end()) {
+        shards.push_back(s);
+      }
+    }
+    if (shards.empty()) continue;
+    const bool cross = shards.size() > 1;
+    const uint64_t tx_index = txs_.size();
+    txs_.push_back(PendingTx{now_, static_cast<uint32_t>(shards.size()),
+                             cross, 0});
+    ++submitted_;
+    if (cross) ++cross_submitted_;
+    const double work = cross ? config_.eta : 1.0;
+    for (alloc::ShardId s : shards) {
+      queues_[s].push_back(WorkItem{tx_index, work});
+    }
+  }
+  return Status::OK();
+}
+
+void ShardSimulator::CommitFinishedParts(uint64_t tx_index) {
+  PendingTx& tx = txs_[tx_index];
+  tx.last_part_block = now_;
+  if (--tx.parts_remaining > 0) return;
+  if (tx.cross_shard && config_.cross_shard_commit_rounds > 0) {
+    // Atomic commit needs the extra cross-shard round(s).
+    delayed_commits_.emplace_back(now_ + config_.cross_shard_commit_rounds,
+                                  tx_index);
+    return;
+  }
+  ++committed_;
+  // Submission happens at time arrival_block, before the next block is
+  // mined; a transaction processed during the very next Tick() has latency
+  // exactly one block.
+  const double latency = static_cast<double>(now_ - tx.arrival_block);
+  latency_sum_ += latency;
+  latency_max_ = std::max(latency_max_, latency);
+}
+
+void ShardSimulator::Tick() {
+  ++now_;
+  for (uint32_t s = 0; s < config_.num_shards; ++s) {
+    double budget = config_.capacity_per_block;
+    std::deque<WorkItem>& queue = queues_[s];
+    while (budget > 0.0 && !queue.empty()) {
+      WorkItem& item = queue.front();
+      const double consumed = std::min(budget, item.work_remaining);
+      item.work_remaining -= consumed;
+      budget -= consumed;
+      processed_work_[s] += consumed;
+      if (item.work_remaining <= 1e-12) {
+        const uint64_t tx_index = item.tx_index;
+        queue.pop_front();
+        CommitFinishedParts(tx_index);
+      }
+    }
+  }
+  // Flush cross-shard commits whose extra round has elapsed.
+  while (!delayed_commits_.empty() && delayed_commits_.front().first <= now_) {
+    const uint64_t tx_index = delayed_commits_.front().second;
+    delayed_commits_.pop_front();
+    const PendingTx& tx = txs_[tx_index];
+    ++committed_;
+    const double latency = static_cast<double>(now_ - tx.arrival_block);
+    latency_sum_ += latency;
+    latency_max_ = std::max(latency_max_, latency);
+  }
+}
+
+double ShardSimulator::QueuedWork(uint32_t shard) const {
+  double total = 0.0;
+  for (const WorkItem& item : queues_[shard]) total += item.work_remaining;
+  return total;
+}
+
+SimReport ShardSimulator::Snapshot() const {
+  SimReport report;
+  report.submitted = submitted_;
+  report.committed = committed_;
+  report.cross_shard_submitted = cross_submitted_;
+  report.blocks_elapsed = now_;
+  if (now_ > 0) {
+    report.throughput_per_block =
+        static_cast<double>(committed_) / static_cast<double>(now_);
+  }
+  if (committed_ > 0) {
+    report.avg_latency_blocks =
+        latency_sum_ / static_cast<double>(committed_);
+  }
+  report.max_latency_blocks = latency_max_;
+  double utilization = 0.0;
+  double residual = 0.0;
+  for (uint32_t s = 0; s < config_.num_shards; ++s) {
+    if (now_ > 0) {
+      utilization += processed_work_[s] /
+                     (config_.capacity_per_block * static_cast<double>(now_));
+    }
+    residual += QueuedWork(s);
+  }
+  report.mean_utilization =
+      utilization / static_cast<double>(config_.num_shards);
+  report.residual_work = residual;
+  return report;
+}
+
+SimReport ShardSimulator::DrainAndReport(uint64_t max_extra_blocks) {
+  for (uint64_t i = 0; i < max_extra_blocks; ++i) {
+    bool empty = delayed_commits_.empty();
+    if (empty) {
+      for (const auto& q : queues_) {
+        if (!q.empty()) {
+          empty = false;
+          break;
+        }
+      }
+    }
+    if (empty) break;
+    Tick();
+  }
+  return Snapshot();
+}
+
+}  // namespace txallo::sim

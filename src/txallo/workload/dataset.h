@@ -1,0 +1,41 @@
+// Dataset container: an account registry plus a ledger, with CSV
+// import/export (Ethereum-ETL style extracts) and the 9:1 prefix/suffix
+// split the paper uses for the A-TxAllo evaluation (§VI-C).
+//
+// CSV format (one row per transaction, header optional):
+//   block_number,inputs,outputs
+// where inputs/outputs are ';'-separated account addresses, e.g.
+//   12345,0xabc,0xdef;0x123
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "txallo/chain/account.h"
+#include "txallo/chain/ledger.h"
+#include "txallo/common/status.h"
+
+namespace txallo::workload {
+
+/// Owns the accounts and blocks of one experiment.
+struct Dataset {
+  chain::AccountRegistry registry;
+  chain::Ledger ledger;
+
+  uint64_t num_transactions() const { return ledger.num_transactions(); }
+  size_t num_accounts() const { return registry.size(); }
+};
+
+/// Loads a CSV transaction dump, interning addresses in row order.
+Result<Dataset> LoadDatasetCsv(const std::string& path);
+
+/// Writes `dataset` in the same CSV format (with header).
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Splits a ledger at `prefix_fraction` of its blocks (e.g. 0.9 for the
+/// paper's 9:1 split). Returns {prefix, suffix}; blocks are copied.
+std::pair<chain::Ledger, chain::Ledger> SplitLedger(
+    const chain::Ledger& ledger, double prefix_fraction);
+
+}  // namespace txallo::workload

@@ -1,0 +1,210 @@
+#include "txallo/workload/ethereum_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace txallo::workload {
+
+using chain::AccountId;
+
+EthereumLikeGenerator::EthereumLikeGenerator(EthereumLikeConfig config)
+    : config_(config), rng_(config.seed) {
+  // --- Community sizes: Zipf over community rank, padded/trimmed on the
+  // largest community so the total is exactly num_accounts. ---
+  const uint32_t nc = std::max<uint32_t>(1, config_.num_communities);
+  std::vector<double> raw(nc);
+  double raw_total = 0.0;
+  for (uint32_t c = 0; c < nc; ++c) {
+    raw[c] = 1.0 / std::pow(static_cast<double>(c + 1),
+                            config_.community_size_skew);
+    raw_total += raw[c];
+  }
+  sizes_.resize(nc);
+  uint64_t assigned = 0;
+  for (uint32_t c = 0; c < nc; ++c) {
+    uint64_t size = static_cast<uint64_t>(
+        std::llround(raw[c] / raw_total *
+                     static_cast<double>(config_.num_accounts)));
+    if (size == 0) size = 1;
+    sizes_[c] = size;
+    assigned += size;
+  }
+  // Rebalance community 0 to hit the exact account budget.
+  if (assigned > config_.num_accounts) {
+    const uint64_t excess = assigned - config_.num_accounts;
+    sizes_[0] = sizes_[0] > excess ? sizes_[0] - excess : 1;
+  } else {
+    sizes_[0] += config_.num_accounts - assigned;
+  }
+
+  starts_.resize(nc);
+  uint64_t cursor = 0;
+  for (uint32_t c = 0; c < nc; ++c) {
+    starts_[c] = cursor;
+    cursor += sizes_[c];
+  }
+  const uint64_t total_accounts = cursor;
+
+  // --- Register all accounts (ids dense, birth handled at sampling time).
+  // The first two members of every community are contract accounts: the
+  // hot smart contracts the community clusters around. ---
+  for (uint64_t id = 0; id < total_accounts; ++id) {
+    const uint32_t c = CommunityOf(static_cast<AccountId>(id));
+    const bool is_contract = id - starts_[c] < 2;
+    registry_.CreateSynthetic(is_contract ? chain::AccountType::kContract
+                                          : chain::AccountType::kExternallyOwned);
+  }
+  hub_ = static_cast<AccountId>(starts_[0]);
+
+  // --- Community selection CDF: P(c) ∝ size_c. ---
+  community_cdf_.resize(nc);
+  double acc = 0.0;
+  for (uint32_t c = 0; c < nc; ++c) {
+    acc += static_cast<double>(sizes_[c]);
+    community_cdf_[c] = acc;
+  }
+  for (uint32_t c = 0; c < nc; ++c) {
+    community_cdf_[c] /= acc;
+  }
+  community_cdf_[nc - 1] = 1.0;
+
+  hub_sender_communities_ =
+      std::make_unique<ZipfSampler>(nc, config_.hub_sender_skew);
+
+  // --- Per-community member activity samplers. ---
+  member_samplers_.resize(nc);
+  for (uint32_t c = 0; c < nc; ++c) {
+    member_samplers_[c] = std::make_unique<ZipfSampler>(
+        sizes_[c], config_.member_activity_skew);
+  }
+
+  partner_.resize(nc);
+  for (uint32_t c = 0; c < nc; ++c) partner_[c] = c;
+}
+
+void EthereumLikeGenerator::MaybeApplyDrift() {
+  if (config_.drift_interval_blocks == 0 || next_block_ == 0 ||
+      next_block_ % config_.drift_interval_blocks != 0) {
+    return;
+  }
+  const uint32_t nc = static_cast<uint32_t>(partner_.size());
+  const uint64_t rewires = std::max<uint64_t>(
+      1, static_cast<uint64_t>(config_.drift_fraction * nc));
+  for (uint64_t i = 0; i < rewires; ++i) {
+    const uint32_t c = static_cast<uint32_t>(rng_.NextBounded(nc));
+    partner_[c] = static_cast<uint32_t>(rng_.NextBounded(nc));
+  }
+}
+
+uint32_t EthereumLikeGenerator::CommunityOf(AccountId account) const {
+  // Largest start <= account.
+  auto it = std::upper_bound(starts_.begin(), starts_.end(),
+                             static_cast<uint64_t>(account));
+  return static_cast<uint32_t>(it - starts_.begin()) - 1;
+}
+
+chain::AccountId EthereumLikeGenerator::SampleFromCommunity(
+    uint32_t community) {
+  uint64_t rank = member_samplers_[community]->Sample(&rng_);
+  // Birth gating: the late-born tail of each community only becomes
+  // sampleable as the ledger progresses (fully born at 90% of num_blocks).
+  const double progress =
+      config_.num_blocks > 0
+          ? std::min(1.0, static_cast<double>(next_block_) /
+                              (0.9 * static_cast<double>(config_.num_blocks)))
+          : 1.0;
+  const double born_fraction =
+      1.0 - config_.late_born_fraction * (1.0 - progress);
+  uint64_t born = static_cast<uint64_t>(
+      std::ceil(born_fraction * static_cast<double>(sizes_[community])));
+  if (born == 0) born = 1;
+  if (rank >= born) rank %= born;
+  return static_cast<AccountId>(starts_[community] + rank);
+}
+
+chain::AccountId EthereumLikeGenerator::SampleAccount() {
+  const double u = rng_.NextDouble();
+  auto it = std::lower_bound(community_cdf_.begin(), community_cdf_.end(), u);
+  uint32_t c = it == community_cdf_.end()
+                   ? static_cast<uint32_t>(community_cdf_.size() - 1)
+                   : static_cast<uint32_t>(it - community_cdf_.begin());
+  return SampleFromCommunity(c);
+}
+
+chain::Transaction EthereumLikeGenerator::MakeTransaction() {
+  if (rng_.NextBernoulli(config_.self_loop_rate)) {
+    const AccountId a = SampleAccount();
+    return chain::Transaction({a}, {a});
+  }
+  AccountId sender;
+  AccountId receiver;
+  if (rng_.NextBernoulli(config_.hub_share)) {
+    receiver = hub_;
+    if (rng_.NextBernoulli(config_.hub_sender_local_bias)) {
+      sender = SampleFromCommunity(CommunityOf(hub_));
+    } else {
+      const uint32_t c = static_cast<uint32_t>(
+          hub_sender_communities_->Sample(&rng_));
+      sender = SampleFromCommunity(c);
+    }
+  } else {
+    sender = SampleAccount();
+    if (rng_.NextBernoulli(config_.p_intra_community)) {
+      // Under drift, part of the community's traffic follows its partner.
+      uint32_t c = CommunityOf(sender);
+      if (partner_[c] != c &&
+          rng_.NextBernoulli(config_.drift_partner_share)) {
+        c = partner_[c];
+      }
+      receiver = SampleFromCommunity(c);
+    } else {
+      receiver = SampleAccount();
+    }
+  }
+  if (receiver == sender) {
+    receiver = SampleFromCommunity(CommunityOf(sender));
+    if (receiver == sender) {
+      // Still colliding (tiny/Zipf-heavy community): take the sender's
+      // neighbor account so self-transfers stay at self_loop_rate.
+      const uint32_t c = CommunityOf(sender);
+      const uint64_t offset =
+          (static_cast<uint64_t>(sender) - starts_[c] + 1) % sizes_[c];
+      receiver = static_cast<AccountId>(starts_[c] + offset);
+    }
+  }
+
+  std::vector<AccountId> outputs{receiver};
+  if (config_.max_parties > 2 &&
+      rng_.NextBernoulli(config_.multi_party_rate)) {
+    const uint64_t extras = 1 + rng_.NextBounded(config_.max_parties - 2);
+    for (uint64_t i = 0; i < extras; ++i) {
+      if (rng_.NextBernoulli(config_.p_intra_community)) {
+        outputs.push_back(SampleFromCommunity(CommunityOf(sender)));
+      } else {
+        outputs.push_back(SampleAccount());
+      }
+    }
+  }
+  return chain::Transaction({sender}, std::move(outputs));
+}
+
+chain::Block EthereumLikeGenerator::NextBlock() {
+  MaybeApplyDrift();
+  std::vector<chain::Transaction> txs;
+  txs.reserve(config_.txs_per_block);
+  for (uint64_t i = 0; i < config_.txs_per_block; ++i) {
+    txs.push_back(MakeTransaction());
+  }
+  return chain::Block(next_block_++, std::move(txs));
+}
+
+chain::Ledger EthereumLikeGenerator::GenerateLedger(uint64_t n) {
+  chain::Ledger ledger;
+  for (uint64_t b = 0; b < n; ++b) {
+    Status st = ledger.Append(NextBlock());
+    (void)st;  // Strictly increasing by construction.
+  }
+  return ledger;
+}
+
+}  // namespace txallo::workload

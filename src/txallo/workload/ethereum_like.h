@@ -1,0 +1,119 @@
+// Synthetic Ethereum-like transaction workload.
+//
+// Substitute for the paper's dataset (Ethereum blocks 10,000,000-10,600,000;
+// 91.8M transactions, 12.6M accounts), reproducing the statistics the paper
+// documents and that drive every evaluated behaviour (§VI-A, Fig. 1):
+//   * long-tail account activity (Zipf within and across latent
+//     communities) — "most accounts ... only have very few records";
+//   * one hub account involved in ~11% of all transactions — "about 11%
+//     transactions are associated with the most active account";
+//   * community structure (transactions prefer counterparties inside the
+//     sender's latent community) — what graph-based allocation exploits;
+//   * multi-input/multi-output transactions and self-loop transactions
+//     (§V-B's pending-withdrawal example);
+//   * account churn: a configurable fraction of each community is
+//     "late-born" and first transacts partway through the ledger, feeding
+//     A-TxAllo's new-node path.
+// Deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "txallo/chain/account.h"
+#include "txallo/chain/ledger.h"
+#include "txallo/common/rng.h"
+#include "txallo/common/zipf.h"
+
+namespace txallo::workload {
+
+struct EthereumLikeConfig {
+  uint64_t num_blocks = 2'000;
+  uint64_t txs_per_block = 200;
+  /// Total accounts created (some may never transact).
+  uint64_t num_accounts = 64'000;
+  /// Latent communities; sizes follow Zipf(community_size_skew).
+  uint32_t num_communities = 400;
+  double community_size_skew = 0.6;
+  /// Within-community activity skew.
+  double member_activity_skew = 1.1;
+  /// Probability that a transaction's counterparty is drawn from the
+  /// sender's own community (the community structure strength).
+  double p_intra_community = 0.92;
+  /// Probability a transaction involves the global hub account (the
+  /// paper's most-active account, ~11%).
+  double hub_share = 0.11;
+  /// Fraction of hub transactions whose sender comes from the hub's own
+  /// community (exchange/contract users cluster around it); the rest come
+  /// from anywhere and are irreducibly cross-shard.
+  double hub_sender_local_bias = 0.5;
+  /// Community skew of the remaining hub senders: they are drawn from
+  /// communities by Zipf(rank, hub_sender_skew) rather than uniformly by
+  /// size. Real hub counterparties are the chain's active head — without
+  /// this, every tail community acquires hub edges and the absorption
+  /// phase snowballs them all into the hub's shard.
+  double hub_sender_skew = 1.3;
+  /// Probability of a self-transfer (single-account transaction).
+  double self_loop_rate = 0.002;
+  /// Probability a transaction touches more than two accounts.
+  double multi_party_rate = 0.05;
+  /// Max distinct accounts of a multi-party transaction.
+  uint32_t max_parties = 5;
+  /// Fraction of each community born only as the ledger progresses.
+  double late_born_fraction = 0.3;
+  /// Transaction-pattern drift: every `drift_interval_blocks` blocks,
+  /// `drift_fraction` of communities are re-pointed at a new partner
+  /// community and route `drift_partner_share` of their intra traffic to
+  /// it. 0 disables drift. Drift is what makes stale allocations decay —
+  /// the stress test for A-TxAllo and for recency-weighted history.
+  uint64_t drift_interval_blocks = 0;
+  double drift_fraction = 0.1;
+  double drift_partner_share = 0.5;
+  uint64_t seed = 42;
+};
+
+/// Stateful block-by-block generator. Accounts are pre-interned into the
+/// registry (ids are dense); "birth" only controls when an account may
+/// first appear in a transaction.
+class EthereumLikeGenerator {
+ public:
+  explicit EthereumLikeGenerator(EthereumLikeConfig config);
+
+  /// Generates the next block (block numbers increase from 0).
+  chain::Block NextBlock();
+
+  /// Generates `n` consecutive blocks into a fresh ledger.
+  chain::Ledger GenerateLedger(uint64_t n);
+
+  const chain::AccountRegistry& registry() const { return registry_; }
+  const EthereumLikeConfig& config() const { return config_; }
+
+  /// The designated hub account.
+  chain::AccountId hub_account() const { return hub_; }
+
+  uint64_t blocks_generated() const { return next_block_; }
+
+ private:
+  chain::AccountId SampleAccount();
+  chain::AccountId SampleFromCommunity(uint32_t community);
+  uint32_t CommunityOf(chain::AccountId account) const;
+  chain::Transaction MakeTransaction();
+  void MaybeApplyDrift();
+
+  EthereumLikeConfig config_;
+  chain::AccountRegistry registry_;
+  Rng rng_;
+  uint64_t next_block_ = 0;
+
+  // Community c owns account ids [starts_[c], starts_[c] + sizes_[c]).
+  std::vector<uint64_t> starts_;
+  std::vector<uint64_t> sizes_;
+  std::vector<double> community_cdf_;  // P(community) ∝ its size.
+  std::unique_ptr<ZipfSampler> hub_sender_communities_;
+  std::vector<std::unique_ptr<ZipfSampler>> member_samplers_;
+  std::vector<uint32_t> partner_;  // Drift partner per community.
+  chain::AccountId hub_ = 0;
+};
+
+}  // namespace txallo::workload

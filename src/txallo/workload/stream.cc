@@ -1,0 +1,21 @@
+#include "txallo/workload/stream.h"
+
+#include <algorithm>
+
+namespace txallo::workload {
+
+BlockWindowStream::Window BlockWindowStream::Next() {
+  Window window;
+  window.first_block_index = cursor_;
+  window.last_block_index =
+      std::min(cursor_ + blocks_per_step_, ledger_->num_blocks());
+  cursor_ = window.last_block_index;
+  return window;
+}
+
+size_t BlockWindowStream::NumWindows() const {
+  if (blocks_per_step_ == 0) return 0;
+  return (ledger_->num_blocks() + blocks_per_step_ - 1) / blocks_per_step_;
+}
+
+}  // namespace txallo::workload

@@ -1,0 +1,36 @@
+// Timeline streaming over a ledger: fixed-size windows of blocks (the
+// paper's "time steps" of τ1 = 300 blocks in Fig. 9/10), for driving the
+// hybrid controller and the adaptive benchmarks.
+#pragma once
+
+#include <cstddef>
+
+#include "txallo/chain/ledger.h"
+
+namespace txallo::workload {
+
+/// Iterates a ledger in windows of `blocks_per_step` consecutive blocks.
+class BlockWindowStream {
+ public:
+  BlockWindowStream(const chain::Ledger* ledger, size_t blocks_per_step)
+      : ledger_(ledger), blocks_per_step_(blocks_per_step) {}
+
+  bool Done() const { return cursor_ >= ledger_->num_blocks(); }
+
+  /// Index range [first, last) of the next window; advances the cursor.
+  struct Window {
+    size_t first_block_index;
+    size_t last_block_index;
+  };
+  Window Next();
+
+  /// Total number of windows.
+  size_t NumWindows() const;
+
+ private:
+  const chain::Ledger* ledger_;
+  size_t blocks_per_step_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace txallo::workload

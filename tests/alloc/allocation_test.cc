@@ -1,0 +1,96 @@
+#include "txallo/alloc/allocation.h"
+
+#include <gtest/gtest.h>
+
+namespace txallo::alloc {
+namespace {
+
+TEST(AllocationTest, StartsUnassigned) {
+  Allocation a(5, 3);
+  EXPECT_EQ(a.num_accounts(), 5u);
+  EXPECT_EQ(a.num_shards(), 3u);
+  for (chain::AccountId id = 0; id < 5; ++id) {
+    EXPECT_FALSE(a.IsAssigned(id));
+    EXPECT_EQ(a.shard_of(id), kUnassignedShard);
+  }
+}
+
+TEST(AllocationTest, AssignAndReassign) {
+  Allocation a(3, 2);
+  a.Assign(0, 1);
+  EXPECT_TRUE(a.IsAssigned(0));
+  EXPECT_EQ(a.shard_of(0), 1u);
+  a.Assign(0, 0);
+  EXPECT_EQ(a.shard_of(0), 0u);
+}
+
+TEST(AllocationTest, ValidateRejectsUnassigned) {
+  Allocation a(2, 2);
+  a.Assign(0, 0);
+  EXPECT_FALSE(a.Validate().ok());
+  a.Assign(1, 1);
+  EXPECT_TRUE(a.Validate().ok());
+}
+
+TEST(AllocationTest, ValidateRejectsOutOfRangeShard) {
+  Allocation a(1, 2);
+  a.Assign(0, 7);
+  Status st = a.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+TEST(AllocationTest, GroupsPartitionAccounts) {
+  Allocation a(6, 3);
+  for (chain::AccountId id = 0; id < 6; ++id) a.Assign(id, id % 3);
+  auto groups = a.Groups();
+  ASSERT_EQ(groups.size(), 3u);
+  // Definition 1: uniqueness + completeness.
+  size_t total = 0;
+  std::vector<bool> seen(6, false);
+  for (const auto& group : groups) {
+    total += group.size();
+    for (chain::AccountId id : group) {
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+    }
+  }
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(AllocationTest, ShardSizes) {
+  Allocation a(5, 2);
+  a.Assign(0, 0);
+  a.Assign(1, 0);
+  a.Assign(2, 0);
+  a.Assign(3, 1);
+  a.Assign(4, 1);
+  auto sizes = a.ShardSizes();
+  EXPECT_EQ(sizes[0], 3u);
+  EXPECT_EQ(sizes[1], 2u);
+}
+
+TEST(AllocationTest, GrowAccountsPreservesAndExtends) {
+  Allocation a(2, 2);
+  a.Assign(0, 1);
+  a.GrowAccounts(4);
+  EXPECT_EQ(a.num_accounts(), 4u);
+  EXPECT_EQ(a.shard_of(0), 1u);
+  EXPECT_FALSE(a.IsAssigned(3));
+  a.GrowAccounts(1);  // Shrinking is a no-op.
+  EXPECT_EQ(a.num_accounts(), 4u);
+}
+
+TEST(AllocationTest, EqualityComparesMapping) {
+  Allocation a(2, 2), b(2, 2);
+  a.Assign(0, 0);
+  a.Assign(1, 1);
+  b.Assign(0, 0);
+  b.Assign(1, 1);
+  EXPECT_TRUE(a == b);
+  b.Assign(1, 0);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace txallo::alloc

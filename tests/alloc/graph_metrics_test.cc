@@ -1,0 +1,131 @@
+#include "txallo/alloc/graph_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "txallo/graph/builder.h"
+
+namespace txallo::alloc {
+namespace {
+
+using chain::Transaction;
+using graph::TransactionGraph;
+
+AllocationParams AmpleParams(uint32_t k, double eta) {
+  AllocationParams p;
+  p.num_shards = k;
+  p.eta = eta;
+  p.capacity = 1e9;
+  p.epsilon = 0.0;
+  return p;
+}
+
+TEST(CommunityStateTest, IntraEdgeCountsOnce) {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 2.0);
+  g.Consolidate();
+  Allocation a(2, 2);
+  a.Assign(0, 0);
+  a.Assign(1, 0);
+  CommunityState state = ComputeCommunityState(g, a, AmpleParams(2, 3.0));
+  EXPECT_DOUBLE_EQ(state.sigma[0], 2.0);
+  EXPECT_DOUBLE_EQ(state.lambda_hat[0], 2.0);
+  EXPECT_DOUBLE_EQ(state.sigma[1], 0.0);
+}
+
+TEST(CommunityStateTest, CrossEdgeCountsEtaBothSidesHalfThroughput) {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 2.0);
+  g.Consolidate();
+  Allocation a(2, 2);
+  a.Assign(0, 0);
+  a.Assign(1, 1);
+  CommunityState state = ComputeCommunityState(g, a, AmpleParams(2, 3.0));
+  EXPECT_DOUBLE_EQ(state.sigma[0], 6.0);  // η w (Eq. 5).
+  EXPECT_DOUBLE_EQ(state.sigma[1], 6.0);
+  EXPECT_DOUBLE_EQ(state.lambda_hat[0], 1.0);  // w/2 (§III-C).
+  EXPECT_DOUBLE_EQ(state.lambda_hat[1], 1.0);
+}
+
+TEST(CommunityStateTest, SelfLoopIsIntra) {
+  TransactionGraph g;
+  g.AddSelfLoop(0, 4.0);
+  g.Consolidate();
+  Allocation a(1, 2);
+  a.Assign(0, 1);
+  CommunityState state = ComputeCommunityState(g, a, AmpleParams(2, 5.0));
+  EXPECT_DOUBLE_EQ(state.sigma[1], 4.0);
+  EXPECT_DOUBLE_EQ(state.lambda_hat[1], 4.0);
+}
+
+TEST(CommunityStateTest, UnassignedNeighborCountsAsCross) {
+  // Algorithm 1's initialization treats not-yet-absorbed nodes as "other".
+  TransactionGraph g;
+  g.AddEdge(0, 1, 2.0);
+  g.Consolidate();
+  Allocation a(2, 2);
+  a.Assign(0, 0);  // Node 1 unassigned.
+  CommunityState state = ComputeCommunityState(g, a, AmpleParams(2, 3.0));
+  EXPECT_DOUBLE_EQ(state.sigma[0], 6.0);
+  EXPECT_DOUBLE_EQ(state.lambda_hat[0], 1.0);
+  EXPECT_DOUBLE_EQ(state.sigma[1], 0.0);
+}
+
+TEST(CommunityStateTest, ThroughputClampsAtCapacity) {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 10.0);
+  g.Consolidate();
+  Allocation a(2, 2);
+  a.Assign(0, 0);
+  a.Assign(1, 0);
+  AllocationParams params = AmpleParams(2, 2.0);
+  params.capacity = 5.0;  // σ = 10 > λ = 5.
+  CommunityState state = ComputeCommunityState(g, a, params);
+  EXPECT_DOUBLE_EQ(state.ThroughputOf(0), 5.0);  // (λ/σ)Λ̂ = 0.5*10.
+  EXPECT_DOUBLE_EQ(state.TotalThroughput(), 5.0);
+}
+
+TEST(CommunityStateTest, AllIntraThroughputEqualsTransactionCount) {
+  // If every tx is intra-shard, Σ Λ̂ equals |T| (weight conservation).
+  chain::Ledger ledger;
+  std::vector<Transaction> txs{
+      Transaction::Simple(0, 1), Transaction::Simple(1, 2),
+      Transaction({3}, {3}), Transaction({0, 1}, {2})};
+  ASSERT_TRUE(ledger.Append(chain::Block(0, std::move(txs))).ok());
+  TransactionGraph g = graph::BuildTransactionGraph(ledger);
+  Allocation a(4, 2);
+  for (chain::AccountId id = 0; id < 4; ++id) a.Assign(id, 0);
+  CommunityState state = ComputeCommunityState(g, a, AmpleParams(2, 2.0));
+  EXPECT_NEAR(state.TotalThroughput(), 4.0, 1e-12);
+  EXPECT_NEAR(state.sigma[0], 4.0, 1e-12);
+}
+
+TEST(GraphCrossWeightRatioTest, Extremes) {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  g.Consolidate();
+  Allocation together(4, 2);
+  for (chain::AccountId id = 0; id < 4; ++id) together.Assign(id, 0);
+  EXPECT_DOUBLE_EQ(GraphCrossWeightRatio(g, together), 0.0);
+
+  Allocation split(4, 2);
+  split.Assign(0, 0);
+  split.Assign(1, 1);
+  split.Assign(2, 0);
+  split.Assign(3, 1);
+  EXPECT_DOUBLE_EQ(GraphCrossWeightRatio(g, split), 1.0);
+}
+
+TEST(GraphCrossWeightRatioTest, SelfLoopsAreIntraInDenominator) {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 1.0);
+  g.AddSelfLoop(0, 1.0);
+  g.Consolidate();
+  Allocation split(2, 2);
+  split.Assign(0, 0);
+  split.Assign(1, 1);
+  EXPECT_DOUBLE_EQ(GraphCrossWeightRatio(g, split), 0.5);
+}
+
+}  // namespace
+}  // namespace txallo::alloc

@@ -1,0 +1,49 @@
+#include "txallo/alloc/params.h"
+
+#include <gtest/gtest.h>
+
+namespace txallo::alloc {
+namespace {
+
+TEST(ParamsTest, ForExperimentUsesPaperSetting) {
+  // λ = |T| / k and ε = 1e-5 |T| (paper §VI-B1).
+  AllocationParams p = AllocationParams::ForExperiment(1'000'000, 20, 4.0);
+  EXPECT_EQ(p.num_shards, 20u);
+  EXPECT_DOUBLE_EQ(p.eta, 4.0);
+  EXPECT_DOUBLE_EQ(p.capacity, 50'000.0);
+  EXPECT_DOUBLE_EQ(p.epsilon, 10.0);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(ParamsTest, ValidateRejectsZeroShards) {
+  AllocationParams p = AllocationParams::ForExperiment(100, 1, 2.0);
+  p.num_shards = 0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ParamsTest, ValidateRejectsEtaBelowOne) {
+  AllocationParams p = AllocationParams::ForExperiment(100, 2, 2.0);
+  p.eta = 0.5;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ParamsTest, ValidateRejectsNonPositiveCapacity) {
+  AllocationParams p = AllocationParams::ForExperiment(100, 2, 2.0);
+  p.capacity = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ParamsTest, ValidateRejectsNegativeEpsilon) {
+  AllocationParams p = AllocationParams::ForExperiment(100, 2, 2.0);
+  p.epsilon = -1.0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ParamsTest, EtaEqualOneIsAllowed) {
+  // η = 1 degenerates σ to the degree sum (paper §VI-B4 discussion).
+  AllocationParams p = AllocationParams::ForExperiment(100, 2, 1.0);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+}  // namespace
+}  // namespace txallo::alloc

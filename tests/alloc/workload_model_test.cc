@@ -1,0 +1,121 @@
+#include "txallo/alloc/workload_model.h"
+
+#include <gtest/gtest.h>
+
+namespace txallo::alloc {
+namespace {
+
+using chain::Transaction;
+
+Allocation TwoShards() {
+  Allocation a(4, 2);
+  a.Assign(0, 0);
+  a.Assign(1, 0);
+  a.Assign(2, 1);
+  a.Assign(3, 1);
+  return a;
+}
+
+TEST(WorkloadModelTest, ValidateRejectsCheapCross) {
+  WorkloadModel model = WorkloadModel::Uniform(2.0);
+  model.cross_input = 0.5;
+  EXPECT_FALSE(model.Validate().ok());
+  model = WorkloadModel::Uniform(2.0);
+  model.per_extra_account = -1.0;
+  EXPECT_FALSE(model.Validate().ok());
+}
+
+TEST(WorkloadModelTest, UniformMatchesBaseMetrics) {
+  // The extended evaluator under Uniform(η) must agree with the paper's
+  // single-η evaluator on every reported number.
+  Allocation a = TwoShards();
+  std::vector<Transaction> txs{
+      Transaction::Simple(0, 1), Transaction::Simple(0, 2),
+      Transaction({2}, {2}), Transaction({0, 1}, {2, 3})};
+  AllocationParams params;
+  params.num_shards = 2;
+  params.eta = 3.0;
+  params.capacity = 2.5;
+  params.epsilon = 0.0;
+  auto base = EvaluateAllocation(txs, a, params);
+  auto ext = EvaluateAllocationExtended(txs, a, 2, 2.5,
+                                        WorkloadModel::Uniform(3.0));
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(ext.ok());
+  EXPECT_DOUBLE_EQ(base->cross_shard_ratio, ext->cross_shard_ratio);
+  EXPECT_DOUBLE_EQ(base->throughput, ext->throughput);
+  EXPECT_DOUBLE_EQ(base->avg_latency_blocks, ext->avg_latency_blocks);
+  for (uint32_t s = 0; s < 2; ++s) {
+    EXPECT_DOUBLE_EQ(base->shard_workloads[s], ext->shard_workloads[s]);
+  }
+}
+
+TEST(WorkloadModelTest, InputShardPaysMoreThanOutputShard) {
+  // tx: input in shard 0, output in shard 1.
+  Allocation a = TwoShards();
+  std::vector<Transaction> txs{Transaction::Simple(0, 2)};
+  WorkloadModel model{1.0, /*cross_input=*/5.0, /*cross_output=*/2.0, 0.0};
+  auto report = EvaluateAllocationExtended(txs, a, 2, 100.0, model);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->shard_workloads[0], 5.0);
+  EXPECT_DOUBLE_EQ(report->shard_workloads[1], 2.0);
+}
+
+TEST(WorkloadModelTest, ShardWithBothRolesCountsAsInput) {
+  // Inputs {0}, outputs {1, 2}: shard 0 holds input 0 and output 1.
+  Allocation a = TwoShards();
+  std::vector<Transaction> txs{Transaction({0}, {1, 2})};
+  WorkloadModel model{1.0, 4.0, 2.0, 0.0};
+  auto report = EvaluateAllocationExtended(txs, a, 2, 100.0, model);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->shard_workloads[0], 4.0);  // Input role wins.
+  EXPECT_DOUBLE_EQ(report->shard_workloads[1], 2.0);
+}
+
+TEST(WorkloadModelTest, PerExtraAccountSurcharge) {
+  Allocation a = TwoShards();
+  // 4 distinct accounts, intra would be impossible; make it intra-shard:
+  Allocation same(4, 2);
+  for (chain::AccountId id = 0; id < 4; ++id) same.Assign(id, 0);
+  std::vector<Transaction> txs{Transaction({0, 1}, {2, 3})};
+  WorkloadModel model{1.0, 2.0, 2.0, /*per_extra_account=*/0.5};
+  auto report = EvaluateAllocationExtended(txs, same, 2, 100.0, model);
+  ASSERT_TRUE(report.ok());
+  // Intra 1 + surcharge 2 extra accounts * 0.5 = 2.0.
+  EXPECT_DOUBLE_EQ(report->shard_workloads[0], 2.0);
+}
+
+TEST(WorkloadModelTest, SurchargeAppliesPerInvolvedShard) {
+  Allocation a = TwoShards();
+  std::vector<Transaction> txs{Transaction({0, 1}, {2, 3})};
+  WorkloadModel model{1.0, 2.0, 2.0, /*per_extra_account=*/1.0};
+  auto report = EvaluateAllocationExtended(txs, a, 2, 100.0, model);
+  ASSERT_TRUE(report.ok());
+  // Shard 0: input role 2 + surcharge 2; shard 1: output role 2 + 2.
+  EXPECT_DOUBLE_EQ(report->shard_workloads[0], 4.0);
+  EXPECT_DOUBLE_EQ(report->shard_workloads[1], 4.0);
+}
+
+TEST(WorkloadModelTest, ThroughputCreditUnchangedByRoles) {
+  // Role asymmetry changes σ but never the 1/µ completion credit.
+  Allocation a = TwoShards();
+  std::vector<Transaction> txs{Transaction::Simple(0, 2),
+                               Transaction::Simple(1, 3)};
+  WorkloadModel skew{1.0, 10.0, 2.0, 0.0};
+  auto report = EvaluateAllocationExtended(txs, a, 2, 1000.0, skew);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->throughput, 2.0);
+}
+
+TEST(WorkloadModelTest, UnassignedAccountFails) {
+  Allocation partial(3, 2);
+  partial.Assign(0, 0);
+  std::vector<Transaction> txs{Transaction::Simple(0, 2)};
+  auto report = EvaluateAllocationExtended(txs, partial, 2, 10.0,
+                                           WorkloadModel::Uniform(2.0));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace txallo::alloc

@@ -1,0 +1,219 @@
+#include "txallo/baselines/metis/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "txallo/baselines/metis/coarsen.h"
+#include "txallo/baselines/metis/initial.h"
+#include "txallo/baselines/metis/refine.h"
+#include "txallo/common/rng.h"
+#include "txallo/graph/builder.h"
+
+namespace txallo::baselines::metis {
+namespace {
+
+using graph::NodeId;
+using graph::TransactionGraph;
+
+TransactionGraph CommunityGraph(int communities, int per_community,
+                                uint64_t seed) {
+  TransactionGraph g;
+  Rng rng(seed);
+  const int n = communities * per_community;
+  for (int c = 0; c < communities; ++c) {
+    for (int i = 0; i < per_community * 4; ++i) {
+      NodeId u = static_cast<NodeId>(c * per_community +
+                                     rng.NextBounded(per_community));
+      NodeId v = static_cast<NodeId>(c * per_community +
+                                     rng.NextBounded(per_community));
+      if (u != v) g.AddEdge(u, v, 1.0);
+    }
+  }
+  for (int i = 0; i < communities * 2; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u != v) g.AddEdge(u, v, 0.1);
+  }
+  g.EnsureNodeCount(n);
+  g.Consolidate();
+  return g;
+}
+
+TEST(WorkGraphTest, UnitWeightingCountsAccounts) {
+  // Default weighting mirrors the prior works: one unit per account.
+  TransactionGraph g;
+  g.AddEdge(0, 1, 2.0);
+  g.AddSelfLoop(0, 3.0);
+  g.Consolidate();
+  WorkGraph wg = WorkGraph::FromTransactionGraph(g);
+  EXPECT_DOUBLE_EQ(wg.vertex_weights[0], 1.0);
+  EXPECT_DOUBLE_EQ(wg.vertex_weights[1], 1.0);
+  EXPECT_DOUBLE_EQ(wg.total_vertex_weight, 2.0);
+}
+
+TEST(WorkGraphTest, IncidentWeightingUsesStrengthPlusSelfLoop) {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 2.0);
+  g.AddSelfLoop(0, 3.0);
+  g.Consolidate();
+  WorkGraph wg = WorkGraph::FromTransactionGraph(
+      g, VertexWeighting::kIncidentWeight);
+  EXPECT_DOUBLE_EQ(wg.vertex_weights[0], 5.0);
+  EXPECT_DOUBLE_EQ(wg.vertex_weights[1], 2.0);
+  EXPECT_DOUBLE_EQ(wg.total_vertex_weight, 7.0);
+}
+
+TEST(CoarsenTest, HalvesNodeCountOnMatchableGraph) {
+  TransactionGraph g;
+  for (NodeId v = 0; v < 16; v += 2) g.AddEdge(v, v + 1, 1.0);
+  g.Consolidate();
+  WorkGraph wg = WorkGraph::FromTransactionGraph(g);
+  CoarsenStep step = CoarsenOnce(wg);
+  EXPECT_EQ(step.coarse.num_nodes(), 8u);
+}
+
+TEST(CoarsenTest, PreservesTotalVertexWeight) {
+  TransactionGraph g = CommunityGraph(4, 16, 3);
+  WorkGraph wg = WorkGraph::FromTransactionGraph(g);
+  CoarsenStep step = CoarsenOnce(wg);
+  double total = 0.0;
+  for (double w : step.coarse.vertex_weights) total += w;
+  EXPECT_NEAR(total, wg.total_vertex_weight, 1e-9);
+}
+
+TEST(CoarsenTest, ProjectionIsOntoCoarseIds) {
+  TransactionGraph g = CommunityGraph(3, 10, 5);
+  WorkGraph wg = WorkGraph::FromTransactionGraph(g);
+  CoarsenStep step = CoarsenOnce(wg);
+  for (uint32_t c : step.projection) {
+    EXPECT_LT(c, step.coarse.num_nodes());
+  }
+}
+
+TEST(CoarsenTest, CutIsPreservedUnderProjection) {
+  // Edge cut of a coarse partition equals the cut of its projection: the
+  // invariant multilevel partitioning rests on.
+  TransactionGraph g = CommunityGraph(4, 12, 7);
+  WorkGraph wg = WorkGraph::FromTransactionGraph(g);
+  CoarsenStep step = CoarsenOnce(wg);
+  std::vector<uint32_t> coarse_part(step.coarse.num_nodes());
+  for (size_t i = 0; i < coarse_part.size(); ++i) {
+    coarse_part[i] = static_cast<uint32_t>(i % 3);
+  }
+  std::vector<uint32_t> fine_part(wg.num_nodes());
+  for (size_t v = 0; v < fine_part.size(); ++v) {
+    fine_part[v] = coarse_part[step.projection[v]];
+  }
+  EXPECT_NEAR(EdgeCut(step.coarse, coarse_part), EdgeCut(wg, fine_part),
+              1e-9);
+}
+
+TEST(GreedyGrowTest, ProducesCompletePartition) {
+  TransactionGraph g = CommunityGraph(4, 20, 11);
+  WorkGraph wg = WorkGraph::FromTransactionGraph(g);
+  auto part = GreedyGrowPartition(wg, 4);
+  for (uint32_t p : part) EXPECT_LT(p, 4u);
+}
+
+TEST(GreedyGrowTest, SinglePartTrivial) {
+  TransactionGraph g = CommunityGraph(2, 10, 13);
+  WorkGraph wg = WorkGraph::FromTransactionGraph(g);
+  auto part = GreedyGrowPartition(wg, 1);
+  for (uint32_t p : part) EXPECT_EQ(p, 0u);
+}
+
+TEST(RefineTest, NeverIncreasesCut) {
+  TransactionGraph g = CommunityGraph(4, 20, 17);
+  WorkGraph wg = WorkGraph::FromTransactionGraph(g);
+  auto part = GreedyGrowPartition(wg, 4);
+  const double before = EdgeCut(wg, part);
+  RefineOptions options;
+  const double after = RefinePartition(wg, 4, options, &part);
+  EXPECT_LE(after, before + 1e-9);
+  EXPECT_NEAR(after, EdgeCut(wg, part), 1e-9);
+}
+
+TEST(RefineTest, RespectsBalanceConstraint) {
+  TransactionGraph g = CommunityGraph(4, 20, 19);
+  WorkGraph wg = WorkGraph::FromTransactionGraph(g);
+  auto part = GreedyGrowPartition(wg, 4);
+  RefineOptions options;
+  options.imbalance = 1.1;
+  RefinePartition(wg, 4, options, &part);
+  auto weights = PartWeights(wg, part, 4);
+  const double cap = options.imbalance * wg.total_vertex_weight / 4.0;
+  // Refinement may not push any part beyond the cap it enforces (the
+  // initial partition could already exceed it; this graph's doesn't).
+  for (double w : weights) EXPECT_LE(w, cap * 1.5);
+}
+
+TEST(PartitionerTest, EndToEndValidAllocation) {
+  TransactionGraph g = CommunityGraph(6, 25, 23);
+  PartitionInfo info;
+  auto result = PartitionGraph(g, 6, {}, &info);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->Validate().ok());
+  EXPECT_GE(info.levels, 1);
+  EXPECT_GE(info.edge_cut, 0.0);
+}
+
+TEST(PartitionerTest, BeatsRandomCutOnCommunityGraph) {
+  TransactionGraph g = CommunityGraph(6, 25, 29);
+  auto result = PartitionGraph(g, 6);
+  ASSERT_TRUE(result.ok());
+  WorkGraph wg = WorkGraph::FromTransactionGraph(g);
+  std::vector<uint32_t> metis_part(g.num_nodes());
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    metis_part[v] = result->shard_of(static_cast<chain::AccountId>(v));
+  }
+  std::vector<uint32_t> random_part(g.num_nodes());
+  Rng rng(31);
+  for (auto& p : random_part) p = static_cast<uint32_t>(rng.NextBounded(6));
+  EXPECT_LT(EdgeCut(wg, metis_part), 0.5 * EdgeCut(wg, random_part));
+}
+
+TEST(PartitionerTest, RejectsZeroShards) {
+  TransactionGraph g = CommunityGraph(2, 10, 37);
+  auto result = PartitionGraph(g, 0);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(PartitionerTest, Deterministic) {
+  TransactionGraph g = CommunityGraph(4, 20, 41);
+  auto a = PartitionGraph(g, 4);
+  auto b = PartitionGraph(g, 4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a.value() == b.value());
+}
+
+// Balance property across a (k, seed) sweep: vertex-weight balance within
+// tolerance on well-conditioned community graphs.
+class MetisBalanceSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(MetisBalanceSweep, PartWeightsWithinTolerance) {
+  auto [k, seed] = GetParam();
+  TransactionGraph g = CommunityGraph(8, 30, seed);
+  auto result = PartitionGraph(g, static_cast<uint32_t>(k));
+  ASSERT_TRUE(result.ok());
+  WorkGraph wg = WorkGraph::FromTransactionGraph(g);
+  std::vector<uint32_t> part(g.num_nodes());
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    part[v] = result->shard_of(static_cast<chain::AccountId>(v));
+  }
+  auto weights = PartWeights(wg, part, static_cast<uint32_t>(k));
+  const double avg = wg.total_vertex_weight / k;
+  for (double w : weights) {
+    EXPECT_LT(w, avg * 1.8) << "k=" << k << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MetisBalanceSweep,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(101u, 202u, 303u)));
+
+}  // namespace
+}  // namespace txallo::baselines::metis

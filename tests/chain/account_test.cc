@@ -1,0 +1,100 @@
+#include "txallo/chain/account.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace txallo::chain {
+namespace {
+
+TEST(AccountRegistryTest, InternIsIdempotent) {
+  AccountRegistry registry;
+  AccountId a = registry.Intern("0xabc");
+  AccountId b = registry.Intern("0xdef");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.Intern("0xabc"), a);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(AccountRegistryTest, AddressRoundTrip) {
+  AccountRegistry registry;
+  AccountId a = registry.Intern("0xabc");
+  EXPECT_EQ(registry.AddressOf(a), "0xabc");
+}
+
+TEST(AccountRegistryTest, FindMissingIsNotFound) {
+  AccountRegistry registry;
+  auto result = registry.Find("0xmissing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AccountRegistryTest, FindExisting) {
+  AccountRegistry registry;
+  AccountId a = registry.Intern("0xabc");
+  auto result = registry.Find("0xabc");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), a);
+}
+
+TEST(AccountRegistryTest, TypesAreStored) {
+  AccountRegistry registry;
+  AccountId eoa = registry.Intern("0xclient", AccountType::kExternallyOwned);
+  AccountId ca = registry.Intern("0xcontract", AccountType::kContract);
+  EXPECT_EQ(registry.TypeOf(eoa), AccountType::kExternallyOwned);
+  EXPECT_EQ(registry.TypeOf(ca), AccountType::kContract);
+}
+
+TEST(AccountRegistryTest, SyntheticAddressesAreUniqueAndDense) {
+  AccountRegistry registry;
+  for (int i = 0; i < 100; ++i) {
+    AccountId id = registry.CreateSynthetic();
+    EXPECT_EQ(id, static_cast<AccountId>(i));
+  }
+  std::set<std::string> addresses;
+  for (int i = 0; i < 100; ++i) {
+    addresses.insert(registry.AddressOf(static_cast<AccountId>(i)));
+  }
+  EXPECT_EQ(addresses.size(), 100u);
+}
+
+TEST(AccountRegistryTest, SyntheticAddressIsFindable) {
+  AccountRegistry registry;
+  AccountId id = registry.CreateSynthetic();
+  auto found = registry.Find("acct-0");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), id);
+}
+
+TEST(AccountRegistryTest, HashOrderIsPermutationAndDeterministic) {
+  AccountRegistry registry;
+  for (int i = 0; i < 500; ++i) registry.CreateSynthetic();
+  auto order1 = registry.IdsInHashOrder();
+  auto order2 = registry.IdsInHashOrder();
+  EXPECT_EQ(order1, order2);
+  std::set<AccountId> unique(order1.begin(), order1.end());
+  EXPECT_EQ(unique.size(), 500u);
+  // Order keys must actually be sorted.
+  for (size_t i = 1; i < order1.size(); ++i) {
+    EXPECT_LE(registry.OrderKey(order1[i - 1]), registry.OrderKey(order1[i]));
+  }
+}
+
+TEST(AccountRegistryTest, HashOrderDiffersFromIdOrder) {
+  // With 500 accounts the probability the SHA-based order equals id order
+  // is effectively zero; if it does, OrderKey is broken.
+  AccountRegistry registry;
+  for (int i = 0; i < 500; ++i) registry.CreateSynthetic();
+  auto order = registry.IdsInHashOrder();
+  bool differs = false;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] != static_cast<AccountId>(i)) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace txallo::chain

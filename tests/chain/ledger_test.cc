@@ -1,0 +1,78 @@
+#include "txallo/chain/ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace txallo::chain {
+namespace {
+
+Block MakeBlock(uint64_t number, int num_txs) {
+  std::vector<Transaction> txs;
+  for (int i = 0; i < num_txs; ++i) {
+    txs.push_back(Transaction::Simple(static_cast<AccountId>(i),
+                                      static_cast<AccountId>(i + 1)));
+  }
+  return Block(number, std::move(txs));
+}
+
+TEST(LedgerTest, AppendAccumulatesTransactions) {
+  Ledger ledger;
+  ASSERT_TRUE(ledger.Append(MakeBlock(0, 3)).ok());
+  ASSERT_TRUE(ledger.Append(MakeBlock(1, 5)).ok());
+  EXPECT_EQ(ledger.num_blocks(), 2u);
+  EXPECT_EQ(ledger.num_transactions(), 8u);
+}
+
+TEST(LedgerTest, RejectsNonIncreasingBlockNumbers) {
+  Ledger ledger;
+  ASSERT_TRUE(ledger.Append(MakeBlock(5, 1)).ok());
+  EXPECT_FALSE(ledger.Append(MakeBlock(5, 1)).ok());
+  EXPECT_FALSE(ledger.Append(MakeBlock(3, 1)).ok());
+  EXPECT_TRUE(ledger.Append(MakeBlock(6, 1)).ok());
+}
+
+TEST(LedgerTest, ForEachTransactionVisitsInOrder) {
+  Ledger ledger;
+  ASSERT_TRUE(ledger.Append(MakeBlock(0, 2)).ok());
+  ASSERT_TRUE(ledger.Append(MakeBlock(1, 3)).ok());
+  int count = 0;
+  ledger.ForEachTransaction([&](const Transaction&) { ++count; });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(LedgerTest, RangeIterationRespectsBounds) {
+  Ledger ledger;
+  for (uint64_t b = 0; b < 5; ++b) {
+    ASSERT_TRUE(ledger.Append(MakeBlock(b, 2)).ok());
+  }
+  int count = 0;
+  ledger.ForEachTransactionInRange(1, 3, [&](const Transaction&) { ++count; });
+  EXPECT_EQ(count, 4);  // Blocks 1 and 2.
+}
+
+TEST(LedgerTest, RangeClampsPastEnd) {
+  Ledger ledger;
+  ASSERT_TRUE(ledger.Append(MakeBlock(0, 2)).ok());
+  int count = 0;
+  ledger.ForEachTransactionInRange(0, 99, [&](const Transaction&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(LedgerTest, AllTransactionsFlattens) {
+  Ledger ledger;
+  ASSERT_TRUE(ledger.Append(MakeBlock(0, 2)).ok());
+  ASSERT_TRUE(ledger.Append(MakeBlock(1, 1)).ok());
+  auto txs = ledger.AllTransactions();
+  EXPECT_EQ(txs.size(), 3u);
+}
+
+TEST(LedgerTest, EmptyLedger) {
+  Ledger ledger;
+  EXPECT_EQ(ledger.num_blocks(), 0u);
+  EXPECT_EQ(ledger.num_transactions(), 0u);
+  int count = 0;
+  ledger.ForEachTransaction([&](const Transaction&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace txallo::chain

@@ -1,0 +1,44 @@
+#include "txallo/chain/transaction.h"
+
+#include <gtest/gtest.h>
+
+namespace txallo::chain {
+namespace {
+
+TEST(TransactionTest, SimpleTwoParty) {
+  Transaction tx = Transaction::Simple(3, 7);
+  EXPECT_EQ(tx.inputs(), std::vector<AccountId>({3}));
+  EXPECT_EQ(tx.outputs(), std::vector<AccountId>({7}));
+  EXPECT_EQ(tx.accounts(), std::vector<AccountId>({3, 7}));
+  EXPECT_EQ(tx.NumDistinctAccounts(), 2u);
+  EXPECT_FALSE(tx.IsSelfLoop());
+}
+
+TEST(TransactionTest, AccountsAreSortedAndDeduped) {
+  Transaction tx({9, 2}, {2, 5, 9});
+  EXPECT_EQ(tx.accounts(), std::vector<AccountId>({2, 5, 9}));
+  EXPECT_EQ(tx.NumDistinctAccounts(), 3u);
+}
+
+TEST(TransactionTest, SelfTransferIsSelfLoop) {
+  Transaction tx({4}, {4});
+  EXPECT_TRUE(tx.IsSelfLoop());
+  EXPECT_EQ(tx.NumDistinctAccounts(), 1u);
+}
+
+TEST(TransactionTest, MultiInputMultiOutput) {
+  Transaction tx({1, 2, 3}, {4, 5});
+  EXPECT_EQ(tx.NumDistinctAccounts(), 5u);
+  EXPECT_EQ(tx.inputs().size(), 3u);
+  EXPECT_EQ(tx.outputs().size(), 2u);
+}
+
+TEST(TransactionTest, OverlappingInputOutputCountedOnce) {
+  // The sender also receives change: A_Tx = A_in ∪ A_out.
+  Transaction tx({1}, {1, 2});
+  EXPECT_EQ(tx.accounts(), std::vector<AccountId>({1, 2}));
+  EXPECT_FALSE(tx.IsSelfLoop());
+}
+
+}  // namespace
+}  // namespace txallo::chain

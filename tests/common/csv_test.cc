@@ -1,0 +1,78 @@
+#include "txallo/common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace txallo {
+namespace {
+
+TEST(CsvSplitTest, PlainFields) {
+  auto fields = SplitCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvSplitTest, EmptyFields) {
+  auto fields = SplitCsvLine("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(CsvSplitTest, QuotedCommaAndQuote) {
+  auto fields = SplitCsvLine(R"(x,"a,b","say ""hi""")");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "a,b");
+  EXPECT_EQ(fields[2], "say \"hi\"");
+}
+
+TEST(CsvSplitTest, SwallowsCarriageReturn) {
+  auto fields = SplitCsvLine("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvEscapeTest, PassthroughSimple) {
+  EXPECT_EQ(EscapeCsvField("hello"), "hello");
+}
+
+TEST(CsvEscapeTest, QuotesCommaAndQuote) {
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, QuotesLeadingTrailingSpace) {
+  EXPECT_EQ(EscapeCsvField(" x"), "\" x\"");
+  EXPECT_EQ(EscapeCsvField("x "), "\"x \"");
+}
+
+TEST(CsvRoundTripTest, WriteThenReadBack) {
+  const std::string path = ::testing::TempDir() + "/txallo_csv_test.csv";
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.WriteRow({"h1", "h2"}).ok());
+    ASSERT_TRUE(writer.WriteRow({"plain", "with,comma"}).ok());
+    ASSERT_TRUE(writer.WriteRow({"q\"uote", ""}).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[1][1], "with,comma");
+  EXPECT_EQ((*rows)[2][0], "q\"uote");
+  std::remove(path.c_str());
+}
+
+TEST(CsvReadTest, MissingFileIsIOError) {
+  auto rows = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace txallo

@@ -1,0 +1,73 @@
+#include "txallo/common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace txallo {
+namespace {
+
+Flags ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags::Parse(static_cast<int>(args.size()),
+                      const_cast<char**>(args.data()));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags f = ParseArgs({"--txs=5000", "--eta=2.5", "--name=run1"});
+  EXPECT_EQ(f.GetInt("txs", 0), 5000);
+  EXPECT_DOUBLE_EQ(f.GetDouble("eta", 0.0), 2.5);
+  EXPECT_EQ(f.GetString("name", ""), "run1");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Flags f = ParseArgs({"--txs", "7000"});
+  EXPECT_EQ(f.GetInt("txs", 0), 7000);
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags f = ParseArgs({"--verbose"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_TRUE(f.Has("verbose"));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags f = ParseArgs({});
+  EXPECT_EQ(f.GetInt("txs", 123), 123);
+  EXPECT_DOUBLE_EQ(f.GetDouble("eta", 4.5), 4.5);
+  EXPECT_FALSE(f.GetBool("verbose", false));
+  EXPECT_FALSE(f.Has("txs"));
+}
+
+TEST(FlagsTest, MalformedNumberFallsBackToDefault) {
+  Flags f = ParseArgs({"--txs=abc"});
+  EXPECT_EQ(f.GetInt("txs", 55), 55);
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  Flags f = ParseArgs({"--a=true", "--b=1", "--c=yes", "--d=false"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_TRUE(f.GetBool("b", false));
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_FALSE(f.GetBool("d", true));
+}
+
+TEST(BenchScaleTest, FlagOverridesPreset) {
+  Flags f = ParseArgs({"--scale=small", "--txs=999", "--max-shards=12"});
+  BenchScale scale = ResolveBenchScale(f);
+  EXPECT_EQ(scale.num_transactions, 999u);
+  EXPECT_EQ(scale.max_shards, 12);
+}
+
+TEST(BenchScaleTest, PresetsAreOrdered) {
+  Flags small = ParseArgs({"--scale=small"});
+  Flags medium = ParseArgs({"--scale=medium"});
+  Flags large = ParseArgs({"--scale=large"});
+  EXPECT_LT(ResolveBenchScale(small).num_transactions,
+            ResolveBenchScale(medium).num_transactions);
+  EXPECT_LT(ResolveBenchScale(medium).num_transactions,
+            ResolveBenchScale(large).num_transactions);
+}
+
+}  // namespace
+}  // namespace txallo

@@ -1,0 +1,101 @@
+#include "txallo/common/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace txallo {
+namespace {
+
+TEST(EdgeSplitTest, MatchesCombinationFormula) {
+  EXPECT_EQ(EdgeSplitCount(2), 1u);   // C(2,2) = 1
+  EXPECT_EQ(EdgeSplitCount(3), 3u);   // C(3,2) = 3
+  EXPECT_EQ(EdgeSplitCount(4), 6u);
+  EXPECT_EQ(EdgeSplitCount(5), 10u);
+}
+
+TEST(EdgeSplitTest, SelfLoopConvention) {
+  // A single-account transaction maps to one self-loop edge.
+  EXPECT_EQ(EdgeSplitCount(1), 1u);
+  EXPECT_EQ(EdgeSplitCount(0), 1u);
+}
+
+TEST(ClampThroughputTest, SufficientCapacityPassesThrough) {
+  EXPECT_DOUBLE_EQ(ClampThroughput(10.0, 50.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(ClampThroughput(10.0, 100.0, 100.0), 10.0);  // Boundary.
+}
+
+TEST(ClampThroughputTest, OverloadScalesByCapacityRatio) {
+  // σ = 2λ -> half the transactions complete (Eq. 3).
+  EXPECT_DOUBLE_EQ(ClampThroughput(10.0, 200.0, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(ClampThroughput(9.0, 300.0, 100.0), 3.0);
+}
+
+TEST(LatencyTest, UnderloadedShardIsOneBlock) {
+  EXPECT_DOUBLE_EQ(AverageLatencyBlocks(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(AverageLatencyBlocks(50.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(AverageLatencyBlocks(100.0, 100.0), 1.0);
+}
+
+TEST(LatencyTest, IntegerNormalizedWorkloadIsArithmeticMean) {
+  // σ̂ = n -> latencies 1..n uniformly -> mean (n+1)/2.
+  EXPECT_NEAR(AverageLatencyBlocks(200.0, 100.0), 1.5, 1e-12);
+  EXPECT_NEAR(AverageLatencyBlocks(300.0, 100.0), 2.0, 1e-12);
+  EXPECT_NEAR(AverageLatencyBlocks(1000.0, 100.0), 5.5, 1e-12);
+}
+
+TEST(LatencyTest, MatchesPaperClosedFormOffIntegers) {
+  // ζ = ⌊σ̂⌋⌈σ̂⌉/(2σ̂) + (σ̂-⌊σ̂⌋)⌈σ̂⌉/σ̂ (Eq. 4), valid off integers.
+  for (double norm : {1.3, 2.5, 3.7, 9.99}) {
+    const double floor = std::floor(norm);
+    const double ceil = std::ceil(norm);
+    const double paper = floor * ceil / (2.0 * norm) +
+                         (norm - floor) * ceil / norm;
+    EXPECT_NEAR(AverageLatencyBlocks(norm * 100.0, 100.0), paper, 1e-12)
+        << "norm=" << norm;
+  }
+}
+
+TEST(LatencyTest, ContinuousAtIntegerBoundary) {
+  const double below = AverageLatencyBlocks(299.999'99, 100.0);
+  const double at = AverageLatencyBlocks(300.0, 100.0);
+  const double above = AverageLatencyBlocks(300.000'01, 100.0);
+  EXPECT_NEAR(below, at, 1e-4);
+  EXPECT_NEAR(above, at, 1e-4);
+}
+
+TEST(LatencyTest, MonotoneInWorkload) {
+  double prev = 0.0;
+  for (double sigma = 0.0; sigma <= 2000.0; sigma += 37.0) {
+    const double z = AverageLatencyBlocks(sigma, 100.0);
+    EXPECT_GE(z, prev - 1e-12);
+    prev = z;
+  }
+}
+
+TEST(LatencyTest, ZeroCapacityDefinedAsOne) {
+  EXPECT_DOUBLE_EQ(AverageLatencyBlocks(10.0, 0.0), 1.0);
+}
+
+TEST(WorstCaseLatencyTest, CeilOfNormalizedWorkload) {
+  EXPECT_DOUBLE_EQ(WorstCaseLatencyBlocks(50.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(WorstCaseLatencyBlocks(100.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(WorstCaseLatencyBlocks(101.0, 100.0), 2.0);
+  EXPECT_DOUBLE_EQ(WorstCaseLatencyBlocks(999.0, 100.0), 10.0);
+}
+
+TEST(StdDevTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(PopulationStdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(PopulationStdDev({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(PopulationStdDev({1.0, 1.0, 1.0}), 0.0);
+  // Population stddev of {2, 4}: mean 3, deviations 1 -> 1.
+  EXPECT_DOUBLE_EQ(PopulationStdDev({2.0, 4.0}), 1.0);
+}
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace txallo

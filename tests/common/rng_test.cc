@@ -1,0 +1,124 @@
+#include "txallo/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace txallo {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(9);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversSmallRangeUniformly) {
+  Rng rng(11);
+  constexpr uint64_t kBound = 7;
+  constexpr int kDraws = 70'000;
+  int counts[kBound] = {0};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBound)];
+  for (uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kDraws / kBound, kDraws / kBound * 0.1);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(19);
+  constexpr int kDraws = 200'000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambdaSmall) {
+  Rng rng(23);
+  constexpr int kDraws = 100'000;
+  uint64_t total = 0;
+  for (int i = 0; i < kDraws; ++i) total += rng.NextPoisson(3.5);
+  EXPECT_NEAR(total / static_cast<double>(kDraws), 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambdaLarge) {
+  Rng rng(29);
+  constexpr int kDraws = 50'000;
+  uint64_t total = 0;
+  for (int i = 0; i < kDraws; ++i) total += rng.NextPoisson(200.0);
+  EXPECT_NEAR(total / static_cast<double>(kDraws), 200.0, 2.0);
+}
+
+TEST(RngTest, GeometricMeanMatches) {
+  Rng rng(31);
+  constexpr int kDraws = 100'000;
+  const double p = 0.25;
+  uint64_t total = 0;
+  for (int i = 0; i < kDraws; ++i) total += rng.NextGeometric(p);
+  // Mean failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(total / static_cast<double>(kDraws), 3.0, 0.1);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsReproducible) {
+  uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  }
+  EXPECT_NE(s1, 42u);
+}
+
+}  // namespace
+}  // namespace txallo

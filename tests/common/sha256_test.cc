@@ -1,0 +1,90 @@
+#include "txallo/common/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace txallo {
+namespace {
+
+// NIST FIPS 180-4 test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  std::string a_million(1'000'000, 'a');
+  EXPECT_EQ(DigestToHex(Sha256::Hash(a_million)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "the quick brown fox jumps over the lazy dog multiple times to span "
+      "several SHA-256 blocks and exercise the buffered update path";
+  Sha256 h;
+  for (char c : msg) h.Update(&c, 1);
+  EXPECT_EQ(DigestToHex(h.Finish()), DigestToHex(Sha256::Hash(msg)));
+}
+
+TEST(Sha256Test, ChunkedUpdateAcrossBlockBoundary) {
+  std::string msg(200, 'x');
+  Sha256 h;
+  h.Update(msg.data(), 63);
+  h.Update(msg.data() + 63, 2);  // Straddles the 64-byte boundary.
+  h.Update(msg.data() + 65, msg.size() - 65);
+  EXPECT_EQ(DigestToHex(h.Finish()), DigestToHex(Sha256::Hash(msg)));
+}
+
+TEST(Sha256Test, Hash64IsDigestPrefix) {
+  Sha256Digest d = Sha256::Hash("abc");
+  uint64_t expected = 0;
+  for (int i = 0; i < 8; ++i) expected = (expected << 8) | d[i];
+  EXPECT_EQ(Sha256::Hash64("abc"), expected);
+}
+
+TEST(Sha256Test, Hash64OverUint64IsStable) {
+  // Regression pin: deterministic ordering keys must never change across
+  // refactors, or every "deterministic" allocation changes with them.
+  EXPECT_EQ(Sha256::Hash64(uint64_t{0}), Sha256::Hash64(uint64_t{0}));
+  EXPECT_NE(Sha256::Hash64(uint64_t{0}), Sha256::Hash64(uint64_t{1}));
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 h;
+  h.Update("abc", 3);
+  (void)h.Finish();
+  h.Reset();
+  h.Update("abc", 3);
+  EXPECT_EQ(DigestToHex(h.Finish()), DigestToHex(Sha256::Hash("abc")));
+}
+
+TEST(Sha256Test, BucketsSpreadRoughlyUniformly) {
+  // SHA256(address) mod k should spread accounts near-uniformly: the whole
+  // premise of the hash-based baseline.
+  constexpr int kShards = 16;
+  constexpr int kAccounts = 16'000;
+  int counts[kShards] = {0};
+  for (int i = 0; i < kAccounts; ++i) {
+    ++counts[Sha256::Hash64("acct-" + std::to_string(i)) % kShards];
+  }
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_GT(counts[s], kAccounts / kShards / 2);
+    EXPECT_LT(counts[s], kAccounts / kShards * 2);
+  }
+}
+
+}  // namespace
+}  // namespace txallo

@@ -1,0 +1,79 @@
+#include "txallo/common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace txallo {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(1000, 1.1);
+  double total = 0.0;
+  for (uint64_t r = 0; r < 1000; ++r) total += zipf.Pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  ZipfSampler zipf(100, 0.8);
+  for (uint64_t r = 1; r < 100; ++r) {
+    EXPECT_LE(zipf.Pmf(r), zipf.Pmf(r - 1));
+  }
+}
+
+TEST(ZipfTest, OutOfRangePmfIsZero) {
+  ZipfSampler zipf(10, 1.0);
+  EXPECT_EQ(zipf.Pmf(10), 0.0);
+  EXPECT_EQ(zipf.Pmf(1000), 0.0);
+}
+
+TEST(ZipfTest, SampleStaysInRange) {
+  ZipfSampler zipf(50, 1.2);
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_LT(zipf.Sample(&rng), 50u);
+  }
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 10 * 0.08);
+  }
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  ZipfSampler zipf(1, 2.0);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+// Property sweep: empirical head mass matches the analytic PMF for a range
+// of (n, s) combinations — the long-tail shape the workload depends on.
+class ZipfSweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ZipfSweep, EmpiricalHeadMassMatchesPmf) {
+  auto [n, s] = GetParam();
+  ZipfSampler zipf(n, s);
+  Rng rng(101);
+  constexpr int kDraws = 200'000;
+  int head = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Sample(&rng) == 0) ++head;
+  }
+  EXPECT_NEAR(head / static_cast<double>(kDraws), zipf.Pmf(0), 0.01)
+      << "n=" << n << " s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ZipfSweep,
+    ::testing::Combine(::testing::Values(10, 100, 10'000),
+                       ::testing::Values(0.5, 0.8, 1.0, 1.2)));
+
+}  // namespace
+}  // namespace txallo

@@ -1,0 +1,129 @@
+#include "txallo/core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "txallo/workload/ethereum_like.h"
+
+namespace txallo::core {
+namespace {
+
+using alloc::AllocationParams;
+
+workload::EthereumLikeConfig SmallConfig() {
+  workload::EthereumLikeConfig config;
+  config.num_blocks = 60;
+  config.txs_per_block = 50;
+  config.num_accounts = 800;
+  config.num_communities = 16;
+  config.seed = 7;
+  return config;
+}
+
+TEST(ControllerTest, ApplyBlocksThenGlobalStep) {
+  workload::EthereumLikeGenerator gen(SmallConfig());
+  AllocationParams params = AllocationParams::ForExperiment(1, 4, 2.0);
+  TxAlloController controller(&gen.registry(), params);
+  for (int b = 0; b < 20; ++b) controller.ApplyBlock(gen.NextBlock());
+  EXPECT_EQ(controller.transactions_applied(), 20u * 50u);
+  auto info = controller.StepGlobal();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(controller.allocation().Validate().ok());
+  EXPECT_GT(controller.CurrentThroughput(), 0.0);
+}
+
+TEST(ControllerTest, IncrementalStateMatchesScratchAfterBlocks) {
+  // The controller maintains σ/Λ̂ incrementally while blocks stream in;
+  // it must agree with the from-scratch oracle at any point.
+  workload::EthereumLikeGenerator gen(SmallConfig());
+  AllocationParams params = AllocationParams::ForExperiment(1, 4, 2.0);
+  TxAlloController controller(&gen.registry(), params);
+  for (int b = 0; b < 10; ++b) controller.ApplyBlock(gen.NextBlock());
+  ASSERT_TRUE(controller.StepGlobal().ok());
+
+  for (int b = 0; b < 10; ++b) controller.ApplyBlock(gen.NextBlock());
+  // Snapshot incremental state, then recompute from scratch and compare.
+  alloc::CommunityState incremental = controller.state();
+  TxAlloController copy = controller;  // Cheap enough at this scale.
+  copy.RecomputeState();
+  for (uint32_t c = 0; c < params.num_shards; ++c) {
+    EXPECT_NEAR(incremental.sigma[c], copy.state().sigma[c], 1e-6);
+    EXPECT_NEAR(incremental.lambda_hat[c], copy.state().lambda_hat[c], 1e-6);
+  }
+}
+
+TEST(ControllerTest, AdaptiveStepAssignsNewAccounts) {
+  workload::EthereumLikeGenerator gen(SmallConfig());
+  AllocationParams params = AllocationParams::ForExperiment(1, 4, 2.0);
+  TxAlloController controller(&gen.registry(), params);
+  for (int b = 0; b < 30; ++b) controller.ApplyBlock(gen.NextBlock());
+  ASSERT_TRUE(controller.StepGlobal().ok());
+
+  for (int b = 0; b < 10; ++b) controller.ApplyBlock(gen.NextBlock());
+  auto info = controller.StepAdaptive();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_GT(info->touched_nodes, 0u);
+  // Every node that appeared in any applied block must now be assigned.
+  const auto& graph = controller.graph();
+  const auto& allocation = controller.allocation();
+  for (size_t v = 0; v < graph.num_nodes(); ++v) {
+    const auto id = static_cast<graph::NodeId>(v);
+    if (graph.Strength(id) > 0.0 || graph.SelfLoop(id) > 0.0) {
+      EXPECT_TRUE(allocation.IsAssigned(id)) << "node " << v;
+    }
+  }
+}
+
+TEST(ControllerTest, PendingTouchedNodesClearedByStep) {
+  workload::EthereumLikeGenerator gen(SmallConfig());
+  AllocationParams params = AllocationParams::ForExperiment(1, 2, 2.0);
+  TxAlloController controller(&gen.registry(), params);
+  controller.ApplyBlock(gen.NextBlock());
+  EXPECT_FALSE(controller.PendingTouchedNodes().empty());
+  ASSERT_TRUE(controller.StepAdaptive().ok());
+  EXPECT_TRUE(controller.PendingTouchedNodes().empty());
+}
+
+TEST(ControllerTest, TouchedNodesAreHashOrderedAndUnique) {
+  workload::EthereumLikeGenerator gen(SmallConfig());
+  AllocationParams params = AllocationParams::ForExperiment(1, 2, 2.0);
+  TxAlloController controller(&gen.registry(), params);
+  for (int b = 0; b < 5; ++b) controller.ApplyBlock(gen.NextBlock());
+  auto touched = controller.PendingTouchedNodes();
+  for (size_t i = 1; i < touched.size(); ++i) {
+    const uint64_t ka = gen.registry().OrderKey(touched[i - 1]);
+    const uint64_t kb = gen.registry().OrderKey(touched[i]);
+    EXPECT_TRUE(ka < kb || (ka == kb && touched[i - 1] < touched[i]));
+  }
+}
+
+TEST(ControllerTest, CapacityScalesWithTransactions) {
+  workload::EthereumLikeGenerator gen(SmallConfig());
+  AllocationParams params = AllocationParams::ForExperiment(1, 4, 2.0);
+  TxAlloController controller(&gen.registry(), params);
+  for (int b = 0; b < 10; ++b) controller.ApplyBlock(gen.NextBlock());
+  ASSERT_TRUE(controller.StepAdaptive().ok());
+  // λ = |T|/k after the refresh.
+  EXPECT_NEAR(controller.params().capacity,
+              static_cast<double>(controller.transactions_applied()) / 4.0,
+              1e-9);
+}
+
+TEST(ControllerTest, AdaptiveImprovesOverStaleAllocationCheaply) {
+  // After drift, an adaptive step must not lose throughput, and it must be
+  // far cheaper than the global step at the same ledger size.
+  workload::EthereumLikeConfig config = SmallConfig();
+  config.num_blocks = 100;
+  workload::EthereumLikeGenerator gen(config);
+  AllocationParams params = AllocationParams::ForExperiment(1, 4, 2.0);
+  TxAlloController controller(&gen.registry(), params);
+  for (int b = 0; b < 50; ++b) controller.ApplyBlock(gen.NextBlock());
+  ASSERT_TRUE(controller.StepGlobal().ok());
+  for (int b = 0; b < 25; ++b) controller.ApplyBlock(gen.NextBlock());
+  const double before = controller.CurrentThroughput();
+  auto info = controller.StepAdaptive();
+  ASSERT_TRUE(info.ok());
+  EXPECT_GE(info->final_throughput, before - 1e-6);
+}
+
+}  // namespace
+}  // namespace txallo::core

@@ -1,0 +1,198 @@
+#include "txallo/core/gain.h"
+
+#include <gtest/gtest.h>
+
+#include "txallo/graph/graph.h"
+
+namespace txallo::core {
+namespace {
+
+using alloc::Allocation;
+using alloc::AllocationParams;
+using alloc::CommunityState;
+using graph::TransactionGraph;
+
+AllocationParams Params(uint32_t k, double eta, double capacity) {
+  AllocationParams p;
+  p.num_shards = k;
+  p.eta = eta;
+  p.capacity = capacity;
+  p.epsilon = 0.0;
+  return p;
+}
+
+// Fixture graph: 0-1 (w=2), 1-2 (w=1), 2-3 (w=3), self-loop on 1 (w=0.5).
+TransactionGraph FixtureGraph() {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(2, 3, 3.0);
+  g.AddSelfLoop(1, 0.5);
+  g.Consolidate();
+  return g;
+}
+
+NodeProfile ProfileOf(const TransactionGraph& g, graph::NodeId v) {
+  return NodeProfile{g.SelfLoop(v), g.Strength(v)};
+}
+
+double WeightToCommunity(const TransactionGraph& g, graph::NodeId v,
+                         const Allocation& a, uint32_t c) {
+  double w = 0.0;
+  for (const graph::Neighbor& nb : g.Neighbors(v)) {
+    if (a.IsAssigned(nb.node) && a.shard_of(nb.node) == c) w += nb.weight;
+  }
+  return w;
+}
+
+TEST(GainTest, JoinDeltaMatchesFromScratchRecomputation) {
+  TransactionGraph g = FixtureGraph();
+  AllocationParams params = Params(2, 3.0, 1e9);
+  // Node 1 unassigned; others: {0}->0, {2,3}->1.
+  Allocation before(4, 2);
+  before.Assign(0, 0);
+  before.Assign(2, 1);
+  before.Assign(3, 1);
+  CommunityState state = ComputeCommunityState(g, before, params);
+
+  // Hypothetically join node 1 into community 0.
+  NodeProfile node = ProfileOf(g, 1);
+  const double w_to_0 = WeightToCommunity(g, 1, before, 0);
+  CommunityDelta delta = JoinDelta(state, 0, node, w_to_0);
+
+  Allocation after = before;
+  after.Assign(1, 0);
+  CommunityState next = ComputeCommunityState(g, after, params);
+  EXPECT_NEAR(state.sigma[0] + delta.d_sigma, next.sigma[0], 1e-12);
+  EXPECT_NEAR(state.lambda_hat[0] + delta.d_lambda_hat, next.lambda_hat[0],
+              1e-12);
+  EXPECT_NEAR(delta.throughput_gain,
+              next.ThroughputOf(0) - state.ThroughputOf(0), 1e-12);
+}
+
+TEST(GainTest, LeaveDeltaMatchesFromScratchRecomputation) {
+  TransactionGraph g = FixtureGraph();
+  AllocationParams params = Params(2, 4.0, 1e9);
+  Allocation before(4, 2);
+  before.Assign(0, 0);
+  before.Assign(1, 0);
+  before.Assign(2, 1);
+  before.Assign(3, 1);
+  CommunityState state = ComputeCommunityState(g, before, params);
+
+  NodeProfile node = ProfileOf(g, 1);
+  const double w_to_own = WeightToCommunity(g, 1, before, 0);
+  CommunityDelta delta = LeaveDelta(state, 0, node, w_to_own);
+
+  // After leaving, node 1's edges to community 0 become cross for shard 0
+  // and its other edges vanish from shard 0 entirely. Recompute with node 1
+  // unassigned (an unassigned neighbor counts as cross — same as "other").
+  Allocation after(4, 2);
+  after.Assign(0, 0);
+  after.Assign(2, 1);
+  after.Assign(3, 1);
+  CommunityState next = ComputeCommunityState(g, after, params);
+  EXPECT_NEAR(state.sigma[0] + delta.d_sigma, next.sigma[0], 1e-12);
+  EXPECT_NEAR(state.lambda_hat[0] + delta.d_lambda_hat, next.lambda_hat[0],
+              1e-12);
+}
+
+TEST(GainTest, MoveGainIsLeavePlusJoin) {
+  TransactionGraph g = FixtureGraph();
+  AllocationParams params = Params(2, 2.0, 1e9);
+  Allocation a(4, 2);
+  a.Assign(0, 0);
+  a.Assign(1, 0);
+  a.Assign(2, 1);
+  a.Assign(3, 1);
+  CommunityState state = ComputeCommunityState(g, a, params);
+  NodeProfile node = ProfileOf(g, 1);
+  const double w_p = WeightToCommunity(g, 1, a, 0);
+  const double w_q = WeightToCommunity(g, 1, a, 1);
+  const double gain = MoveGain(state, 0, 1, node, w_p, w_q);
+  EXPECT_NEAR(gain,
+              LeaveDelta(state, 0, node, w_p).throughput_gain +
+                  JoinDelta(state, 1, node, w_q).throughput_gain,
+              1e-15);
+}
+
+TEST(GainTest, MoveGainMatchesTotalThroughputChange) {
+  // End-to-end: Δ(i,p,q)Λ must equal Λ(after) - Λ(before) over ALL
+  // communities — this is Lemma 1 plus the delta formulas in one check.
+  TransactionGraph g = FixtureGraph();
+  for (double eta : {1.0, 2.0, 5.0}) {
+    for (double capacity : {1.5, 3.0, 1e9}) {
+      AllocationParams params = Params(3, eta, capacity);
+      Allocation a(4, 3);
+      a.Assign(0, 0);
+      a.Assign(1, 0);
+      a.Assign(2, 1);
+      a.Assign(3, 2);
+      CommunityState state = ComputeCommunityState(g, a, params);
+      NodeProfile node = ProfileOf(g, 2);
+      const double w_p = WeightToCommunity(g, 2, a, 1);
+      const double w_q = WeightToCommunity(g, 2, a, 2);
+      const double gain = MoveGain(state, 1, 2, node, w_p, w_q);
+
+      Allocation moved = a;
+      moved.Assign(2, 2);
+      CommunityState next = ComputeCommunityState(g, moved, params);
+      EXPECT_NEAR(gain, next.TotalThroughput() - state.TotalThroughput(),
+                  1e-9)
+          << "eta=" << eta << " capacity=" << capacity;
+    }
+  }
+}
+
+TEST(GainTest, Lemma1UninvolvedCommunitiesUnchanged) {
+  TransactionGraph g = FixtureGraph();
+  AllocationParams params = Params(3, 3.0, 2.0);
+  Allocation a(4, 3);
+  a.Assign(0, 0);
+  a.Assign(1, 1);
+  a.Assign(2, 1);
+  a.Assign(3, 2);
+  CommunityState state = ComputeCommunityState(g, a, params);
+  Allocation moved = a;
+  moved.Assign(1, 0);  // Move node 1 from community 1 to 0.
+  CommunityState next = ComputeCommunityState(g, moved, params);
+  // Community 2 is untouched by the move (Lemma 1).
+  EXPECT_NEAR(state.sigma[2], next.sigma[2], 1e-12);
+  EXPECT_NEAR(state.lambda_hat[2], next.lambda_hat[2], 1e-12);
+  EXPECT_NEAR(state.ThroughputOf(2), next.ThroughputOf(2), 1e-12);
+}
+
+TEST(GainTest, ApplyJoinThenLeaveIsIdentity) {
+  TransactionGraph g = FixtureGraph();
+  AllocationParams params = Params(2, 2.5, 4.0);
+  Allocation a(4, 2);
+  a.Assign(0, 0);
+  a.Assign(2, 1);
+  a.Assign(3, 1);
+  CommunityState state = ComputeCommunityState(g, a, params);
+  CommunityState original = state;
+  NodeProfile node = ProfileOf(g, 1);
+  const double w_to_0 = WeightToCommunity(g, 1, a, 0);
+  ApplyJoin(&state, 0, node, w_to_0);
+  ApplyLeave(&state, 0, node, w_to_0);
+  EXPECT_NEAR(state.sigma[0], original.sigma[0], 1e-12);
+  EXPECT_NEAR(state.lambda_hat[0], original.lambda_hat[0], 1e-12);
+}
+
+TEST(GainTest, JoiningOverloadedCommunityIsPenalized) {
+  // The capacity clamp is what makes TxAllo workload-aware: joining an
+  // overloaded community must look worse than joining an idle one even
+  // with equal connectivity.
+  CommunityState state;
+  state.eta = 2.0;
+  state.capacity = 10.0;
+  state.sigma = {30.0, 1.0};       // Community 0 badly overloaded.
+  state.lambda_hat = {20.0, 1.0};
+  NodeProfile node{0.0, 1.0};       // Unit strength, no self-loop.
+  const double gain_overloaded = JoinDelta(state, 0, node, 0.5).throughput_gain;
+  const double gain_idle = JoinDelta(state, 1, node, 0.5).throughput_gain;
+  EXPECT_GT(gain_idle, gain_overloaded);
+}
+
+}  // namespace
+}  // namespace txallo::core

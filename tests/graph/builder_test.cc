@@ -1,0 +1,102 @@
+#include "txallo/graph/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "txallo/common/math.h"
+
+namespace txallo::graph {
+namespace {
+
+using chain::Transaction;
+
+TEST(GraphBuilderTest, TwoPartyTransactionWeighsOne) {
+  TransactionGraph g;
+  GraphBuilder builder(&g);
+  builder.AddTransaction(Transaction::Simple(0, 1));
+  builder.Finish();
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 1.0);
+}
+
+TEST(GraphBuilderTest, SelfTransferIsUnitSelfLoop) {
+  TransactionGraph g;
+  GraphBuilder builder(&g);
+  builder.AddTransaction(Transaction({5}, {5}));
+  builder.Finish();
+  EXPECT_DOUBLE_EQ(g.SelfLoop(5), 1.0);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 1.0);
+}
+
+TEST(GraphBuilderTest, MultiPartySplitsUnitWeightOverPairs) {
+  // 3 accounts -> C(3,2) = 3 edges of weight 1/3 each (Definition 2).
+  TransactionGraph g;
+  GraphBuilder builder(&g);
+  builder.AddTransaction(Transaction({0, 1}, {2}));
+  builder.Finish();
+  EXPECT_NEAR(g.EdgeWeight(0, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(g.EdgeWeight(0, 2), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(g.EdgeWeight(1, 2), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(g.TotalWeight(), 1.0, 1e-12);
+}
+
+TEST(GraphBuilderTest, FivePartyUsesCombinationCount) {
+  TransactionGraph g;
+  GraphBuilder builder(&g);
+  builder.AddTransaction(Transaction({0, 1, 2}, {3, 4}));
+  builder.Finish();
+  const double share = 1.0 / static_cast<double>(EdgeSplitCount(5));
+  EXPECT_NEAR(g.EdgeWeight(0, 4), share, 1e-12);
+  EXPECT_NEAR(g.TotalWeight(), 1.0, 1e-12);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(GraphBuilderTest, RepeatedTransactionsAccumulate) {
+  TransactionGraph g;
+  GraphBuilder builder(&g);
+  for (int i = 0; i < 5; ++i) {
+    builder.AddTransaction(Transaction::Simple(0, 1));
+  }
+  builder.Finish();
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 5.0);
+}
+
+TEST(GraphBuilderTest, TotalWeightEqualsTransactionCount) {
+  // Every transaction distributes exactly one unit of weight — the
+  // invariant connecting |T| to graph totals.
+  TransactionGraph g;
+  GraphBuilder builder(&g);
+  builder.AddTransaction(Transaction::Simple(0, 1));
+  builder.AddTransaction(Transaction({2}, {2}));
+  builder.AddTransaction(Transaction({0, 3}, {4, 5}));
+  builder.AddTransaction(Transaction({1}, {0, 2}));
+  builder.Finish();
+  EXPECT_NEAR(g.TotalWeight(), 4.0, 1e-12);
+  EXPECT_EQ(builder.num_transactions_added(), 4u);
+}
+
+TEST(GraphBuilderTest, LedgerRangeBuildsSubsets) {
+  chain::Ledger ledger;
+  for (uint64_t b = 0; b < 4; ++b) {
+    std::vector<Transaction> txs{Transaction::Simple(0, 1)};
+    ASSERT_TRUE(ledger.Append(chain::Block(b, std::move(txs))).ok());
+  }
+  TransactionGraph g;
+  GraphBuilder builder(&g);
+  builder.AddLedgerRange(ledger, 1, 3);
+  builder.Finish();
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 2.0);
+}
+
+TEST(GraphBuilderTest, BuildTransactionGraphConvenience) {
+  chain::Ledger ledger;
+  std::vector<Transaction> txs{Transaction::Simple(0, 1),
+                               Transaction::Simple(1, 2)};
+  ASSERT_TRUE(ledger.Append(chain::Block(0, std::move(txs))).ok());
+  TransactionGraph g = BuildTransactionGraph(ledger);
+  EXPECT_TRUE(g.consolidated());
+  EXPECT_NEAR(g.TotalWeight(), 2.0, 1e-12);
+  EXPECT_EQ(g.num_nodes(), 3u);
+}
+
+}  // namespace
+}  // namespace txallo::graph

@@ -1,0 +1,80 @@
+#include "txallo/graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include "txallo/common/rng.h"
+
+namespace txallo::graph {
+namespace {
+
+TEST(CsrGraphTest, MirrorsSmallGraph) {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 1.5);
+  g.AddEdge(1, 2, 2.5);
+  g.AddSelfLoop(2, 0.5);
+  g.Consolidate();
+  CsrGraph csr = CsrGraph::FromGraph(g);
+  EXPECT_EQ(csr.num_nodes(), 3u);
+  EXPECT_EQ(csr.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(csr.TotalWeight(), g.TotalWeight());
+  EXPECT_DOUBLE_EQ(csr.SelfLoop(2), 0.5);
+  EXPECT_DOUBLE_EQ(csr.Strength(1), 4.0);
+  ASSERT_EQ(csr.Degree(1), 2u);
+  auto ids = csr.NeighborIds(1);
+  auto ws = csr.NeighborWeights(1);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_DOUBLE_EQ(ws[0], 1.5);
+  EXPECT_EQ(ids[1], 2u);
+  EXPECT_DOUBLE_EQ(ws[1], 2.5);
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  TransactionGraph g;
+  g.Consolidate();
+  CsrGraph csr = CsrGraph::FromGraph(g);
+  EXPECT_EQ(csr.num_nodes(), 0u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+}
+
+TEST(CsrGraphTest, RandomGraphEquivalence) {
+  // Property: CSR snapshot agrees with the source graph on every node's
+  // degree, strength, and neighbor multiset.
+  TransactionGraph g;
+  Rng rng(77);
+  constexpr int kNodes = 200;
+  for (int e = 0; e < 2000; ++e) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(kNodes));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(kNodes));
+    g.AddEdge(u, v, 1.0 + rng.NextDouble());
+  }
+  g.EnsureNodeCount(kNodes);
+  g.Consolidate();
+  CsrGraph csr = CsrGraph::FromGraph(g);
+  ASSERT_EQ(csr.num_nodes(), g.num_nodes());
+  ASSERT_EQ(csr.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < kNodes; ++v) {
+    auto g_nbrs = g.Neighbors(v);
+    ASSERT_EQ(csr.Degree(v), g_nbrs.size());
+    EXPECT_DOUBLE_EQ(csr.Strength(v), g.Strength(v));
+    EXPECT_DOUBLE_EQ(csr.SelfLoop(v), g.SelfLoop(v));
+    auto ids = csr.NeighborIds(v);
+    auto ws = csr.NeighborWeights(v);
+    for (size_t i = 0; i < g_nbrs.size(); ++i) {
+      EXPECT_EQ(ids[i], g_nbrs[i].node);
+      EXPECT_DOUBLE_EQ(ws[i], g_nbrs[i].weight);
+    }
+  }
+}
+
+TEST(CsrGraphTest, IsolatedNodesPreserved) {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 1.0);
+  g.EnsureNodeCount(10);
+  g.Consolidate();
+  CsrGraph csr = CsrGraph::FromGraph(g);
+  EXPECT_EQ(csr.num_nodes(), 10u);
+  EXPECT_EQ(csr.Degree(5), 0u);
+}
+
+}  // namespace
+}  // namespace txallo::graph

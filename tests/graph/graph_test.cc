@@ -1,0 +1,123 @@
+#include "txallo/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace txallo::graph {
+namespace {
+
+TEST(TransactionGraphTest, EmptyGraph) {
+  TransactionGraph g;
+  g.Consolidate();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 0.0);
+}
+
+TEST(TransactionGraphTest, SingleEdgeBothDirections) {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 2.5);
+  g.Consolidate();
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 2.5);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 2.5);
+}
+
+TEST(TransactionGraphTest, DuplicateEdgesAccumulate) {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 0, 0.5);
+  g.Consolidate();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 1.5);
+}
+
+TEST(TransactionGraphTest, SelfLoopViaAddEdge) {
+  TransactionGraph g;
+  g.AddEdge(3, 3, 1.0);
+  g.AddSelfLoop(3, 0.5);
+  g.Consolidate();
+  EXPECT_DOUBLE_EQ(g.SelfLoop(3), 1.5);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(3, 3), 1.5);
+  EXPECT_EQ(g.num_edges(), 0u);  // Self-loops are not adjacency edges.
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 1.5);
+}
+
+TEST(TransactionGraphTest, StrengthExcludesSelfLoop) {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(0, 2, 3.0);
+  g.AddSelfLoop(0, 10.0);
+  g.Consolidate();
+  EXPECT_DOUBLE_EQ(g.Strength(0), 5.0);
+  EXPECT_DOUBLE_EQ(g.Strength(1), 2.0);
+}
+
+TEST(TransactionGraphTest, NeighborsSortedById) {
+  TransactionGraph g;
+  g.AddEdge(0, 9, 1.0);
+  g.AddEdge(0, 3, 1.0);
+  g.AddEdge(0, 6, 1.0);
+  g.Consolidate();
+  auto nbrs = g.Neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0].node, 3u);
+  EXPECT_EQ(nbrs[1].node, 6u);
+  EXPECT_EQ(nbrs[2].node, 9u);
+}
+
+TEST(TransactionGraphTest, IncrementalConsolidationMerges) {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 1.0);
+  g.Consolidate();
+  EXPECT_TRUE(g.consolidated());
+  g.AddEdge(0, 1, 2.0);  // Into pending.
+  EXPECT_FALSE(g.consolidated());
+  g.AddEdge(0, 2, 4.0);
+  g.Consolidate();
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(g.Strength(0), 7.0);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(TransactionGraphTest, MissingEdgeWeightIsZero) {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 1.0);
+  g.EnsureNodeCount(5);
+  g.Consolidate();
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(2, 3), 0.0);
+}
+
+TEST(TransactionGraphTest, TotalWeightCountsEdgesOnceAndSelfLoopsOnce) {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddSelfLoop(2, 3.0);
+  g.Consolidate();
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 6.0);
+}
+
+TEST(TransactionGraphTest, EnsureNodeCountCreatesIsolatedNodes) {
+  TransactionGraph g;
+  g.EnsureNodeCount(10);
+  g.Consolidate();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.Neighbors(7).size(), 0u);
+  EXPECT_DOUBLE_EQ(g.Strength(7), 0.0);
+}
+
+TEST(TransactionGraphTest, ConsolidateIsIdempotent) {
+  TransactionGraph g;
+  g.AddEdge(0, 1, 1.0);
+  g.Consolidate();
+  const double w1 = g.TotalWeight();
+  g.Consolidate();
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), w1);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace txallo::graph

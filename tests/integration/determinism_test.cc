@@ -1,0 +1,123 @@
+// Determinism: the core requirement of §IV-A — every miner must derive a
+// bit-identical allocation without a consensus round.
+#include <gtest/gtest.h>
+
+#include "txallo/core/controller.h"
+#include "txallo/core/global.h"
+#include "txallo/graph/builder.h"
+#include "txallo/workload/ethereum_like.h"
+
+namespace txallo {
+namespace {
+
+using alloc::AllocationParams;
+
+struct World {
+  workload::EthereumLikeConfig config;
+  chain::Ledger ledger;
+  graph::TransactionGraph graph;
+  chain::AccountRegistry registry;
+  std::vector<graph::NodeId> node_order;
+};
+
+World MakeWorld(uint64_t seed) {
+  World w;
+  w.config.num_blocks = 50;
+  w.config.txs_per_block = 80;
+  w.config.num_accounts = 1'200;
+  w.config.num_communities = 24;
+  w.config.seed = seed;
+  workload::EthereumLikeGenerator gen(w.config);
+  w.ledger = gen.GenerateLedger(w.config.num_blocks);
+  w.graph = graph::BuildTransactionGraph(w.ledger);
+  w.graph.EnsureNodeCount(gen.registry().size());
+  w.graph.Consolidate();
+  for (size_t a = 0; a < gen.registry().size(); ++a) {
+    w.registry.Intern(
+        gen.registry().AddressOf(static_cast<chain::AccountId>(a)));
+  }
+  w.node_order = w.registry.IdsInHashOrder();
+  return w;
+}
+
+TEST(DeterminismTest, GlobalTxAlloBitIdenticalAcrossRuns) {
+  World w = MakeWorld(5);
+  AllocationParams params =
+      AllocationParams::ForExperiment(w.ledger.num_transactions(), 8, 4.0);
+  auto first = core::RunGlobalTxAllo(w.graph, w.node_order, params);
+  auto second = core::RunGlobalTxAllo(w.graph, w.node_order, params);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(first.value() == second.value());
+}
+
+TEST(DeterminismTest, TwoIndependentMinersAgree) {
+  // Two "miners" rebuild everything from the same ledger — separate graph
+  // objects, separate registries — and must produce identical mappings.
+  World alice = MakeWorld(6);
+  World bob = MakeWorld(6);
+  AllocationParams params = AllocationParams::ForExperiment(
+      alice.ledger.num_transactions(), 10, 2.0);
+  auto a = core::RunGlobalTxAllo(alice.graph, alice.node_order, params);
+  auto b = core::RunGlobalTxAllo(bob.graph, bob.node_order, params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a.value() == b.value());
+}
+
+TEST(DeterminismTest, NodeOrderMattersButIsCanonical) {
+  // A different iteration order may give a different (still valid) result —
+  // which is exactly why the paper pins the order to the account hash.
+  World w = MakeWorld(7);
+  AllocationParams params =
+      AllocationParams::ForExperiment(w.ledger.num_transactions(), 8, 2.0);
+  std::vector<graph::NodeId> id_order(w.graph.num_nodes());
+  for (size_t i = 0; i < id_order.size(); ++i) {
+    id_order[i] = static_cast<graph::NodeId>(i);
+  }
+  auto canonical = core::RunGlobalTxAllo(w.graph, w.node_order, params);
+  auto by_id = core::RunGlobalTxAllo(w.graph, id_order, params);
+  ASSERT_TRUE(canonical.ok());
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_TRUE(canonical->Validate().ok());
+  EXPECT_TRUE(by_id->Validate().ok());
+  // Both runs with the same order are identical (sanity of the premise).
+  auto canonical2 = core::RunGlobalTxAllo(w.graph, w.node_order, params);
+  ASSERT_TRUE(canonical2.ok());
+  EXPECT_TRUE(canonical.value() == canonical2.value());
+}
+
+TEST(DeterminismTest, HybridControllersConvergeIdentically) {
+  // Two controllers fed the same block stream with the same schedule must
+  // agree after every step — the A-TxAllo path must be deterministic too.
+  workload::EthereumLikeConfig config;
+  config.num_blocks = 60;
+  config.txs_per_block = 40;
+  config.num_accounts = 600;
+  config.num_communities = 12;
+  config.seed = 99;
+  workload::EthereumLikeGenerator gen_a(config);
+  workload::EthereumLikeGenerator gen_b(config);
+  AllocationParams params = AllocationParams::ForExperiment(1, 6, 2.0);
+  core::TxAlloController ctrl_a(&gen_a.registry(), params);
+  core::TxAlloController ctrl_b(&gen_b.registry(), params);
+
+  for (int step = 0; step < 6; ++step) {
+    for (int blk = 0; blk < 10; ++blk) {
+      ctrl_a.ApplyBlock(gen_a.NextBlock());
+      ctrl_b.ApplyBlock(gen_b.NextBlock());
+    }
+    if (step == 0) {
+      ASSERT_TRUE(ctrl_a.StepGlobal().ok());
+      ASSERT_TRUE(ctrl_b.StepGlobal().ok());
+    } else {
+      ASSERT_TRUE(ctrl_a.StepAdaptive().ok());
+      ASSERT_TRUE(ctrl_b.StepAdaptive().ok());
+    }
+    ASSERT_TRUE(ctrl_a.allocation() == ctrl_b.allocation())
+        << "diverged at step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace txallo

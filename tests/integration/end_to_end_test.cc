@@ -1,0 +1,154 @@
+// Integration: all four allocation methods on one synthetic Ethereum-like
+// workload, checked for the qualitative orderings the paper reports.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "txallo/alloc/metrics.h"
+#include "txallo/baselines/hash_allocator.h"
+#include "txallo/baselines/metis/partitioner.h"
+#include "txallo/baselines/shard_scheduler.h"
+#include "txallo/core/global.h"
+#include "txallo/graph/builder.h"
+#include "txallo/workload/ethereum_like.h"
+
+namespace txallo {
+namespace {
+
+using alloc::AllocationParams;
+using alloc::EvaluationReport;
+
+struct Fixture {
+  workload::EthereumLikeConfig config;
+  chain::Ledger ledger;
+  graph::TransactionGraph graph;
+  chain::AccountRegistry registry;
+  std::vector<graph::NodeId> node_order;
+
+  static Fixture Make() {
+    Fixture f;
+    f.config.num_blocks = 80;
+    f.config.txs_per_block = 120;
+    f.config.num_accounts = 2'400;
+    f.config.num_communities = 48;
+    f.config.seed = 2024;
+    workload::EthereumLikeGenerator gen(f.config);
+    f.ledger = gen.GenerateLedger(f.config.num_blocks);
+    f.graph = graph::BuildTransactionGraph(f.ledger);
+    f.graph.EnsureNodeCount(gen.registry().size());
+    f.graph.Consolidate();
+    // Registry copy via re-interning (registry is move-only practical).
+    for (size_t a = 0; a < gen.registry().size(); ++a) {
+      f.registry.Intern(
+          gen.registry().AddressOf(static_cast<chain::AccountId>(a)));
+    }
+    f.node_order = f.registry.IdsInHashOrder();
+    return f;
+  }
+};
+
+EvaluationReport Evaluate(const Fixture& f, const alloc::Allocation& a,
+                          const AllocationParams& params) {
+  auto report = alloc::EvaluateAllocation(f.ledger, a, params);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.value();
+}
+
+TEST(EndToEndTest, QualitativeOrderingsMatchPaper) {
+  Fixture f = Fixture::Make();
+  const uint32_t k = 8;
+  const double eta = 2.0;
+  AllocationParams params =
+      AllocationParams::ForExperiment(f.ledger.num_transactions(), k, eta);
+
+  // TxAllo.
+  auto txallo = core::RunGlobalTxAllo(f.graph, f.node_order, params);
+  ASSERT_TRUE(txallo.ok()) << txallo.status().ToString();
+  EvaluationReport r_txallo = Evaluate(f, txallo.value(), params);
+
+  // Hash-based random.
+  auto hashed = baselines::AllocateByHash(f.registry, k);
+  EvaluationReport r_hash = Evaluate(f, hashed, params);
+
+  // METIS-style.
+  auto metis = baselines::metis::PartitionGraph(f.graph, k);
+  ASSERT_TRUE(metis.ok());
+  EvaluationReport r_metis = Evaluate(f, metis.value(), params);
+
+  // Shard Scheduler.
+  baselines::ShardScheduler scheduler(k, eta);
+  scheduler.ProcessLedger(f.ledger);
+  EvaluationReport r_sched =
+      Evaluate(f, scheduler.SnapshotAllocation(f.registry.size()), params);
+
+  // --- Fig. 2: cross-shard ratio ordering. ---
+  EXPECT_LT(r_txallo.cross_shard_ratio, r_metis.cross_shard_ratio + 0.05);
+  EXPECT_LT(r_txallo.cross_shard_ratio, 0.45);
+  EXPECT_LT(r_metis.cross_shard_ratio, r_hash.cross_shard_ratio);
+  EXPECT_GT(r_hash.cross_shard_ratio, 0.75);  // ~1 - 1/k and multi-party.
+  EXPECT_LT(r_txallo.cross_shard_ratio, r_sched.cross_shard_ratio);
+
+  // --- Fig. 5: throughput ordering (TxAllo best). ---
+  EXPECT_GT(r_txallo.normalized_throughput,
+            r_hash.normalized_throughput);
+  EXPECT_GE(r_txallo.normalized_throughput,
+            r_metis.normalized_throughput - 0.10 * k);
+
+  // --- Fig. 6: average latency (TxAllo lowest or tied). ---
+  EXPECT_LE(r_txallo.avg_latency_blocks, r_hash.avg_latency_blocks + 0.5);
+
+  // --- Fig. 3/4: Shard Scheduler balance beats random. ---
+  EXPECT_LT(r_sched.normalized_workload_stddev,
+            r_hash.normalized_workload_stddev + 0.5);
+}
+
+TEST(EndToEndTest, TxAlloSelfAdjustsGammaWithEta) {
+  // §VI-B2: larger η makes TxAllo prioritize γ — cross-shard ratio must
+  // not increase when η grows.
+  Fixture f = Fixture::Make();
+  const uint32_t k = 8;
+  double previous_gamma = 1.0;
+  for (double eta : {2.0, 6.0, 10.0}) {
+    AllocationParams params = AllocationParams::ForExperiment(
+        f.ledger.num_transactions(), k, eta);
+    auto result = core::RunGlobalTxAllo(f.graph, f.node_order, params);
+    ASSERT_TRUE(result.ok());
+    EvaluationReport report = Evaluate(f, result.value(), params);
+    EXPECT_LE(report.cross_shard_ratio, previous_gamma + 0.03)
+        << "eta=" << eta;
+    previous_gamma = report.cross_shard_ratio;
+  }
+}
+
+TEST(EndToEndTest, ThroughputScalesWithShardCount) {
+  // Fig. 5: normalized throughput grows roughly linearly in k for TxAllo.
+  Fixture f = Fixture::Make();
+  double prev = 0.0;
+  for (uint32_t k : {2u, 4u, 8u, 16u}) {
+    AllocationParams params = AllocationParams::ForExperiment(
+        f.ledger.num_transactions(), k, 2.0);
+    auto result = core::RunGlobalTxAllo(f.graph, f.node_order, params);
+    ASSERT_TRUE(result.ok());
+    EvaluationReport report = Evaluate(f, result.value(), params);
+    EXPECT_GT(report.normalized_throughput, prev) << "k=" << k;
+    // Never better than the ideal k-fold speedup.
+    EXPECT_LE(report.normalized_throughput, static_cast<double>(k) + 1e-9);
+    prev = report.normalized_throughput;
+  }
+}
+
+TEST(EndToEndTest, HashBaselineCrossRatioMatchesTheory) {
+  // For 1-in-1-out transactions, hash allocation yields γ ≈ 1 - 1/k.
+  Fixture f = Fixture::Make();
+  for (uint32_t k : {2u, 10u, 40u}) {
+    AllocationParams params = AllocationParams::ForExperiment(
+        f.ledger.num_transactions(), k, 2.0);
+    auto hashed = baselines::AllocateByHash(f.registry, k);
+    EvaluationReport report = Evaluate(f, hashed, params);
+    const double theory = 1.0 - 1.0 / static_cast<double>(k);
+    EXPECT_NEAR(report.cross_shard_ratio, theory, 0.05) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace txallo

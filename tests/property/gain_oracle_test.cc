@@ -1,0 +1,173 @@
+// Property: on random graphs, random allocations and random moves, the
+// closed-form gain kernel must agree with the from-scratch oracle
+// (ComputeCommunityState + TotalThroughput). This is the correctness core
+// of the whole optimizer — §V-B's Δσ/ΔΛ̂ algebra and Lemma 1 together.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "txallo/alloc/graph_metrics.h"
+#include "txallo/common/rng.h"
+#include "txallo/core/gain.h"
+#include "txallo/graph/graph.h"
+
+namespace txallo::core {
+namespace {
+
+using alloc::Allocation;
+using alloc::AllocationParams;
+using alloc::CommunityState;
+using graph::NodeId;
+using graph::TransactionGraph;
+
+TransactionGraph RandomGraph(uint64_t seed, int nodes, int edges,
+                             double self_loop_rate) {
+  TransactionGraph g;
+  Rng rng(seed);
+  for (int e = 0; e < edges; ++e) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(nodes));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(nodes));
+    const double w = 0.1 + rng.NextDouble() * 3.0;
+    if (u == v || rng.NextBernoulli(self_loop_rate)) {
+      g.AddSelfLoop(u, w);
+    } else {
+      g.AddEdge(u, v, w);
+    }
+  }
+  g.EnsureNodeCount(nodes);
+  g.Consolidate();
+  return g;
+}
+
+double WeightToCommunity(const TransactionGraph& g, NodeId v,
+                         const Allocation& a, uint32_t c) {
+  double w = 0.0;
+  for (const graph::Neighbor& nb : g.Neighbors(v)) {
+    if (a.IsAssigned(nb.node) && a.shard_of(nb.node) == c) w += nb.weight;
+  }
+  return w;
+}
+
+class GainOracleSweep
+    : public ::testing::TestWithParam<
+          std::tuple<uint64_t, uint32_t, double, double>> {};
+
+TEST_P(GainOracleSweep, MoveGainMatchesOracleForManyRandomMoves) {
+  auto [seed, k, eta, capacity_scale] = GetParam();
+  constexpr int kNodes = 60;
+  TransactionGraph g = RandomGraph(seed, kNodes, 300, 0.05);
+
+  AllocationParams params;
+  params.num_shards = k;
+  params.eta = eta;
+  params.capacity = capacity_scale * g.TotalWeight() / k;
+  params.epsilon = 0.0;
+
+  Rng rng(seed ^ 0xABCDEF);
+  Allocation a(kNodes, k);
+  for (NodeId v = 0; v < kNodes; ++v) {
+    a.Assign(v, static_cast<alloc::ShardId>(rng.NextBounded(k)));
+  }
+  CommunityState state = alloc::ComputeCommunityState(g, a, params);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(kNodes));
+    const uint32_t p = a.shard_of(v);
+    const uint32_t q = static_cast<uint32_t>(rng.NextBounded(k));
+    if (p == q) continue;
+
+    NodeProfile node{g.SelfLoop(v), g.Strength(v)};
+    const double w_p = WeightToCommunity(g, v, a, p);
+    const double w_q = WeightToCommunity(g, v, a, q);
+    const double predicted = MoveGain(state, p, q, node, w_p, w_q);
+
+    Allocation moved = a;
+    moved.Assign(v, q);
+    CommunityState next = alloc::ComputeCommunityState(g, moved, params);
+    const double actual =
+        next.TotalThroughput() - state.TotalThroughput();
+    ASSERT_NEAR(predicted, actual, 1e-7 * (1.0 + std::abs(actual)))
+        << "trial=" << trial << " v=" << v << " p=" << p << " q=" << q;
+
+    // Lemma 1: communities other than p, q are untouched.
+    for (uint32_t c = 0; c < k; ++c) {
+      if (c == p || c == q) continue;
+      ASSERT_NEAR(state.sigma[c], next.sigma[c], 1e-9);
+      ASSERT_NEAR(state.lambda_hat[c], next.lambda_hat[c], 1e-9);
+    }
+
+    // Actually apply the move through the incremental path and verify the
+    // running state stays glued to the oracle.
+    ApplyLeave(&state, p, node, w_p);
+    ApplyJoin(&state, q, node, w_q);
+    a.Assign(v, q);
+    for (uint32_t c = 0; c < k; ++c) {
+      ASSERT_NEAR(state.sigma[c], next.sigma[c], 1e-7);
+      ASSERT_NEAR(state.lambda_hat[c], next.lambda_hat[c], 1e-7);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomMoves, GainOracleSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(2u, 5u),
+                       ::testing::Values(1.0, 4.0, 10.0),
+                       // Under-, exactly-, and over-provisioned shards: the
+                       // clamp's three regimes.
+                       ::testing::Values(0.3, 1.0, 5.0)));
+
+class JoinOracleSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(JoinOracleSweep, JoinDeltaMatchesOracleWithUnassignedNodes) {
+  // The initialization-phase variant: some nodes unassigned, a new node
+  // joins — matching Algorithm 1's small-community absorption and
+  // Algorithm 2's new-node placement.
+  auto [seed, eta] = GetParam();
+  constexpr int kNodes = 40;
+  constexpr uint32_t k = 4;
+  TransactionGraph g = RandomGraph(seed + 100, kNodes, 160, 0.1);
+  AllocationParams params;
+  params.num_shards = k;
+  params.eta = eta;
+  params.capacity = g.TotalWeight() / k;
+  params.epsilon = 0.0;
+
+  Rng rng(seed * 7919);
+  Allocation a(kNodes, k);
+  std::vector<NodeId> unassigned;
+  for (NodeId v = 0; v < kNodes; ++v) {
+    if (rng.NextBernoulli(0.3)) {
+      unassigned.push_back(v);
+    } else {
+      a.Assign(v, static_cast<alloc::ShardId>(rng.NextBounded(k)));
+    }
+  }
+  CommunityState state = alloc::ComputeCommunityState(g, a, params);
+  for (NodeId v : unassigned) {
+    const uint32_t q = static_cast<uint32_t>(rng.NextBounded(k));
+    NodeProfile node{g.SelfLoop(v), g.Strength(v)};
+    const double w_q = WeightToCommunity(g, v, a, q);
+    CommunityDelta delta = JoinDelta(state, q, node, w_q);
+
+    Allocation joined = a;
+    joined.Assign(v, q);
+    CommunityState next = alloc::ComputeCommunityState(g, joined, params);
+    ASSERT_NEAR(state.sigma[q] + delta.d_sigma, next.sigma[q], 1e-8);
+    ASSERT_NEAR(state.lambda_hat[q] + delta.d_lambda_hat,
+                next.lambda_hat[q], 1e-8);
+    ASSERT_NEAR(delta.throughput_gain,
+                next.ThroughputOf(q) - state.ThroughputOf(q), 1e-8);
+    ApplyJoin(&state, q, node, w_q);
+    a.Assign(v, q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NewNodePlacement, JoinOracleSweep,
+                         ::testing::Combine(::testing::Values(11u, 22u, 33u),
+                                            ::testing::Values(2.0, 8.0)));
+
+}  // namespace
+}  // namespace txallo::core

@@ -1,0 +1,152 @@
+// Property sweeps over (k, η): structural invariants that must hold for
+// every allocation method on every workload.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "txallo/alloc/metrics.h"
+#include "txallo/baselines/hash_allocator.h"
+#include "txallo/baselines/metis/partitioner.h"
+#include "txallo/core/global.h"
+#include "txallo/graph/builder.h"
+#include "txallo/workload/ethereum_like.h"
+
+namespace txallo {
+namespace {
+
+using alloc::AllocationParams;
+using alloc::EvaluationReport;
+
+struct SharedWorkload {
+  chain::Ledger ledger;
+  graph::TransactionGraph graph;
+  chain::AccountRegistry registry;
+  std::vector<graph::NodeId> node_order;
+
+  static const SharedWorkload& Get() {
+    static SharedWorkload* instance = [] {
+      auto* w = new SharedWorkload();
+      workload::EthereumLikeConfig config;
+      config.num_blocks = 50;
+      config.txs_per_block = 100;
+      config.num_accounts = 1'500;
+      config.num_communities = 30;
+      config.seed = 314;
+      workload::EthereumLikeGenerator gen(config);
+      w->ledger = gen.GenerateLedger(config.num_blocks);
+      w->graph = graph::BuildTransactionGraph(w->ledger);
+      w->graph.EnsureNodeCount(gen.registry().size());
+      w->graph.Consolidate();
+      for (size_t a = 0; a < gen.registry().size(); ++a) {
+        w->registry.Intern(
+            gen.registry().AddressOf(static_cast<chain::AccountId>(a)));
+      }
+      w->node_order = w->registry.IdsInHashOrder();
+      return w;
+    }();
+    return *instance;
+  }
+};
+
+class InvariantSweep
+    : public ::testing::TestWithParam<std::tuple<uint32_t, double>> {};
+
+void CheckReportInvariants(const EvaluationReport& report,
+                           const AllocationParams& params,
+                           uint64_t num_transactions) {
+  // γ ∈ [0, 1].
+  EXPECT_GE(report.cross_shard_ratio, 0.0);
+  EXPECT_LE(report.cross_shard_ratio, 1.0);
+  // µ ∈ [1, k].
+  EXPECT_GE(report.mean_shards_per_tx, 1.0);
+  EXPECT_LE(report.mean_shards_per_tx, params.num_shards);
+  // Λ cannot exceed |T| (every transaction counts at most once) nor k·λ.
+  EXPECT_LE(report.throughput, static_cast<double>(num_transactions) + 1e-6);
+  EXPECT_LE(report.normalized_throughput,
+            static_cast<double>(params.num_shards) + 1e-9);
+  EXPECT_GE(report.throughput, 0.0);
+  // ζ >= 1 block; worst >= avg is NOT generally true (avg over shards vs
+  // max of per-shard worst), but worst >= 1 and worst >= ζ of the worst
+  // shard hold; check the simple bounds.
+  EXPECT_GE(report.avg_latency_blocks, 1.0);
+  EXPECT_GE(report.worst_latency_blocks, 1.0);
+  // Workload accounting: Σ σ_i = |T_intra| + η Σ_cross µ(Tx).
+  double sigma_total = 0.0;
+  for (double s : report.shard_workloads) sigma_total += s;
+  const double expected =
+      static_cast<double>(num_transactions - report.cross_shard_transactions) +
+      params.eta * report.mean_shards_per_tx *
+          static_cast<double>(report.total_transactions) -
+      params.eta * static_cast<double>(num_transactions -
+                                       report.cross_shard_transactions);
+  // mean_shards_per_tx * |T| = Σ µ = |T_intra| + Σ_cross µ.
+  EXPECT_NEAR(sigma_total, expected, 1e-6 * (1.0 + std::abs(expected)));
+}
+
+TEST_P(InvariantSweep, TxAlloAllocationSatisfiesDefinitionAndBounds) {
+  auto [k, eta] = GetParam();
+  const SharedWorkload& w = SharedWorkload::Get();
+  AllocationParams params =
+      AllocationParams::ForExperiment(w.ledger.num_transactions(), k, eta);
+  auto result = core::RunGlobalTxAllo(w.graph, w.node_order, params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Definition 1: uniqueness + completeness.
+  ASSERT_TRUE(result->Validate().ok());
+  auto report = alloc::EvaluateAllocation(w.ledger, result.value(), params);
+  ASSERT_TRUE(report.ok());
+  CheckReportInvariants(report.value(), params,
+                        w.ledger.num_transactions());
+}
+
+TEST_P(InvariantSweep, HashAllocationSatisfiesBounds) {
+  auto [k, eta] = GetParam();
+  const SharedWorkload& w = SharedWorkload::Get();
+  AllocationParams params =
+      AllocationParams::ForExperiment(w.ledger.num_transactions(), k, eta);
+  auto hashed = baselines::AllocateByHash(w.registry, k);
+  ASSERT_TRUE(hashed.Validate().ok());
+  auto report = alloc::EvaluateAllocation(w.ledger, hashed, params);
+  ASSERT_TRUE(report.ok());
+  CheckReportInvariants(report.value(), params,
+                        w.ledger.num_transactions());
+}
+
+TEST_P(InvariantSweep, MetisAllocationSatisfiesBounds) {
+  auto [k, eta] = GetParam();
+  const SharedWorkload& w = SharedWorkload::Get();
+  AllocationParams params =
+      AllocationParams::ForExperiment(w.ledger.num_transactions(), k, eta);
+  auto metis = baselines::metis::PartitionGraph(w.graph, k);
+  ASSERT_TRUE(metis.ok());
+  ASSERT_TRUE(metis->Validate().ok());
+  auto report = alloc::EvaluateAllocation(w.ledger, metis.value(), params);
+  ASSERT_TRUE(report.ok());
+  CheckReportInvariants(report.value(), params,
+                        w.ledger.num_transactions());
+}
+
+TEST_P(InvariantSweep, TxAlloBeatsHashOnThroughput) {
+  auto [k, eta] = GetParam();
+  if (k == 1) GTEST_SKIP() << "k=1 is trivially equal";
+  const SharedWorkload& w = SharedWorkload::Get();
+  AllocationParams params =
+      AllocationParams::ForExperiment(w.ledger.num_transactions(), k, eta);
+  auto txallo = core::RunGlobalTxAllo(w.graph, w.node_order, params);
+  ASSERT_TRUE(txallo.ok());
+  auto r_txallo = alloc::EvaluateAllocation(w.ledger, txallo.value(), params);
+  auto hashed = baselines::AllocateByHash(w.registry, k);
+  auto r_hash = alloc::EvaluateAllocation(w.ledger, hashed, params);
+  ASSERT_TRUE(r_txallo.ok());
+  ASSERT_TRUE(r_hash.ok());
+  EXPECT_GT(r_txallo->throughput, r_hash->throughput)
+      << "k=" << k << " eta=" << eta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KEtaGrid, InvariantSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u, 16u),
+                       ::testing::Values(2.0, 6.0, 10.0)));
+
+}  // namespace
+}  // namespace txallo

@@ -1,0 +1,49 @@
+#include "txallo/sim/reconfig.h"
+
+#include <gtest/gtest.h>
+
+namespace txallo::sim {
+namespace {
+
+TEST(ReconfigTest, IdenticalAllocationsMoveNothing) {
+  alloc::Allocation a(10, 2);
+  for (chain::AccountId id = 0; id < 10; ++id) a.Assign(id, id % 2);
+  ReconfigStats stats = CompareAllocations(a, a);
+  EXPECT_EQ(stats.accounts_compared, 10u);
+  EXPECT_EQ(stats.accounts_moved, 0u);
+  EXPECT_DOUBLE_EQ(stats.moved_fraction, 0.0);
+}
+
+TEST(ReconfigTest, CountsMoves) {
+  alloc::Allocation before(4, 2), after(4, 2);
+  for (chain::AccountId id = 0; id < 4; ++id) {
+    before.Assign(id, 0);
+    after.Assign(id, id < 2 ? 0u : 1u);
+  }
+  ReconfigStats stats = CompareAllocations(before, after);
+  EXPECT_EQ(stats.accounts_moved, 2u);
+  EXPECT_DOUBLE_EQ(stats.moved_fraction, 0.5);
+}
+
+TEST(ReconfigTest, NewAccountsAreNotMoves) {
+  alloc::Allocation before(2, 2), after(5, 2);
+  before.Assign(0, 0);
+  before.Assign(1, 1);
+  for (chain::AccountId id = 0; id < 5; ++id) after.Assign(id, 0);
+  ReconfigStats stats = CompareAllocations(before, after);
+  EXPECT_EQ(stats.accounts_compared, 2u);
+  EXPECT_EQ(stats.accounts_moved, 1u);  // Account 1: shard 1 -> 0.
+}
+
+TEST(ReconfigTest, UnassignedEntriesSkipped) {
+  alloc::Allocation before(3, 2), after(3, 2);
+  before.Assign(0, 0);  // 1, 2 unassigned.
+  after.Assign(0, 1);
+  after.Assign(1, 0);
+  ReconfigStats stats = CompareAllocations(before, after);
+  EXPECT_EQ(stats.accounts_compared, 1u);
+  EXPECT_EQ(stats.accounts_moved, 1u);
+}
+
+}  // namespace
+}  // namespace txallo::sim

@@ -1,0 +1,140 @@
+#include "txallo/workload/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "txallo/workload/ethereum_like.h"
+
+namespace txallo::workload {
+namespace {
+
+TEST(DatasetCsvTest, RoundTripPreservesStructure) {
+  EthereumLikeConfig config;
+  config.num_blocks = 10;
+  config.txs_per_block = 20;
+  config.num_accounts = 200;
+  config.num_communities = 5;
+  EthereumLikeGenerator gen(config);
+
+  Dataset original;
+  original.ledger = gen.GenerateLedger(10);
+  // Re-register the generator's accounts into the dataset registry.
+  for (size_t a = 0; a < gen.registry().size(); ++a) {
+    original.registry.Intern(
+        gen.registry().AddressOf(static_cast<chain::AccountId>(a)));
+  }
+
+  const std::string path = ::testing::TempDir() + "/txallo_dataset.csv";
+  ASSERT_TRUE(SaveDatasetCsv(original, path).ok());
+  auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_transactions(), original.num_transactions());
+  EXPECT_EQ(loaded->ledger.num_blocks(), original.ledger.num_blocks());
+  // Addresses must map back to the same account structure per transaction.
+  auto orig_txs = original.ledger.AllTransactions();
+  auto load_txs = loaded->ledger.AllTransactions();
+  ASSERT_EQ(orig_txs.size(), load_txs.size());
+  for (size_t i = 0; i < orig_txs.size(); ++i) {
+    ASSERT_EQ(orig_txs[i].inputs().size(), load_txs[i].inputs().size());
+    for (size_t j = 0; j < orig_txs[i].inputs().size(); ++j) {
+      EXPECT_EQ(original.registry.AddressOf(orig_txs[i].inputs()[j]),
+                loaded->registry.AddressOf(load_txs[i].inputs()[j]));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, ParsesHandWrittenFile) {
+  const std::string path = ::testing::TempDir() + "/txallo_hand.csv";
+  {
+    std::ofstream out(path);
+    out << "block_number,inputs,outputs\n";
+    out << "100,0xa,0xb\n";
+    out << "100,0xa;0xc,0xd\n";
+    out << "101,0xb,0xb\n";
+  }
+  auto dataset = LoadDatasetCsv(path);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->ledger.num_blocks(), 2u);
+  EXPECT_EQ(dataset->num_transactions(), 3u);
+  EXPECT_EQ(dataset->num_accounts(), 4u);
+  auto txs = dataset->ledger.AllTransactions();
+  EXPECT_EQ(txs[1].inputs().size(), 2u);
+  EXPECT_TRUE(txs[2].IsSelfLoop());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, RejectsDecreasingBlocks) {
+  const std::string path = ::testing::TempDir() + "/txallo_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "5,0xa,0xb\n";
+    out << "3,0xa,0xb\n";
+  }
+  auto dataset = LoadDatasetCsv(path);
+  ASSERT_FALSE(dataset.ok());
+  EXPECT_EQ(dataset.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, RejectsMissingColumns) {
+  const std::string path = ::testing::TempDir() + "/txallo_cols.csv";
+  {
+    std::ofstream out(path);
+    out << "5,0xa\n";
+  }
+  auto dataset = LoadDatasetCsv(path);
+  ASSERT_FALSE(dataset.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, RejectsEmptyAccountLists) {
+  const std::string path = ::testing::TempDir() + "/txallo_empty.csv";
+  {
+    std::ofstream out(path);
+    out << "5,,0xb\n";
+  }
+  auto dataset = LoadDatasetCsv(path);
+  ASSERT_FALSE(dataset.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SplitLedgerTest, NineToOneSplit) {
+  EthereumLikeConfig config;
+  config.num_blocks = 100;
+  config.txs_per_block = 5;
+  config.num_accounts = 100;
+  config.num_communities = 4;
+  EthereumLikeGenerator gen(config);
+  chain::Ledger ledger = gen.GenerateLedger(100);
+  auto [prefix, suffix] = SplitLedger(ledger, 0.9);
+  EXPECT_EQ(prefix.num_blocks(), 90u);
+  EXPECT_EQ(suffix.num_blocks(), 10u);
+  EXPECT_EQ(prefix.num_transactions() + suffix.num_transactions(),
+            ledger.num_transactions());
+  // Suffix keeps original block numbers (continuation of the chain).
+  EXPECT_EQ(suffix.blocks().front().number(), 90u);
+}
+
+TEST(SplitLedgerTest, DegenerateFractions) {
+  chain::Ledger ledger;
+  for (uint64_t b = 0; b < 5; ++b) {
+    ASSERT_TRUE(
+        ledger
+            .Append(chain::Block(
+                b, {chain::Transaction::Simple(0, 1)}))
+            .ok());
+  }
+  auto [all, none] = SplitLedger(ledger, 1.0);
+  EXPECT_EQ(all.num_blocks(), 5u);
+  EXPECT_EQ(none.num_blocks(), 0u);
+  auto [empty, full] = SplitLedger(ledger, 0.0);
+  EXPECT_EQ(empty.num_blocks(), 0u);
+  EXPECT_EQ(full.num_blocks(), 5u);
+}
+
+}  // namespace
+}  // namespace txallo::workload

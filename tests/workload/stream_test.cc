@@ -1,0 +1,66 @@
+#include "txallo/workload/stream.h"
+
+#include <gtest/gtest.h>
+
+namespace txallo::workload {
+namespace {
+
+chain::Ledger MakeLedger(size_t blocks) {
+  chain::Ledger ledger;
+  for (size_t b = 0; b < blocks; ++b) {
+    auto st = ledger.Append(
+        chain::Block(b, {chain::Transaction::Simple(0, 1)}));
+    EXPECT_TRUE(st.ok());
+  }
+  return ledger;
+}
+
+TEST(BlockWindowStreamTest, EvenWindows) {
+  chain::Ledger ledger = MakeLedger(12);
+  BlockWindowStream stream(&ledger, 4);
+  EXPECT_EQ(stream.NumWindows(), 3u);
+  auto w1 = stream.Next();
+  EXPECT_EQ(w1.first_block_index, 0u);
+  EXPECT_EQ(w1.last_block_index, 4u);
+  auto w2 = stream.Next();
+  EXPECT_EQ(w2.first_block_index, 4u);
+  auto w3 = stream.Next();
+  EXPECT_EQ(w3.last_block_index, 12u);
+  EXPECT_TRUE(stream.Done());
+}
+
+TEST(BlockWindowStreamTest, RaggedTail) {
+  chain::Ledger ledger = MakeLedger(10);
+  BlockWindowStream stream(&ledger, 4);
+  EXPECT_EQ(stream.NumWindows(), 3u);
+  stream.Next();
+  stream.Next();
+  auto tail = stream.Next();
+  EXPECT_EQ(tail.first_block_index, 8u);
+  EXPECT_EQ(tail.last_block_index, 10u);
+  EXPECT_TRUE(stream.Done());
+}
+
+TEST(BlockWindowStreamTest, EmptyLedgerIsDone) {
+  chain::Ledger ledger;
+  BlockWindowStream stream(&ledger, 4);
+  EXPECT_TRUE(stream.Done());
+  EXPECT_EQ(stream.NumWindows(), 0u);
+}
+
+TEST(BlockWindowStreamTest, WindowsCoverLedgerExactlyOnce) {
+  chain::Ledger ledger = MakeLedger(23);
+  BlockWindowStream stream(&ledger, 7);
+  size_t covered = 0;
+  size_t expected_start = 0;
+  while (!stream.Done()) {
+    auto w = stream.Next();
+    EXPECT_EQ(w.first_block_index, expected_start);
+    covered += w.last_block_index - w.first_block_index;
+    expected_start = w.last_block_index;
+  }
+  EXPECT_EQ(covered, 23u);
+}
+
+}  // namespace
+}  // namespace txallo::workload
