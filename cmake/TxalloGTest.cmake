@@ -1,0 +1,39 @@
+# Resolve GoogleTest: prefer the system install (the CI image and the dev
+# container both ship libgtest), fall back to FetchContent for machines that
+# don't. Either path ends with GTest::gtest and GTest::gtest_main defined.
+
+include(GoogleTest)  # gtest_discover_tests()
+
+find_package(GTest QUIET)
+
+if(NOT GTest_FOUND)
+  message(STATUS "System GoogleTest not found; fetching v1.14.0 via FetchContent")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  # Never install gtest alongside txallo, and keep gmock out of the build.
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()
+
+# Register every TESTNAME.cc gtest binary the same way:
+#   * link the txallo library, warnings, and gtest_main (no per-test main()),
+#   * discover the individual TEST() cases into CTest,
+#   * surface GTEST_SKIP as a CTest "skipped" outcome instead of a silent
+#     pass — gtest exits 0 on skip, so without SKIP_REGULAR_EXPRESSION the
+#     three k=1 InvariantSweep cases would be invisible in ctest output.
+function(txallo_add_test name source)
+  add_executable(${name} ${source})
+  target_link_libraries(${name} PRIVATE txallo::txallo txallo::warnings GTest::gtest_main)
+  gtest_discover_tests(${name}
+    PROPERTIES SKIP_REGULAR_EXPRESSION "\\[  SKIPPED \\]"
+    DISCOVERY_TIMEOUT 60)
+endfunction()

@@ -1,0 +1,14 @@
+# Opt-in Address+UB sanitizer instrumentation, toggled by the asan-ubsan
+# preset (or -DTXALLO_SANITIZE=ON). Applied globally so the library, gtest
+# runners, benches and examples all agree on the ASan runtime.
+
+option(TXALLO_SANITIZE "Build with AddressSanitizer + UndefinedBehaviorSanitizer" OFF)
+
+if(TXALLO_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang|AppleClang")
+    message(FATAL_ERROR "TXALLO_SANITIZE is only supported with GCC or Clang.")
+  endif()
+  set(_txallo_san_flags -fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer)
+  add_compile_options(${_txallo_san_flags})
+  add_link_options(${_txallo_san_flags})
+endif()

@@ -1,0 +1,16 @@
+# Warnings-as-errors interface target shared by the library, tests, benches
+# and examples. Link `txallo::warnings` rather than mutating global flags so
+# third-party code (FetchContent'd googletest) stays warning-exempt.
+
+add_library(txallo_warnings INTERFACE)
+add_library(txallo::warnings ALIAS txallo_warnings)
+
+target_compile_options(txallo_warnings INTERFACE
+  $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall -Wextra -Werror>
+  $<$<CXX_COMPILER_ID:MSVC>:/W4 /WX>
+  # Two GCC warnings fire spuriously inside inlined libstdc++ internals when
+  # optimizing: -Wmaybe-uninitialized on std::variant<T, Status> (GCC bug
+  # 105562) and -Wfree-nonheap-object on std::vector destructors at -O3
+  # (GCC bug 104475). The code is ASan/UBSan-clean; keep both off rather
+  # than peppering the sources with pragmas.
+  $<$<CXX_COMPILER_ID:GNU>:-Wno-maybe-uninitialized -Wno-free-nonheap-object>)

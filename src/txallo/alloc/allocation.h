@@ -4,6 +4,7 @@
 // has not placed yet (only ever observable mid-algorithm).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -38,15 +39,20 @@ class Allocation {
     }
   }
 
+  /// Accounts outside the mapping's domain (created after this allocation
+  /// was snapshotted) read as unassigned rather than out-of-bounds.
   ShardId shard_of(chain::AccountId account) const {
-    return shard_of_[account];
+    return account < shard_of_.size() ? shard_of_[account] : kUnassignedShard;
   }
   bool IsAssigned(chain::AccountId account) const {
-    return shard_of_[account] != kUnassignedShard;
+    return shard_of(account) != kUnassignedShard;
   }
 
-  /// Assigns (or reassigns) an account. Precondition: shard < num_shards().
+  /// Assigns (or reassigns) an account. Preconditions: shard < num_shards()
+  /// and account < num_accounts() — unlike the read path, writing to an
+  /// out-of-domain account is a bug; call GrowAccounts() first.
   void Assign(chain::AccountId account, ShardId shard) {
+    assert(account < shard_of_.size());
     shard_of_[account] = shard;
   }
 
