@@ -247,6 +247,18 @@ std::string Fmt(double value, int precision) {
   return buf;
 }
 
+engine::EngineConfig MakeEngineConfig(const BenchScale& scale, uint32_t k,
+                                      double eta, double capacity_per_block,
+                                      int num_threads) {
+  engine::EngineConfig config;
+  config.num_shards = k;
+  config.work.eta = eta;
+  config.work.capacity_per_block = capacity_per_block;
+  const int threads = num_threads >= 0 ? num_threads : scale.num_threads;
+  config.num_threads = static_cast<uint32_t>(std::max(0, threads));
+  return config;
+}
+
 TimelineConfig ResolveTimelineConfig(const Flags& flags,
                                      const BenchScale& scale, uint64_t seed) {
   TimelineConfig config;

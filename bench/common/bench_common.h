@@ -22,6 +22,7 @@
 #include "txallo/chain/account.h"
 #include "txallo/chain/ledger.h"
 #include "txallo/common/flags.h"
+#include "txallo/engine/engine.h"
 #include "txallo/graph/graph.h"
 #include "txallo/workload/ethereum_like.h"
 
@@ -153,6 +154,14 @@ class SeriesTable {
 
 /// Formats a double with fixed precision.
 std::string Fmt(double value, int precision = 3);
+
+/// Engine configuration for benches/examples: k shards under the paper's
+/// cost model, parallelism pinned by --threads / TXALLO_THREADS (0 = the
+/// engine's hardware default). `num_threads` overrides the scale's value
+/// when >= 0 (thread-sweep benches pass each sweep point here).
+engine::EngineConfig MakeEngineConfig(const BenchScale& scale, uint32_t k,
+                                      double eta, double capacity_per_block,
+                                      int num_threads = -1);
 
 /// Shared banner: scale, |T|, |A|, seed.
 void PrintRunBanner(const char* figure, const BenchScale& scale,

@@ -30,10 +30,17 @@ endif()
 #   * surface GTEST_SKIP as a CTest "skipped" outcome instead of a silent
 #     pass — gtest exits 0 on skip, so without SKIP_REGULAR_EXPRESSION the
 #     three k=1 InvariantSweep cases would be invisible in ctest output.
+# Extra arguments become CTest LABELS (e.g. "engine", which the tsan test
+# preset filters on).
 function(txallo_add_test name source)
   add_executable(${name} ${source})
   target_link_libraries(${name} PRIVATE txallo::txallo txallo::warnings GTest::gtest_main)
+  set(_extra_properties "")
+  if(ARGN)
+    string(REPLACE ";" "," _labels "${ARGN}")
+    set(_extra_properties LABELS "${_labels}")
+  endif()
   gtest_discover_tests(${name}
-    PROPERTIES SKIP_REGULAR_EXPRESSION "\\[  SKIPPED \\]"
+    PROPERTIES SKIP_REGULAR_EXPRESSION "\\[  SKIPPED \\]" ${_extra_properties}
     DISCOVERY_TIMEOUT 60)
 endfunction()

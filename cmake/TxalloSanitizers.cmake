@@ -1,14 +1,30 @@
-# Opt-in Address+UB sanitizer instrumentation, toggled by the asan-ubsan
-# preset (or -DTXALLO_SANITIZE=ON). Applied globally so the library, gtest
-# runners, benches and examples all agree on the ASan runtime.
+# Opt-in sanitizer instrumentation, toggled by the asan-ubsan / tsan presets
+# (or -DTXALLO_SANITIZE=ON / -DTXALLO_TSAN=ON). Applied globally so the
+# library, gtest runners, benches and examples all agree on the sanitizer
+# runtime. ASan and TSan are mutually exclusive by construction (the
+# runtimes cannot be linked together), hence separate presets/build dirs.
 
 option(TXALLO_SANITIZE "Build with AddressSanitizer + UndefinedBehaviorSanitizer" OFF)
+option(TXALLO_TSAN "Build with ThreadSanitizer (for the threaded engine suites)" OFF)
+
+if(TXALLO_SANITIZE AND TXALLO_TSAN)
+  message(FATAL_ERROR "TXALLO_SANITIZE and TXALLO_TSAN are mutually exclusive; configure two build trees.")
+endif()
+
+if(TXALLO_SANITIZE OR TXALLO_TSAN)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang|AppleClang")
+    message(FATAL_ERROR "Sanitizer builds are only supported with GCC or Clang.")
+  endif()
+endif()
 
 if(TXALLO_SANITIZE)
-  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang|AppleClang")
-    message(FATAL_ERROR "TXALLO_SANITIZE is only supported with GCC or Clang.")
-  endif()
   set(_txallo_san_flags -fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer)
   add_compile_options(${_txallo_san_flags})
   add_link_options(${_txallo_san_flags})
+endif()
+
+if(TXALLO_TSAN)
+  set(_txallo_tsan_flags -fsanitize=thread -fno-omit-frame-pointer)
+  add_compile_options(${_txallo_tsan_flags})
+  add_link_options(${_txallo_tsan_flags})
 endif()

@@ -1,0 +1,138 @@
+// Parallel engine scenario: the same live traffic executed three ways —
+//
+//   1. static hash routing,
+//   2. a static G-TxAllo mapping learned from warmup history,
+//   3. TxAllo online: the hybrid controller re-learns the workload every
+//      epoch and hot-swaps the engine's allocation snapshot between block
+//      boundaries (copy-on-write, workers never pause).
+//
+// Shards execute on real worker threads with cross-shard two-phase commits;
+// reports carry both the simulator-compatible metrics and the engine-only
+// ones (queue depth, worker stall, reallocation pause).
+//
+//   ./build/examples/parallel_engine [--blocks=N] [--k=K] [--threads=T]
+#include <cstdio>
+#include <memory>
+
+#include "txallo/baselines/hash_allocator.h"
+#include "txallo/common/flags.h"
+#include "txallo/core/controller.h"
+#include "txallo/engine/engine.h"
+#include "txallo/engine/pipeline.h"
+#include "txallo/workload/ethereum_like.h"
+
+int main(int argc, char** argv) {
+  using namespace txallo;
+  Flags flags = Flags::Parse(argc, argv);
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 8));
+  const double eta = flags.GetDouble("eta", 2.0);
+  const int blocks = static_cast<int>(flags.GetInt("blocks", 300));
+  const uint32_t threads =
+      static_cast<uint32_t>(flags.GetInt("threads", 0));
+
+  workload::EthereumLikeConfig config;
+  config.txs_per_block = 100;
+  config.num_blocks = static_cast<uint64_t>(blocks) * 2;
+  config.num_accounts = 16'000;
+  config.num_communities = 100;
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 5));
+  // Drift makes the static mappings stale — what online reallocation fixes.
+  config.drift_interval_blocks = static_cast<uint64_t>(blocks) / 3;
+  workload::EthereumLikeGenerator generator(config);
+
+  chain::Ledger history = generator.GenerateLedger(blocks);
+  chain::Ledger live = generator.GenerateLedger(blocks);
+
+  engine::EngineConfig engine_config;
+  engine_config.num_shards = k;
+  engine_config.num_threads = threads;
+  engine_config.work.eta = eta;
+  engine_config.work.capacity_per_block =
+      1.3 * static_cast<double>(config.txs_per_block) / k;
+  engine_config.hash_route_unassigned = true;
+
+  alloc::AllocationParams params = alloc::AllocationParams::ForExperiment(
+      history.num_transactions(), k, eta);
+
+  // Controller learns the warmup history; its mapping is policy 2's static
+  // snapshot and policy 3's starting point.
+  core::TxAlloController controller(&generator.registry(), params);
+  for (const chain::Block& block : history.blocks()) {
+    controller.ApplyBlock(block);
+  }
+  if (!controller.StepGlobal().ok()) {
+    std::fprintf(stderr, "G-TxAllo on warmup history failed\n");
+    return 1;
+  }
+  auto static_txallo = controller.ShareAllocation();
+  auto hash_alloc = std::make_shared<alloc::Allocation>(
+      baselines::AllocateByHash(generator.registry(), k));
+
+  std::printf(
+      "live traffic: %d blocks x %llu txs, k=%u shards, eta=%.0f, "
+      "capacity=%.0f work-units/block/shard\n\n",
+      blocks, static_cast<unsigned long long>(config.txs_per_block), k, eta,
+      engine_config.work.capacity_per_block);
+  std::printf("%-14s %8s %9s %10s %10s %8s %9s %8s\n", "policy", "workers",
+              "commit", "tput/blk", "zeta(avg)", "cross%", "realloc",
+              "moved");
+
+  auto print_row = [&](const char* name, const engine::EngineReport& report,
+                       uint64_t moved) {
+    std::printf(
+        "%-14s %8u %9llu %10.1f %10.2f %7.1f%% %9llu %8llu\n", name,
+        report.num_workers,
+        static_cast<unsigned long long>(report.sim.committed),
+        report.sim.throughput_per_block, report.sim.avg_latency_blocks,
+        100.0 * static_cast<double>(report.sim.cross_shard_submitted) /
+            static_cast<double>(report.sim.submitted),
+        static_cast<unsigned long long>(report.reallocations),
+        static_cast<unsigned long long>(moved));
+  };
+
+  // Policies 1 + 2: static snapshots.
+  struct StaticPolicy {
+    const char* name;
+    std::shared_ptr<const alloc::Allocation> allocation;
+  };
+  const StaticPolicy static_policies[] = {{"hash-static", hash_alloc},
+                                          {"txallo-static", static_txallo}};
+  for (const StaticPolicy& policy : static_policies) {
+    engine::ParallelEngine engine(engine_config, policy.allocation);
+    for (const chain::Block& block : live.blocks()) {
+      if (!engine.SubmitBlock(block.transactions()).ok()) {
+        std::fprintf(stderr, "submit failed under %s\n", policy.name);
+        return 1;
+      }
+      engine.Tick();
+    }
+    print_row(policy.name, engine.DrainAndReport(), 0);
+  }
+
+  // Policy 3: online — controller keeps learning, engine swaps snapshots.
+  engine::ParallelEngine online_engine(engine_config, static_txallo);
+  engine::PipelineConfig pipeline;
+  pipeline.blocks_per_epoch =
+      static_cast<uint32_t>(std::max(10, blocks / 10));
+  auto online = engine::RunReallocatedStream(live, &controller,
+                                             &online_engine, pipeline);
+  if (!online.ok()) {
+    std::fprintf(stderr, "online pipeline failed: %s\n",
+                 online.status().ToString().c_str());
+    return 1;
+  }
+  print_row("txallo-online", online->report, online->accounts_moved);
+  std::printf(
+      "\nonline reallocation: %llu epochs, %.3fs allocator time between "
+      "ticks (shards idle meanwhile),\n%.6fs total ingest pause across "
+      "snapshot swaps (copy-on-write), %.2fs worker stall\n",
+      static_cast<unsigned long long>(online->epochs), online->alloc_seconds,
+      online->report.realloc_pause_seconds,
+      online->report.worker_stall_seconds);
+  std::printf(
+      "\nExpected: hash routing makes ~every transaction cross-shard; the "
+      "static TxAllo mapping\ncuts cross%% and latency until drift erodes "
+      "it; the online schedule holds the advantage\nby republishing the "
+      "mapping each epoch without stopping shard workers.\n");
+  return 0;
+}

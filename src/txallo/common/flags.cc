@@ -1,5 +1,6 @@
 #include "txallo/common/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string_view>
 
@@ -69,11 +70,11 @@ BenchScale ResolveBenchScale(const Flags& flags) {
   }
   BenchScale preset;
   if (scale == "large") {
-    preset = {8'000'000, 1'200'000, 60, 10, 200, 100};
+    preset = {8'000'000, 1'200'000, 60, 10, 200, 100, 0};
   } else if (scale == "medium") {
-    preset = {2'000'000, 320'000, 60, 10, 120, 40};
+    preset = {2'000'000, 320'000, 60, 10, 120, 40, 0};
   } else {
-    preset = {400'000, 64'000, 60, 10, 60, 12};
+    preset = {400'000, 64'000, 60, 10, 60, 12, 0};
   }
   // Explicit flags override the preset.
   preset.num_transactions = static_cast<uint64_t>(
@@ -88,6 +89,15 @@ BenchScale ResolveBenchScale(const Flags& flags) {
       static_cast<int>(flags.GetInt("steps", preset.timeline_steps));
   preset.blocks_per_step =
       static_cast<int>(flags.GetInt("blocks-per-step", preset.blocks_per_step));
+  // Worker parallelism: an explicit --threads (even a nonsense negative,
+  // clamped to auto) beats TXALLO_THREADS beats auto (0).
+  int64_t threads = 0;
+  if (flags.Has("threads")) {
+    threads = flags.GetInt("threads", 0);
+  } else if (const char* env_threads = std::getenv("TXALLO_THREADS")) {
+    threads = std::strtoll(env_threads, nullptr, 10);
+  }
+  preset.num_threads = static_cast<int>(std::max<int64_t>(0, threads));
   return preset;
 }
 

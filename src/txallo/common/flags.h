@@ -46,6 +46,10 @@ struct BenchScale {
   int shard_step;        // Granularity of the k sweep.
   int timeline_steps;    // Fig. 9/10 number of time steps (paper: 200).
   int blocks_per_step;   // Fig. 9/10 blocks per step (paper: 300).
+  // Engine worker parallelism (--threads or TXALLO_THREADS); 0 = let the
+  // engine pick (hardware concurrency, clamped to the shard count). Not a
+  // scale-preset property, so every preset starts at 0.
+  int num_threads;
 };
 
 /// Resolves the scale preset from TXALLO_SCALE (or --scale).

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "txallo/alloc/allocation.h"
@@ -65,6 +66,13 @@ class TxAlloController {
   Status ApplyHistoryDecay(double factor);
 
   const alloc::Allocation& allocation() const { return allocation_; }
+
+  /// Immutable snapshot of the live mapping for concurrent consumers (the
+  /// parallel engine's copy-on-write routing). The copy is the publication
+  /// point: later controller updates never mutate a published snapshot.
+  std::shared_ptr<const alloc::Allocation> ShareAllocation() const {
+    return std::make_shared<const alloc::Allocation>(allocation_);
+  }
   const alloc::CommunityState& state() const { return state_; }
   const graph::TransactionGraph& graph() const { return graph_; }
   const alloc::AllocationParams& params() const { return params_; }

@@ -1,0 +1,285 @@
+#include "txallo/engine/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "txallo/common/stopwatch.h"
+
+namespace txallo::engine {
+
+namespace {
+
+// Synthetic per-unit execution cost: a volatile LCG spin the optimizer
+// cannot elide, emulating the CPU a real transaction would burn.
+void SpinWork(double units, uint64_t iterations_per_unit) {
+  const uint64_t n =
+      static_cast<uint64_t>(units * static_cast<double>(iterations_per_unit));
+  volatile uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (uint64_t i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+}
+
+uint32_t ResolveWorkerCount(const EngineConfig& config) {
+  uint32_t n = config.num_threads;
+  if (n == 0) {
+    n = std::max(1u, std::thread::hardware_concurrency());
+  }
+  return std::max(1u, std::min(n, config.num_shards));
+}
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(EngineConfig config,
+                               std::shared_ptr<const alloc::Allocation> initial)
+    : config_(config), coordinator_(config.work) {
+  assert(config_.num_shards > 0);
+  const size_t queue_capacity = std::max<size_t>(1, config_.queue_capacity);
+  lanes_.reserve(config_.num_shards);
+  for (uint32_t s = 0; s < config_.num_shards; ++s) {
+    lanes_.push_back(std::make_unique<ShardLane>(queue_capacity));
+    lanes_.back()->inbox.SetFullHandler([this] { RequestService(); });
+  }
+  // Same shard-count invariant InstallAllocation enforces; a constructor
+  // cannot return Status, so a mismatched snapshot is rejected here and
+  // reported by the first SubmitBlock instead of silently mis-routing
+  // (hash fallback would quietly fold all traffic into the snapshot's k).
+  if (initial != nullptr) {
+    if (initial->num_shards() == config_.num_shards) {
+      routing_ = std::move(initial);
+    } else {
+      snapshot_error_ = "initial allocation snapshot has " +
+                        std::to_string(initial->num_shards()) +
+                        " shards, engine has " +
+                        std::to_string(config_.num_shards) +
+                        "; snapshot rejected";
+    }
+  }
+  const uint32_t num_workers = ResolveWorkerCount(config_);
+  workers_.reserve(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Spawn only after every Worker slot exists: threads index workers_.
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    workers_[w]->thread = std::thread(&ParallelEngine::WorkerMain, this, w);
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    cv_workers_.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void ParallelEngine::RequestService() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++service_generation_;
+  cv_workers_.notify_all();
+}
+
+void ParallelEngine::WorkerMain(uint32_t worker_index) {
+  Worker& me = *workers_[worker_index];
+  const uint32_t stride = static_cast<uint32_t>(workers_.size());
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Stopwatch stall;
+    cv_workers_.wait(lock, [&] {
+      return stopping_ || tick_generation_ > me.ticks_done ||
+             service_generation_ > me.services_done;
+    });
+    me.stall_seconds += stall.ElapsedSeconds();
+    if (stopping_) return;
+    const uint64_t tick_target = tick_generation_;
+    const uint64_t service_target = service_generation_;
+    const bool run_tick = tick_target > me.ticks_done;
+    lock.unlock();
+    for (uint32_t s = worker_index; s < config_.num_shards; s += stride) {
+      ShardLane& lane = *lanes_[s];
+      lane.inbox.DrainTo(lane.fifo);
+      if (run_tick) ExecuteBlock(lane, tick_target);
+    }
+    lock.lock();
+    me.services_done = std::max(me.services_done, service_target);
+    if (run_tick) me.ticks_done = tick_target;
+    cv_driver_.notify_all();
+  }
+}
+
+void ParallelEngine::ExecuteBlock(ShardLane& lane, uint64_t block) {
+  double budget = config_.work.capacity_per_block;
+  while (budget > 0.0 && !lane.fifo.empty()) {
+    WorkItem& item = lane.fifo.front();
+    const double consumed = std::min(budget, item.work_remaining);
+    if (config_.spin_iterations_per_unit > 0) {
+      SpinWork(consumed, config_.spin_iterations_per_unit);
+    }
+    item.work_remaining -= consumed;
+    budget -= consumed;
+    lane.processed_work += consumed;
+    if (item.work_remaining <= 1e-12) {
+      const uint64_t tx_index = item.tx_index;
+      lane.fifo.pop_front();
+      coordinator_.PartPrepared(tx_index, block);
+    }
+  }
+}
+
+Status ParallelEngine::SubmitBlock(
+    const std::vector<chain::Transaction>& transactions) {
+  std::shared_ptr<const alloc::Allocation> routing;
+  {
+    std::lock_guard<std::mutex> lock(routing_mu_);
+    routing = routing_;
+    if (routing == nullptr) {
+      return Status::FailedPrecondition(
+          snapshot_error_.empty()
+              ? "no allocation snapshot installed before SubmitBlock"
+              : snapshot_error_);
+    }
+  }
+  const sim::UnassignedPolicy policy =
+      config_.hash_route_unassigned ? sim::UnassignedPolicy::kHashFallback
+                                    : sim::UnassignedPolicy::kReject;
+  for (const chain::Transaction& tx : transactions) {
+    TXALLO_RETURN_NOT_OK(
+        sim::RouteTransaction(tx, *routing, policy, &route_scratch_));
+    if (route_scratch_.empty()) continue;
+    for (alloc::ShardId s : route_scratch_) {
+      if (s >= config_.num_shards) {
+        return Status::FailedPrecondition(
+            "allocation snapshot routed account to shard " +
+            std::to_string(s) + " outside the engine's " +
+            std::to_string(config_.num_shards) + " shards");
+      }
+    }
+    const bool cross = route_scratch_.size() > 1;
+    const uint64_t tx_index = coordinator_.Register(
+        now_, static_cast<uint32_t>(route_scratch_.size()), cross);
+    const double work = config_.work.PartWork(cross);
+    for (alloc::ShardId s : route_scratch_) {
+      lanes_[s]->inbox.Push(WorkItem{tx_index, work});
+    }
+  }
+  return Status::OK();
+}
+
+Status ParallelEngine::InstallAllocation(
+    std::shared_ptr<const alloc::Allocation> next) {
+  if (next == nullptr) {
+    return Status::InvalidArgument("null allocation snapshot");
+  }
+  if (next->num_shards() != config_.num_shards) {
+    return Status::InvalidArgument(
+        "allocation snapshot has " + std::to_string(next->num_shards()) +
+        " shards, engine has " + std::to_string(config_.num_shards));
+  }
+  Stopwatch pause;
+  std::lock_guard<std::mutex> lock(routing_mu_);
+  routing_ = std::move(next);
+  snapshot_error_.clear();
+  ++reallocations_;
+  realloc_pause_seconds_ += pause.ElapsedSeconds();
+  return Status::OK();
+}
+
+std::shared_ptr<const alloc::Allocation> ParallelEngine::allocation_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(routing_mu_);
+  return routing_;
+}
+
+void ParallelEngine::Tick() {
+  ++now_;
+  std::unique_lock<std::mutex> lock(mu_);
+  ++tick_generation_;
+  cv_workers_.notify_all();
+  cv_driver_.wait(lock, [&] {
+    for (const auto& worker : workers_) {
+      if (worker->ticks_done != tick_generation_) return false;
+    }
+    return true;
+  });
+  lock.unlock();
+  // Workers have barriered; only the driver touches the coordinator now.
+  coordinator_.FlushDelayed(now_);
+}
+
+void ParallelEngine::QuiesceLocked(std::unique_lock<std::mutex>& lock) {
+  cv_driver_.wait(lock, [&] {
+    for (const auto& worker : workers_) {
+      if (worker->ticks_done != tick_generation_ ||
+          worker->services_done != service_generation_) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+EngineReport ParallelEngine::Snapshot() {
+  EngineReport report;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    QuiesceLocked(lock);
+    for (const auto& worker : workers_) {
+      report.worker_stall_seconds += worker->stall_seconds;
+    }
+  }
+  // After the quiesce, no worker touches lane state until the driver
+  // publishes another tick/service generation.
+  report.num_workers = static_cast<uint32_t>(workers_.size());
+  const CommitStats stats = coordinator_.stats();
+  report.sim.submitted = stats.submitted;
+  report.sim.committed = stats.committed;
+  report.sim.cross_shard_submitted = stats.cross_shard_submitted;
+  report.sim.blocks_elapsed = now_;
+  if (now_ > 0) {
+    report.sim.throughput_per_block =
+        static_cast<double>(stats.committed) / static_cast<double>(now_);
+  }
+  if (stats.committed > 0) {
+    report.sim.avg_latency_blocks =
+        stats.latency_sum_blocks / static_cast<double>(stats.committed);
+  }
+  report.sim.max_latency_blocks = stats.latency_max_blocks;
+  report.prepares_received = stats.prepares_received;
+  report.cross_shard_committed = stats.cross_shard_committed;
+
+  double utilization = 0.0;
+  double residual = 0.0;
+  report.max_queue_depth.reserve(lanes_.size());
+  for (const auto& lane : lanes_) {
+    if (now_ > 0) {
+      utilization += lane->processed_work / (config_.work.capacity_per_block *
+                                             static_cast<double>(now_));
+    }
+    for (const WorkItem& item : lane->fifo) residual += item.work_remaining;
+    lane->inbox.ForEach(
+        [&](const WorkItem& item) { residual += item.work_remaining; });
+    report.max_queue_depth.push_back(lane->inbox.high_water());
+  }
+  report.sim.mean_utilization =
+      utilization / static_cast<double>(config_.num_shards);
+  report.sim.residual_work = residual;
+  {
+    std::lock_guard<std::mutex> lock(routing_mu_);
+    report.reallocations = reallocations_;
+    report.realloc_pause_seconds = realloc_pause_seconds_;
+  }
+  return report;
+}
+
+EngineReport ParallelEngine::DrainAndReport(uint64_t max_extra_blocks) {
+  for (uint64_t i = 0; i < max_extra_blocks && !coordinator_.Idle(); ++i) {
+    Tick();
+  }
+  return Snapshot();
+}
+
+}  // namespace txallo::engine

@@ -1,0 +1,195 @@
+// Parallel sharded execution engine.
+//
+// Where sim::ShardSimulator executes every shard serially on the caller's
+// thread, ParallelEngine models the paper's actual system shape: shards are
+// independent processors. The pieces:
+//
+//   * Ingest/mempool: SubmitBlock() routes each transaction by the current
+//     alloc::Allocation snapshot into one bounded MPSC queue per shard.
+//   * Shard workers: a fixed pool of threads, shards striped across them
+//     (worker w owns shards s with s % num_workers == w — one worker per
+//     shard when threads >= shards). Each worker drains its shards' ingest
+//     queues into local FIFOs and, once per tick, executes one block of work
+//     per owned shard under the shared sim::WorkModel cost semantics
+//     (η per cross part, λ capacity per block).
+//   * Cross-shard commits: workers vote PREPARED part-by-part into a
+//     TwoPhaseCoordinator; cross-shard transactions pay the extra commit
+//     round(s) of §I.
+//   * Online reallocation: InstallAllocation() swaps in a new copy-on-write
+//     std::shared_ptr<const Allocation> snapshot between block boundaries.
+//     Workers never read the allocation (routing happens at ingest), so the
+//     swap never stops them — the epoch hook in engine/pipeline.h drives it
+//     from core::TxAlloController.
+//
+// Time is logical, in blocks: Tick() advances every shard by one block in
+// parallel and barriers before commit decisions are flushed, so for a given
+// submission sequence the engine's SimReport-compatible numbers match the
+// serial simulator's (the parity tests assert this within tolerance; only
+// floating-point summation order differs).
+//
+// Threading contract: SubmitBlock/Tick/Snapshot/DrainAndReport are driver
+// API — one thread at a time. InstallAllocation is safe from any thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "txallo/alloc/allocation.h"
+#include "txallo/chain/transaction.h"
+#include "txallo/common/status.h"
+#include "txallo/engine/mpsc_queue.h"
+#include "txallo/engine/two_phase.h"
+#include "txallo/sim/shard_sim.h"
+#include "txallo/sim/work_model.h"
+
+namespace txallo::engine {
+
+struct EngineConfig {
+  uint32_t num_shards = 8;
+  /// Shared η/λ/commit-round cost semantics.
+  sim::WorkModel work;
+  /// Worker threads; 0 = min(hardware_concurrency, num_shards). Clamped to
+  /// [1, num_shards].
+  uint32_t num_threads = 0;
+  /// Bound of each shard's ingest queue (transaction parts). Producers
+  /// block — after waking the consumer — when a queue is full.
+  size_t queue_capacity = 4096;
+  /// Route accounts the snapshot has not placed by hash (account id mod k)
+  /// instead of rejecting the block. What a live chain does for accounts
+  /// created since the last allocation epoch; the reallocation pipeline
+  /// turns this on.
+  bool hash_route_unassigned = false;
+  /// Synthetic CPU cost per work unit (iterations of an LCG spin),
+  /// emulating real transaction execution so thread scaling is measurable.
+  /// 0 (default) keeps execution pure bookkeeping — required for exact
+  /// parity timing against the serial simulator in tests.
+  uint64_t spin_iterations_per_unit = 0;
+};
+
+/// SimReport plus engine-only observability.
+struct EngineReport {
+  /// Same fields/semantics as the serial simulator's report.
+  sim::SimReport sim;
+  uint32_t num_workers = 0;
+  /// Per-shard ingest-queue high-water mark (backpressure indicator).
+  std::vector<uint64_t> max_queue_depth;
+  /// Total seconds workers spent parked waiting for work or ticks.
+  double worker_stall_seconds = 0.0;
+  /// Allocation snapshots installed while running.
+  uint64_t reallocations = 0;
+  /// Total seconds ingest was blocked installing snapshots (the
+  /// "reallocation pause"; copy-on-write keeps this near zero).
+  double realloc_pause_seconds = 0.0;
+  /// 2PC observability: PREPARED votes received and cross-shard commits.
+  uint64_t prepares_received = 0;
+  uint64_t cross_shard_committed = 0;
+};
+
+class ParallelEngine {
+ public:
+  /// Starts the worker pool. `initial` may be null — SubmitBlock then
+  /// fails until InstallAllocation() provides a snapshot. An `initial`
+  /// whose shard count differs from the engine's is rejected the same way
+  /// InstallAllocation would reject it; SubmitBlock reports the mismatch.
+  ParallelEngine(EngineConfig config,
+                 std::shared_ptr<const alloc::Allocation> initial);
+
+  /// Stops and joins the workers. Pending (unticked) work is discarded.
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  /// Routes one block of transactions by the current allocation snapshot
+  /// into the shard queues. Blocks for backpressure when a queue is full.
+  Status SubmitBlock(const std::vector<chain::Transaction>& transactions);
+
+  /// Publishes a new allocation snapshot; takes effect from the next
+  /// SubmitBlock(). Safe from any thread, never stops the workers. Fails if
+  /// the snapshot is null or its shard count differs from the engine's.
+  Status InstallAllocation(std::shared_ptr<const alloc::Allocation> next);
+
+  /// Advances one block: every shard executes up to λ work in parallel;
+  /// after the barrier, due cross-shard commit decisions are flushed.
+  void Tick();
+
+  /// Ticks until all queues drain and all commits land (bounded by
+  /// `max_extra_blocks`), then reports.
+  EngineReport DrainAndReport(uint64_t max_extra_blocks = 1'000'000);
+
+  /// Report without draining. Quiesces in-flight ingest drains first.
+  EngineReport Snapshot();
+
+  uint64_t current_block() const { return now_; }
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+  /// The snapshot ingest currently routes by (null before the first
+  /// install when constructed without one).
+  std::shared_ptr<const alloc::Allocation> allocation_snapshot() const;
+
+ private:
+  struct WorkItem {
+    uint64_t tx_index;
+    double work_remaining;
+  };
+  // Per-shard execution state. The inbox is shared (producers push, owner
+  // worker drains); everything below it is owned by the shard's worker
+  // between barriers and read by the driver only after quiescing.
+  struct ShardLane {
+    explicit ShardLane(size_t queue_capacity) : inbox(queue_capacity) {}
+    MpscQueue<WorkItem> inbox;
+    std::deque<WorkItem> fifo;
+    double processed_work = 0.0;
+  };
+  struct Worker {
+    std::thread thread;
+    // Guarded by mu_.
+    uint64_t ticks_done = 0;
+    uint64_t services_done = 0;
+    double stall_seconds = 0.0;
+  };
+
+  void WorkerMain(uint32_t worker_index);
+  void ExecuteBlock(ShardLane& lane, uint64_t block);
+  // Wakes workers to drain their inboxes (called by full queues' handler).
+  void RequestService();
+  // Driver-side: waits until every worker has observed the latest service
+  // generation, so lane state is safe to read.
+  void QuiesceLocked(std::unique_lock<std::mutex>& lock);
+
+  const EngineConfig config_;
+  TwoPhaseCoordinator coordinator_;
+  std::vector<std::unique_ptr<ShardLane>> lanes_;
+
+  // Routing snapshot (copy-on-write; swapped under its own mutex so
+  // InstallAllocation is safe from any thread). snapshot_error_ remembers
+  // why a constructor-supplied snapshot was rejected, so the first
+  // SubmitBlock fails with the cause rather than "no snapshot".
+  mutable std::mutex routing_mu_;
+  std::shared_ptr<const alloc::Allocation> routing_;
+  std::string snapshot_error_;
+  uint64_t reallocations_ = 0;
+  double realloc_pause_seconds_ = 0.0;
+
+  // Tick/service protocol.
+  std::mutex mu_;
+  std::condition_variable cv_workers_;
+  std::condition_variable cv_driver_;
+  uint64_t tick_generation_ = 0;     // Guarded by mu_.
+  uint64_t service_generation_ = 0;  // Guarded by mu_.
+  bool stopping_ = false;            // Guarded by mu_.
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Driver-thread state.
+  uint64_t now_ = 0;
+  std::vector<alloc::ShardId> route_scratch_;
+};
+
+}  // namespace txallo::engine

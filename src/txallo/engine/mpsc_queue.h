@@ -1,0 +1,106 @@
+// Bounded multi-producer single-consumer queue: the ingest channel between
+// the router (driver thread, and any future parallel ingest threads) and a
+// shard worker. Mutex + condvar rather than a lock-free ring: the queue is
+// touched once per transaction part, far from hot, and the blocking-push
+// backpressure semantics are what the engine actually needs. A `full
+// handler` lets the engine nudge the consumer awake before a producer parks
+// on a full queue, so bounded capacity cannot deadlock the tick protocol.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+namespace txallo::engine {
+
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Invoked (unlocked) whenever a producer finds the queue full, before it
+  /// waits for space. Set once before producers start.
+  void SetFullHandler(std::function<void()> handler) {
+    full_handler_ = std::move(handler);
+  }
+
+  /// Blocks while the queue is at capacity; calls the full handler each
+  /// time it is about to wait.
+  void Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (items_.size() >= capacity_) {
+      if (full_handler_) {
+        lock.unlock();
+        full_handler_();
+        lock.lock();
+        if (items_.size() < capacity_) break;
+      }
+      cv_space_.wait(lock, [&] { return items_.size() < capacity_; });
+    }
+    items_.push_back(std::move(item));
+    ++total_pushed_;
+    if (items_.size() > high_water_) high_water_ = items_.size();
+  }
+
+  /// Non-blocking push; false when full.
+  bool TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    ++total_pushed_;
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    return true;
+  }
+
+  /// Consumer side: moves everything queued to the back of `out`. Returns
+  /// the number of items moved.
+  size_t DrainTo(std::deque<T>& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t n = items_.size();
+    while (!items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    if (n > 0) cv_space_.notify_all();
+    return n;
+  }
+
+  /// Copies the queued items (metrics/diagnostics, not consumption).
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const T& item : items_) fn(item);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Largest queue depth ever observed (per-shard backpressure metric).
+  uint64_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  uint64_t total_pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_pushed_;
+  }
+
+ private:
+  const size_t capacity_;
+  std::function<void()> full_handler_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_space_;
+  std::deque<T> items_;
+  uint64_t high_water_ = 0;
+  uint64_t total_pushed_ = 0;
+};
+
+}  // namespace txallo::engine

@@ -1,0 +1,67 @@
+#include "txallo/engine/pipeline.h"
+
+#include <memory>
+#include <utility>
+
+#include "txallo/common/stopwatch.h"
+#include "txallo/sim/reconfig.h"
+#include "txallo/workload/stream.h"
+
+namespace txallo::engine {
+
+Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
+                                            core::TxAlloController* controller,
+                                            ParallelEngine* engine,
+                                            const PipelineConfig& config) {
+  if (config.blocks_per_epoch == 0) {
+    return Status::InvalidArgument("blocks_per_epoch must be positive");
+  }
+  PipelineResult result;
+  std::shared_ptr<const alloc::Allocation> current =
+      engine->allocation_snapshot();
+  if (current == nullptr) {
+    current = std::make_shared<alloc::Allocation>(controller->allocation());
+    TXALLO_RETURN_NOT_OK(engine->InstallAllocation(current));
+  }
+  workload::BlockWindowStream epochs(&ledger, config.blocks_per_epoch);
+  while (!epochs.Done()) {
+    const workload::BlockWindowStream::Window window = epochs.Next();
+    for (size_t b = window.first_block_index; b < window.last_block_index;
+         ++b) {
+      const chain::Block& block = ledger.blocks()[b];
+      TXALLO_RETURN_NOT_OK(engine->SubmitBlock(block.transactions()));
+      engine->Tick();
+      controller->ApplyBlock(block);
+    }
+    // Ledger exhausted: skip the trailing update — there is no traffic
+    // left for a new mapping to route, and its alloc_seconds /
+    // accounts_moved would overstate the run's real cost. The controller
+    // has still absorbed the final window, so a caller continuing the
+    // stream can step it immediately.
+    if (epochs.Done()) break;
+    // Epoch boundary: refresh the mapping and publish it without stopping
+    // the workers.
+    ++result.epochs;
+    Stopwatch alloc_watch;
+    const bool global_now = config.global_every_epochs > 0 &&
+                            result.epochs % config.global_every_epochs == 0;
+    if (global_now) {
+      Result<core::GlobalRunInfo> info = controller->StepGlobal();
+      if (!info.ok()) return info.status();
+    } else {
+      Result<core::AdaptiveRunInfo> info = controller->StepAdaptive();
+      if (!info.ok()) return info.status();
+    }
+    result.alloc_seconds += alloc_watch.ElapsedSeconds();
+    std::shared_ptr<const alloc::Allocation> next =
+        controller->ShareAllocation();
+    result.accounts_moved +=
+        sim::CompareAllocations(*current, *next).accounts_moved;
+    TXALLO_RETURN_NOT_OK(engine->InstallAllocation(next));
+    current = std::move(next);
+  }
+  result.report = engine->DrainAndReport();
+  return result;
+}
+
+}  // namespace txallo::engine

@@ -1,0 +1,61 @@
+// Epoch-based online reallocation: core::TxAlloController driving the
+// parallel engine.
+//
+// The controller absorbs committed blocks into its transaction graph; every
+// `blocks_per_epoch` blocks it runs A-TxAllo (with optional periodic
+// G-TxAllo refreshes — the paper's hybrid §V-A schedule) and the resulting
+// mapping is published to the engine as a fresh copy-on-write snapshot via
+// InstallAllocation(). The *swap* is pause-free — a shared_ptr exchange
+// whose cost the engine reports as `realloc_pause_seconds`, never a worker
+// stop — but this single-driver loop computes the allocation between ticks,
+// so shards sit idle for `alloc_seconds` at each epoch boundary. Moving the
+// allocator onto a background thread (publishing via the same thread-safe
+// InstallAllocation) is the ROADMAP follow-on that would overlap it with
+// execution.
+#pragma once
+
+#include <cstdint>
+
+#include "txallo/chain/ledger.h"
+#include "txallo/common/status.h"
+#include "txallo/core/controller.h"
+#include "txallo/engine/engine.h"
+
+namespace txallo::engine {
+
+struct PipelineConfig {
+  /// Reallocation cadence in blocks (the paper's τ1 update window).
+  uint32_t blocks_per_epoch = 50;
+  /// Every n-th epoch runs G-TxAllo instead of A-TxAllo (the hybrid
+  /// schedule's τ2); 0 = adaptive only.
+  uint32_t global_every_epochs = 0;
+};
+
+struct PipelineResult {
+  EngineReport report;
+  uint64_t epochs = 0;
+  /// Wall-clock seconds spent computing allocation updates. In this
+  /// single-driver loop the shards are idle during these — engine dead time
+  /// at epoch boundaries, distinct from the (near-zero) snapshot-swap
+  /// pause.
+  double alloc_seconds = 0.0;
+  /// Accounts whose shard changed across all reallocations (the practical
+  /// state-migration cost; sim::CompareAllocations per epoch).
+  uint64_t accounts_moved = 0;
+};
+
+/// Streams `ledger` through `engine` (one Tick per block) while `controller`
+/// learns the workload and republishes the allocation each epoch. The
+/// engine should be configured with hash_route_unassigned = true so accounts
+/// born since the last epoch still route; the controller's mapping takes
+/// over for them at the next epoch boundary. If the engine has no snapshot
+/// yet, the controller's current mapping is installed first. The final
+/// window gets no trailing update (nothing left to route); the controller
+/// still absorbs its blocks, so `epochs` is one less than the window count
+/// when the ledger divides evenly.
+Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
+                                            core::TxAlloController* controller,
+                                            ParallelEngine* engine,
+                                            const PipelineConfig& config);
+
+}  // namespace txallo::engine

@@ -1,0 +1,65 @@
+#include "txallo/engine/two_phase.h"
+
+#include <algorithm>
+
+namespace txallo::engine {
+
+uint64_t TwoPhaseCoordinator::Register(uint64_t arrival_block,
+                                       uint32_t participants,
+                                       bool cross_shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t tx_index = txs_.size();
+  txs_.push_back(TxEntry{arrival_block, participants, cross_shard});
+  ++stats_.submitted;
+  if (cross_shard) ++stats_.cross_shard_submitted;
+  ++stats_.in_flight;
+  return tx_index;
+}
+
+void TwoPhaseCoordinator::CommitLocked(uint64_t tx_index,
+                                       uint64_t commit_block) {
+  const TxEntry& tx = txs_[tx_index];
+  ++stats_.committed;
+  if (tx.cross_shard) ++stats_.cross_shard_committed;
+  const double latency =
+      static_cast<double>(commit_block - tx.arrival_block);
+  stats_.latency_sum_blocks += latency;
+  stats_.latency_max_blocks = std::max(stats_.latency_max_blocks, latency);
+}
+
+void TwoPhaseCoordinator::PartPrepared(uint64_t tx_index, uint64_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TxEntry& tx = txs_[tx_index];
+  ++stats_.prepares_received;
+  if (--tx.parts_remaining > 0) return;
+  --stats_.in_flight;
+  const uint64_t commit_block = model_.CommitBlock(block, tx.cross_shard);
+  if (commit_block > block) {
+    delayed_.emplace_back(commit_block, tx_index);
+    ++stats_.awaiting_commit_round;
+    return;
+  }
+  CommitLocked(tx_index, block);
+}
+
+void TwoPhaseCoordinator::FlushDelayed(uint64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!delayed_.empty() && delayed_.front().first <= now) {
+    const uint64_t tx_index = delayed_.front().second;
+    delayed_.pop_front();
+    --stats_.awaiting_commit_round;
+    CommitLocked(tx_index, now);
+  }
+}
+
+bool TwoPhaseCoordinator::Idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.in_flight == 0 && delayed_.empty();
+}
+
+CommitStats TwoPhaseCoordinator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace txallo::engine

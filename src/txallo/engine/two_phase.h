@@ -1,0 +1,85 @@
+// Cross-shard two-phase commit coordinator.
+//
+// Each shard worker executes its part of a transaction and then votes
+// PREPARED for that part; once every participant shard has prepared, the
+// coordinator issues the commit decision. An intra-shard transaction (one
+// participant) commits in place; a cross-shard transaction pays the extra
+// consensus round(s) of §I — the decision lands `cross_shard_commit_rounds`
+// blocks after the last prepare — matching sim::ShardSimulator's semantics
+// exactly, which is what the engine/simulator parity tests pin down.
+//
+// Thread-safety: PartPrepared() is called concurrently by shard workers
+// mid-tick; Register()/FlushDelayed()/stats() are driver-side. Everything is
+// guarded by one mutex — the coordinator is touched once per transaction
+// part, not per work unit, so contention is bounded by routing fan-out.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "txallo/sim/work_model.h"
+
+namespace txallo::engine {
+
+/// Aggregate commit-protocol counters (a superset of what SimReport needs).
+struct CommitStats {
+  uint64_t submitted = 0;
+  uint64_t cross_shard_submitted = 0;
+  uint64_t committed = 0;
+  uint64_t cross_shard_committed = 0;
+  /// Total PREPARED votes received (== executed transaction parts).
+  uint64_t prepares_received = 0;
+  /// Cross-shard transactions prepared but awaiting their commit round.
+  uint64_t awaiting_commit_round = 0;
+  /// Transactions registered but not yet fully prepared.
+  uint64_t in_flight = 0;
+  double latency_sum_blocks = 0.0;
+  double latency_max_blocks = 0.0;
+};
+
+class TwoPhaseCoordinator {
+ public:
+  explicit TwoPhaseCoordinator(sim::WorkModel model) : model_(model) {}
+
+  /// Registers a transaction entering execution at `arrival_block` with
+  /// `participants` distinct shards. Returns its transaction index (the
+  /// handle shard workers vote with).
+  uint64_t Register(uint64_t arrival_block, uint32_t participants,
+                    bool cross_shard);
+
+  /// One participant's PREPARED vote, cast at block `block`. When it is the
+  /// last vote: an intra-shard transaction commits at `block`; a cross-shard
+  /// transaction is scheduled for `model.CommitBlock(block, true)`.
+  void PartPrepared(uint64_t tx_index, uint64_t block);
+
+  /// Driver-side, once per block after workers quiesce: commits every
+  /// scheduled cross-shard transaction whose decision round has arrived.
+  void FlushDelayed(uint64_t now);
+
+  /// True when nothing is in flight or awaiting a commit round.
+  bool Idle() const;
+
+  CommitStats stats() const;
+
+ private:
+  struct TxEntry {
+    uint64_t arrival_block;
+    uint32_t parts_remaining;
+    bool cross_shard;
+  };
+
+  void CommitLocked(uint64_t tx_index, uint64_t commit_block);
+
+  const sim::WorkModel model_;
+  mutable std::mutex mu_;
+  std::vector<TxEntry> txs_;
+  // (commit_block, tx) pairs. All prepares of one tick land at the same
+  // block and ticks advance monotonically, so commit blocks are
+  // non-decreasing front to back and flushing pops from the front.
+  std::deque<std::pair<uint64_t, uint64_t>> delayed_;
+  CommitStats stats_;
+};
+
+}  // namespace txallo::engine

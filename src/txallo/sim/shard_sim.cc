@@ -8,26 +8,17 @@ namespace txallo::sim {
 
 ShardSimulator::ShardSimulator(SimConfig config)
     : config_(config),
+      model_(config.work_model()),
       queues_(config.num_shards),
       processed_work_(config.num_shards, 0.0) {}
 
 Status ShardSimulator::SubmitBlock(
     const std::vector<chain::Transaction>& transactions,
     const alloc::Allocation& allocation) {
+  std::vector<alloc::ShardId> shards;
   for (const chain::Transaction& tx : transactions) {
-    // Distinct shards this transaction touches.
-    std::vector<alloc::ShardId> shards;
-    for (chain::AccountId a : tx.accounts()) {
-      if (a >= allocation.num_accounts() || !allocation.IsAssigned(a)) {
-        return Status::FailedPrecondition(
-            "unassigned account " + std::to_string(a) +
-            " submitted to simulator");
-      }
-      const alloc::ShardId s = allocation.shard_of(a);
-      if (std::find(shards.begin(), shards.end(), s) == shards.end()) {
-        shards.push_back(s);
-      }
-    }
+    TXALLO_RETURN_NOT_OK(RouteTransaction(tx, allocation,
+                                          UnassignedPolicy::kReject, &shards));
     if (shards.empty()) continue;
     const bool cross = shards.size() > 1;
     const uint64_t tx_index = txs_.size();
@@ -35,7 +26,7 @@ Status ShardSimulator::SubmitBlock(
                              cross, 0});
     ++submitted_;
     if (cross) ++cross_submitted_;
-    const double work = cross ? config_.eta : 1.0;
+    const double work = model_.PartWork(cross);
     for (alloc::ShardId s : shards) {
       queues_[s].push_back(WorkItem{tx_index, work});
     }
@@ -47,10 +38,10 @@ void ShardSimulator::CommitFinishedParts(uint64_t tx_index) {
   PendingTx& tx = txs_[tx_index];
   tx.last_part_block = now_;
   if (--tx.parts_remaining > 0) return;
-  if (tx.cross_shard && config_.cross_shard_commit_rounds > 0) {
+  const uint64_t commit_block = model_.CommitBlock(now_, tx.cross_shard);
+  if (commit_block > now_) {
     // Atomic commit needs the extra cross-shard round(s).
-    delayed_commits_.emplace_back(now_ + config_.cross_shard_commit_rounds,
-                                  tx_index);
+    delayed_commits_.emplace_back(commit_block, tx_index);
     return;
   }
   ++committed_;

@@ -16,6 +16,7 @@
 #include "txallo/alloc/allocation.h"
 #include "txallo/chain/transaction.h"
 #include "txallo/common/status.h"
+#include "txallo/sim/work_model.h"
 
 namespace txallo::sim {
 
@@ -28,6 +29,11 @@ struct SimConfig {
   /// Extra commit rounds a cross-shard transaction pays after its last
   /// shard part finishes (the cross-shard consensus round).
   uint32_t cross_shard_commit_rounds = 1;
+
+  /// The shared cost semantics this configuration expresses.
+  WorkModel work_model() const {
+    return WorkModel{eta, capacity_per_block, cross_shard_commit_rounds};
+  }
 };
 
 /// Aggregated results of a simulation run.
@@ -86,6 +92,7 @@ class ShardSimulator {
   void CommitFinishedParts(uint64_t tx_index);
 
   SimConfig config_;
+  WorkModel model_;
   std::vector<std::deque<WorkItem>> queues_;
   std::vector<double> processed_work_;
   std::vector<PendingTx> txs_;

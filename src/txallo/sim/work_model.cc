@@ -1,0 +1,32 @@
+#include "txallo/sim/work_model.h"
+
+#include <algorithm>
+#include <string>
+
+namespace txallo::sim {
+
+Status RouteTransaction(const chain::Transaction& tx,
+                        const alloc::Allocation& allocation,
+                        UnassignedPolicy policy,
+                        std::vector<alloc::ShardId>* shards) {
+  shards->clear();
+  for (chain::AccountId a : tx.accounts()) {
+    alloc::ShardId s;
+    if (allocation.IsAssigned(a)) {
+      s = allocation.shard_of(a);
+    } else if (policy == UnassignedPolicy::kHashFallback &&
+               allocation.num_shards() > 0) {
+      s = static_cast<alloc::ShardId>(a % allocation.num_shards());
+    } else {
+      return Status::FailedPrecondition("unassigned account " +
+                                        std::to_string(a) +
+                                        " submitted to executor");
+    }
+    if (std::find(shards->begin(), shards->end(), s) == shards->end()) {
+      shards->push_back(s);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace txallo::sim

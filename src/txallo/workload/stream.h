@@ -15,7 +15,12 @@ class BlockWindowStream {
   BlockWindowStream(const chain::Ledger* ledger, size_t blocks_per_step)
       : ledger_(ledger), blocks_per_step_(blocks_per_step) {}
 
-  bool Done() const { return cursor_ >= ledger_->num_blocks(); }
+  /// A zero-width window can never advance the cursor, so blocks_per_step
+  /// == 0 yields no windows at all (consistent with NumWindows() == 0)
+  /// instead of looping `while (!Done()) Next()` callers forever.
+  bool Done() const {
+    return blocks_per_step_ == 0 || cursor_ >= ledger_->num_blocks();
+  }
 
   /// Index range [first, last) of the next window; advances the cursor.
   struct Window {

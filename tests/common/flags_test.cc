@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <vector>
 
 namespace txallo {
@@ -57,6 +58,35 @@ TEST(BenchScaleTest, FlagOverridesPreset) {
   BenchScale scale = ResolveBenchScale(f);
   EXPECT_EQ(scale.num_transactions, 999u);
   EXPECT_EQ(scale.max_shards, 12);
+}
+
+TEST(BenchScaleTest, ThreadsFlagPinsEngineParallelism) {
+  Flags f = ParseArgs({"--threads=6"});
+  EXPECT_EQ(ResolveBenchScale(f).num_threads, 6);
+}
+
+TEST(BenchScaleTest, ThreadsDefaultsToAuto) {
+  // 0 = let the engine pick (hardware concurrency clamped to shards).
+  // Hermetic against the caller's environment.
+  ::unsetenv("TXALLO_THREADS");
+  Flags f = ParseArgs({});
+  EXPECT_EQ(ResolveBenchScale(f).num_threads, 0);
+}
+
+TEST(BenchScaleTest, ThreadsEnvIsTheFallback) {
+  ::setenv("TXALLO_THREADS", "5", /*overwrite=*/1);
+  EXPECT_EQ(ResolveBenchScale(ParseArgs({})).num_threads, 5);
+  // An explicit flag still wins over the environment.
+  EXPECT_EQ(ResolveBenchScale(ParseArgs({"--threads=2"})).num_threads, 2);
+  ::unsetenv("TXALLO_THREADS");
+}
+
+TEST(BenchScaleTest, NegativeThreadsClampsToAuto) {
+  // Explicit nonsense clamps to auto; it must NOT fall through to the env.
+  ::setenv("TXALLO_THREADS", "7", /*overwrite=*/1);
+  Flags f = ParseArgs({"--threads=-3"});
+  EXPECT_EQ(ResolveBenchScale(f).num_threads, 0);
+  ::unsetenv("TXALLO_THREADS");
 }
 
 TEST(BenchScaleTest, PresetsAreOrdered) {

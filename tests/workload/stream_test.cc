@@ -48,6 +48,48 @@ TEST(BlockWindowStreamTest, EmptyLedgerIsDone) {
   EXPECT_EQ(stream.NumWindows(), 0u);
 }
 
+TEST(BlockWindowStreamTest, ZeroBlocksPerStepYieldsNoWindows) {
+  // A zero-width window can never advance the cursor; the stream must
+  // report Done immediately (a `while (!Done()) Next()` loop previously
+  // hung here) and agree with NumWindows() == 0.
+  chain::Ledger ledger = MakeLedger(5);
+  BlockWindowStream stream(&ledger, 0);
+  EXPECT_TRUE(stream.Done());
+  EXPECT_EQ(stream.NumWindows(), 0u);
+}
+
+TEST(BlockWindowStreamTest, ZeroBlocksPerStepOnEmptyLedger) {
+  chain::Ledger ledger;
+  BlockWindowStream stream(&ledger, 0);
+  EXPECT_TRUE(stream.Done());
+  EXPECT_EQ(stream.NumWindows(), 0u);
+}
+
+TEST(BlockWindowStreamTest, TrailingPartialWindowIsShortNotPadded) {
+  // 9 blocks in windows of 4: the tail window is [8, 9), one block wide,
+  // and iteration stops exactly there.
+  chain::Ledger ledger = MakeLedger(9);
+  BlockWindowStream stream(&ledger, 4);
+  EXPECT_EQ(stream.NumWindows(), 3u);
+  stream.Next();
+  stream.Next();
+  EXPECT_FALSE(stream.Done());
+  auto tail = stream.Next();
+  EXPECT_EQ(tail.first_block_index, 8u);
+  EXPECT_EQ(tail.last_block_index, 9u);
+  EXPECT_TRUE(stream.Done());
+}
+
+TEST(BlockWindowStreamTest, WindowLargerThanLedgerIsOneWindow) {
+  chain::Ledger ledger = MakeLedger(3);
+  BlockWindowStream stream(&ledger, 10);
+  EXPECT_EQ(stream.NumWindows(), 1u);
+  auto w = stream.Next();
+  EXPECT_EQ(w.first_block_index, 0u);
+  EXPECT_EQ(w.last_block_index, 3u);
+  EXPECT_TRUE(stream.Done());
+}
+
 TEST(BlockWindowStreamTest, WindowsCoverLedgerExactlyOnce) {
   chain::Ledger ledger = MakeLedger(23);
   BlockWindowStream stream(&ledger, 7);
