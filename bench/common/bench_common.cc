@@ -6,32 +6,52 @@
 #include <cstdio>
 #include <cstring>
 
-#include "txallo/baselines/hash_allocator.h"
-#include "txallo/baselines/metis/partitioner.h"
-#include "txallo/baselines/shard_scheduler.h"
 #include "txallo/common/csv.h"
 #include "txallo/common/stopwatch.h"
 #include "txallo/core/controller.h"
-#include "txallo/core/global.h"
 #include "txallo/graph/builder.h"
 
 namespace txallo::bench {
 
-const char* MethodName(Method method) {
-  switch (method) {
-    case Method::kTxAllo:
-      return "Our Method";
-    case Method::kRandom:
-      return "Random";
-    case Method::kMetis:
-      return "Metis";
-    case Method::kShardScheduler:
-      return "Shard Scheduler";
-  }
-  return "?";
+std::vector<std::string> DefaultMethodSpecs() {
+  return {"txallo-global", "hash", "metis", "shard-scheduler"};
 }
 
-Fixture::Fixture(const BenchScale& scale, uint64_t seed) {
+std::vector<std::string> SplitList(const std::string& list, char separator) {
+  std::vector<std::string> items;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t end = list.find(separator, start);
+    if (end == std::string::npos) end = list.size();
+    if (end > start) items.push_back(list.substr(start, end - start));
+    start = end + 1;
+  }
+  return items;
+}
+
+std::vector<std::string> ResolveMethodSpecs(const Flags& flags) {
+  if (flags.Has("methods")) {
+    // ';' is the separator when present, so specs whose own option lists
+    // contain commas ("broker:inner=metis,brokers=8") remain expressible.
+    const std::string list = flags.GetString("methods", "");
+    std::vector<std::string> specs = SplitList(
+        list, list.find(';') != std::string::npos ? ';' : ',');
+    if (!specs.empty()) return specs;
+  }
+  const std::string single = ResolveAllocatorSpec(flags, "");
+  if (!single.empty()) return {single};
+  return DefaultMethodSpecs();
+}
+
+std::string MethodLabel(const std::string& spec) {
+  if (spec == "txallo-global" || spec == "txallo-hybrid") return "Our Method";
+  if (spec == "hash") return "Random";
+  if (spec == "metis") return "Metis";
+  if (spec == "shard-scheduler") return "Shard Scheduler";
+  return spec;
+}
+
+Fixture::Fixture(const BenchScale& scale, uint64_t seed) : seed_(seed) {
   config_.num_accounts = scale.num_accounts;
   // Block geometry: keep ~200 tx per block, enough blocks for timelines.
   config_.txs_per_block = 200;
@@ -51,48 +71,47 @@ Fixture::Fixture(const BenchScale& scale, uint64_t seed) {
   node_order_ = registry_->IdsInHashOrder();
 }
 
-MethodResult Fixture::RunMethod(Method method, uint32_t k, double eta) const {
-  alloc::AllocationParams params = ParamsFor(k, eta);
-  MethodResult out;
-  alloc::Allocation allocation;
-  Stopwatch watch;
-  switch (method) {
-    case Method::kTxAllo: {
-      auto result = core::RunGlobalTxAllo(graph_, node_order_, params);
-      if (!result.ok()) {
-        std::fprintf(stderr, "G-TxAllo failed: %s\n",
-                     result.status().ToString().c_str());
-        std::abort();
-      }
-      out.allocation_seconds = watch.ElapsedSeconds();
-      allocation = std::move(result.value());
-      break;
-    }
-    case Method::kRandom: {
-      allocation = baselines::AllocateByHash(*registry_, k);
-      out.allocation_seconds = watch.ElapsedSeconds();
-      break;
-    }
-    case Method::kMetis: {
-      auto result = baselines::metis::PartitionGraph(graph_, k);
-      if (!result.ok()) {
-        std::fprintf(stderr, "METIS failed: %s\n",
-                     result.status().ToString().c_str());
-        std::abort();
-      }
-      out.allocation_seconds = watch.ElapsedSeconds();
-      allocation = std::move(result.value());
-      break;
-    }
-    case Method::kShardScheduler: {
-      baselines::ShardScheduler scheduler(k, eta);
-      scheduler.ProcessLedger(ledger_);
-      out.allocation_seconds = watch.ElapsedSeconds();
-      allocation = scheduler.SnapshotAllocation(registry_->size());
-      break;
-    }
+std::unique_ptr<allocator::Allocator> Fixture::MakeAllocator(
+    const std::string& spec, uint32_t k, double eta) const {
+  allocator::AllocatorOptions options;
+  options.params = ParamsFor(k, eta);
+  options.registry = registry_;
+  options.seed = seed_;
+  auto made = allocator::MakeAllocatorFromSpec(spec, std::move(options));
+  if (!made.ok()) {
+    std::fprintf(stderr, "allocator spec '%s': %s\n", spec.c_str(),
+                 made.status().ToString().c_str());
+    std::abort();
   }
-  auto report = alloc::EvaluateAllocation(ledger_, allocation, params);
+  return std::move(made.value());
+}
+
+allocator::AllocationContext Fixture::ContextFor(uint32_t k,
+                                                 double eta) const {
+  allocator::AllocationContext context;
+  context.graph = &graph_;
+  context.ledger = &ledger_;
+  context.registry = registry_;
+  context.node_order = &node_order_;
+  context.params = ParamsFor(k, eta);
+  context.seed = seed_;
+  return context;
+}
+
+MethodResult Fixture::RunMethod(const std::string& spec, uint32_t k,
+                                double eta) const {
+  std::unique_ptr<allocator::Allocator> method = MakeAllocator(spec, k, eta);
+  const allocator::AllocationContext context = ContextFor(k, eta);
+  MethodResult out;
+  Stopwatch watch;
+  auto allocation = method->Allocate(context);
+  if (!allocation.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", spec.c_str(),
+                 allocation.status().ToString().c_str());
+    std::abort();
+  }
+  out.allocation_seconds = watch.ElapsedSeconds();
+  auto report = method->Evaluate(ledger_, *allocation, context.params);
   if (!report.ok()) {
     std::fprintf(stderr, "evaluation failed: %s\n",
                  report.status().ToString().c_str());
@@ -103,14 +122,13 @@ MethodResult Fixture::RunMethod(Method method, uint32_t k, double eta) const {
 }
 
 SweepCache::SweepCache(const Fixture* fixture, const BenchScale& scale,
-                       uint64_t seed, bool enabled)
-    : fixture_(fixture), enabled_(enabled) {
+                       uint64_t seed, bool enabled, std::string cache_dir)
+    : fixture_(fixture), cache_dir_(std::move(cache_dir)), enabled_(enabled) {
   char name[256];
   std::snprintf(name, sizeof(name),
-                "txallo_bench_cache/sweep_%" PRIu64 "_%" PRIu64 "_%" PRIu64
-                ".csv",
+                "sweep_%" PRIu64 "_%" PRIu64 "_%" PRIu64 ".csv",
                 scale.num_transactions, scale.num_accounts, seed);
-  path_ = name;
+  path_ = cache_dir_ + "/" + name;
   if (enabled_) Load();
 }
 
@@ -119,8 +137,7 @@ void SweepCache::Load() {
   if (!rows.ok()) return;  // Cold cache.
   for (const auto& row : rows.value()) {
     if (row.size() != 11) continue;
-    Key key{std::atoi(row[0].c_str()),
-            static_cast<uint32_t>(std::atoi(row[1].c_str())),
+    Key key{row[0], static_cast<uint32_t>(std::atoi(row[1].c_str())),
             std::atof(row[2].c_str())};
     Row value{std::atof(row[3].c_str()), std::atof(row[4].c_str()),
               std::atof(row[5].c_str()), std::atof(row[6].c_str()),
@@ -131,8 +148,9 @@ void SweepCache::Load() {
   }
 }
 
-MethodResult SweepCache::Get(Method method, uint32_t k, double eta) {
-  Key key{static_cast<int>(method), k, eta};
+MethodResult SweepCache::Get(const std::string& spec, uint32_t k,
+                             double eta) {
+  Key key{spec, k, eta};
   auto it = rows_.find(key);
   if (enabled_ && it != rows_.end()) {
     const Row& row = it->second;
@@ -149,7 +167,7 @@ MethodResult SweepCache::Get(Method method, uint32_t k, double eta) {
     out.allocation_seconds = row.seconds;
     return out;
   }
-  MethodResult result = fixture_->RunMethod(method, k, eta);
+  MethodResult result = fixture_->RunMethod(spec, k, eta);
   rows_[key] = Row{result.report.cross_shard_ratio,
                    result.report.normalized_workload_stddev,
                    result.report.normalized_throughput,
@@ -164,11 +182,11 @@ MethodResult SweepCache::Get(Method method, uint32_t k, double eta) {
 
 SweepCache::~SweepCache() {
   if (!enabled_ || !dirty_) return;
-  ::mkdir("txallo_bench_cache", 0755);
+  EnsureDirs(cache_dir_);
   CsvWriter writer(path_);
   if (!writer.ok()) return;
   for (const auto& [key, row] : rows_) {
-    (void)writer.WriteRow({std::to_string(key.method),
+    (void)writer.WriteRow({key.spec,
                            std::to_string(key.k), Fmt(key.eta, 6),
                            Fmt(row.gamma, 9), Fmt(row.rho_norm, 9),
                            Fmt(row.throughput_norm, 9),
@@ -177,6 +195,23 @@ SweepCache::~SweepCache() {
                            std::to_string(row.cross_txs)});
   }
   (void)writer.Close();
+}
+
+std::string ResolveCacheDir(const Flags& flags) {
+  return flags.GetString("cache-dir",
+                         flags.GetString("csv-dir", "bench_out") + "/cache");
+}
+
+void EnsureDirs(const std::string& path) {
+  std::string prefix;
+  size_t start = 0;
+  while (start <= path.size()) {
+    size_t end = path.find('/', start);
+    if (end == std::string::npos) end = path.size();
+    prefix = path.substr(0, end);
+    if (!prefix.empty() && prefix != ".") ::mkdir(prefix.c_str(), 0755);
+    start = end + 1;
+  }
 }
 
 SweepGrid ResolveGrid(const Flags& flags, const BenchScale& scale) {
@@ -194,7 +229,7 @@ SweepGrid ResolveGrid(const Flags& flags, const BenchScale& scale) {
   grid.shard_counts.push_back(2);
   for (int k = scale.shard_step; k <= scale.max_shards;
        k += scale.shard_step) {
-    grid.shard_counts.push_back(static_cast<uint32_t>(k));
+    if (k != 2) grid.shard_counts.push_back(static_cast<uint32_t>(k));
   }
   return grid;
 }
@@ -233,7 +268,7 @@ void SeriesTable::Print() const {
 
 void SeriesTable::WriteCsv(const std::string& csv_dir,
                            const std::string& filename) const {
-  ::mkdir(csv_dir.c_str(), 0755);
+  EnsureDirs(csv_dir);
   CsvWriter writer(csv_dir + "/" + filename);
   if (!writer.ok()) return;
   (void)writer.WriteRow(columns_);
@@ -376,19 +411,21 @@ int RunStandardSweepFigure(int argc, char** argv, const char* figure_title,
   Fixture fixture(scale, seed);
   PrintRunBanner(figure_title, scale, fixture, seed);
   std::printf("%s\n", paper_note);
-  SweepCache cache(&fixture, scale, seed, !flags.GetBool("no-cache", false));
+  SweepCache cache(&fixture, scale, seed, !flags.GetBool("no-cache", false),
+                   ResolveCacheDir(flags));
   SweepGrid grid = ResolveGrid(flags, scale);
   const std::string csv_dir = flags.GetString("csv-dir", "bench_out");
+  const std::vector<std::string> methods = ResolveMethodSpecs(flags);
 
   for (double eta : grid.etas) {
     char title[160];
     std::snprintf(title, sizeof(title), "%s — eta = %g", metric_name, eta);
     std::vector<std::string> columns{"k"};
-    for (Method m : kAllMethods) columns.emplace_back(MethodName(m));
+    for (const std::string& m : methods) columns.push_back(MethodLabel(m));
     SeriesTable table(title, std::move(columns));
     for (uint32_t k : grid.shard_counts) {
       std::vector<std::string> row{std::to_string(k)};
-      for (Method m : kAllMethods) {
+      for (const std::string& m : methods) {
         row.push_back(Fmt(extract(cache.Get(m, k, eta))));
       }
       table.AddRow(std::move(row));

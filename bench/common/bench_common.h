@@ -1,14 +1,19 @@
 // Shared machinery for the figure-reproduction benchmarks: workload fixture
-// construction, the four allocation methods behind one interface, a disk
-// cache so the per-figure binaries share sweep results, and aligned table
-// printing.
+// construction, allocation-method dispatch through the allocator registry
+// (allocator/registry.h), a disk cache so the per-figure binaries share
+// sweep results, and aligned table printing.
 //
 // Every binary honours:
 //   TXALLO_SCALE=small|medium|large   (or --scale=...)
 //   --txs/--accounts/--seed/--max-shards/--shard-step/--eta-list
+//   --methods=a,b,c     allocator specs the sweep compares (default: the
+//                       paper's four)
+//   --allocator=SPEC    single-method override (also TXALLO_ALLOCATOR)
 //   --no-cache          recompute everything
 //   --csv-dir=DIR       where to drop machine-readable series (default
 //                       ./bench_out)
+//   --cache-dir=DIR     where the sweep cache lives (default
+//                       <csv-dir>/cache)
 #pragma once
 
 #include <cstdint>
@@ -19,6 +24,7 @@
 
 #include "txallo/alloc/metrics.h"
 #include "txallo/alloc/params.h"
+#include "txallo/allocator/registry.h"
 #include "txallo/chain/account.h"
 #include "txallo/chain/ledger.h"
 #include "txallo/common/flags.h"
@@ -31,23 +37,25 @@ namespace txallo::bench {
 // Re-export the flag/scale helpers so bench binaries can use one namespace.
 using txallo::BenchScale;
 using txallo::Flags;
+using txallo::ResolveAllocatorSpec;
 using txallo::ResolveBenchScale;
 
-/// The four allocation methods of the paper's comparison.
-enum class Method {
-  kTxAllo = 0,
-  kRandom = 1,
-  kMetis = 2,
-  kShardScheduler = 3,
-};
+/// The paper's four-method comparison (§VI), as allocator-registry specs.
+std::vector<std::string> DefaultMethodSpecs();
 
-inline constexpr Method kAllMethods[] = {Method::kTxAllo, Method::kRandom,
-                                         Method::kMetis,
-                                         Method::kShardScheduler};
+/// Splits `list` on `separator`, dropping empty clauses.
+std::vector<std::string> SplitList(const std::string& list,
+                                   char separator = ',');
 
-/// Display name ("Our Method", "Random", "Metis", "Shard Scheduler" — the
-/// paper's legend).
-const char* MethodName(Method method);
+/// Method list of the sweep figures: --methods=a,b,c (allocator specs,
+/// ';'-separated when any spec's option list itself contains commas) beats
+/// a single-method --allocator/TXALLO_ALLOCATOR beats DefaultMethodSpecs().
+std::vector<std::string> ResolveMethodSpecs(const Flags& flags);
+
+/// Table label: the paper's legend name for the classic methods
+/// ("Our Method", "Random", "Metis", "Shard Scheduler"); any other spec
+/// displays as itself.
+std::string MethodLabel(const std::string& spec);
 
 /// One evaluated datapoint of the sweep grid.
 struct MethodResult {
@@ -75,8 +83,22 @@ class Fixture {
     return alloc::AllocationParams::ForExperiment(num_transactions(), k, eta);
   }
 
-  /// Runs one method at (k, η), measuring allocation wall-clock time.
-  MethodResult RunMethod(Method method, uint32_t k, double eta) const;
+  /// Creates `spec`'s allocator bound to this fixture at (k, η): the
+  /// registry, seed and experiment params flow into AllocatorOptions.
+  /// Aborts with a diagnostic on an invalid spec (bench binaries treat a
+  /// typo'd method name as fatal).
+  std::unique_ptr<allocator::Allocator> MakeAllocator(const std::string& spec,
+                                                      uint32_t k,
+                                                      double eta) const;
+
+  /// The one-shot AllocationContext over this fixture's workload.
+  allocator::AllocationContext ContextFor(uint32_t k, double eta) const;
+
+  /// Runs one method at (k, η), measuring allocation wall-clock time and
+  /// evaluating under the method's own execution semantics (so the broker
+  /// decorator prices brokered transactions honestly).
+  MethodResult RunMethod(const std::string& spec, uint32_t k,
+                         double eta) const;
 
  private:
   workload::EthereumLikeConfig config_;
@@ -85,28 +107,32 @@ class Fixture {
   chain::Ledger ledger_;
   graph::TransactionGraph graph_;
   std::vector<graph::NodeId> node_order_;
+  uint64_t seed_ = 0;
 };
 
-/// Disk-backed memoization of MethodResult keyed by (method, k, eta),
+/// Disk-backed memoization of MethodResult keyed by (method spec, k, eta),
 /// fingerprinted by (txs, accounts, seed) so scale changes invalidate it.
+/// Lives under `cache_dir` (the --cache-dir flag; default <csv-dir>/cache)
+/// so bench runs from read-only or parallel working directories don't
+/// collide in a hardcoded ./txallo_bench_cache.
 class SweepCache {
  public:
   SweepCache(const Fixture* fixture, const BenchScale& scale, uint64_t seed,
-             bool enabled);
+             bool enabled, std::string cache_dir);
 
   /// Cached or computed result.
-  MethodResult Get(Method method, uint32_t k, double eta);
+  MethodResult Get(const std::string& spec, uint32_t k, double eta);
 
   /// Flushes newly computed entries to disk.
   ~SweepCache();
 
  private:
   struct Key {
-    int method;
+    std::string spec;
     uint32_t k;
     double eta;
     bool operator<(const Key& other) const {
-      if (method != other.method) return method < other.method;
+      if (spec != other.spec) return spec < other.spec;
       if (k != other.k) return k < other.k;
       return eta < other.eta;
     }
@@ -121,11 +147,19 @@ class SweepCache {
   void Load();
 
   const Fixture* fixture_;
+  std::string cache_dir_;
   std::string path_;
   bool enabled_;
   bool dirty_ = false;
   std::map<Key, Row> rows_;
 };
+
+/// The sweep-cache directory: --cache-dir, defaulting to <csv-dir>/cache.
+std::string ResolveCacheDir(const Flags& flags);
+
+/// mkdir -p: creates `path` and any missing parents (best-effort; callers
+/// surface failures through the file writes that follow).
+void EnsureDirs(const std::string& path);
 
 /// Standard experiment grid (the paper's panels): η ∈ {2,4,6,8,10} and
 /// k from 2 to max_shards. Overridable via --eta-list="2,6,10".

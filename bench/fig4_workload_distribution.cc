@@ -24,15 +24,16 @@ int main(int argc, char** argv) {
       "eta=2, k=20)",
       scale, fixture, seed);
 
+  const std::vector<std::string> methods = bench::ResolveMethodSpecs(flags);
   std::vector<std::string> columns{"shard"};
-  for (bench::Method m : bench::kAllMethods) {
-    columns.emplace_back(bench::MethodName(m));
+  for (const std::string& m : methods) {
+    columns.push_back(bench::MethodLabel(m));
   }
   bench::SeriesTable table("Normalized workload per shard", columns);
 
   // Per-shard vectors are not in the sweep cache; compute directly.
   std::vector<std::vector<double>> profiles;
-  for (bench::Method m : bench::kAllMethods) {
+  for (const std::string& m : methods) {
     bench::MethodResult result = fixture.RunMethod(m, k, eta);
     profiles.push_back(result.report.normalized_workloads);
   }
@@ -59,7 +60,7 @@ int main(int argc, char** argv) {
     const size_t under = static_cast<size_t>(
         std::count_if(p.begin(), p.end(), [](double v) { return v < 1.0; }));
     std::printf("  %-16s total=%.2f  max=%.2f  shards-under-line=%zu/%u\n",
-                bench::MethodName(bench::kAllMethods[i]), total, max, under,
+                bench::MethodLabel(methods[i]).c_str(), total, max, under,
                 k);
   }
   return 0;

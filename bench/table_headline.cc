@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   bench::PrintRunBanner("Headline table: abstract/introduction numbers",
                         scale, fixture, seed);
   bench::SweepCache cache(&fixture, scale, seed,
-                          !flags.GetBool("no-cache", false));
+                          !flags.GetBool("no-cache", false),
+                          bench::ResolveCacheDir(flags));
 
   const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 60));
   const double eta = flags.GetDouble("eta", 2.0);
@@ -27,18 +28,18 @@ int main(int argc, char** argv) {
           ", eta=" + bench::Fmt(eta, 0),
       {"method", "gamma", "paper gamma", "runtime (s)"});
   struct PaperRef {
-    bench::Method method;
+    const char* spec;  // Allocator-registry name.
     const char* gamma;
   };
   const PaperRef refs[] = {
-      {bench::Method::kTxAllo, "~0.12"},
-      {bench::Method::kRandom, "~0.98"},
-      {bench::Method::kMetis, "~0.28"},
-      {bench::Method::kShardScheduler, "(between Metis and Random)"},
+      {"txallo-global", "~0.12"},
+      {"hash", "~0.98"},
+      {"metis", "~0.28"},
+      {"shard-scheduler", "(between Metis and Random)"},
   };
   for (const PaperRef& ref : refs) {
-    bench::MethodResult result = cache.Get(ref.method, k, eta);
-    table.AddRow({bench::MethodName(ref.method),
+    bench::MethodResult result = cache.Get(ref.spec, k, eta);
+    table.AddRow({bench::MethodLabel(ref.spec),
                   bench::Fmt(result.report.cross_shard_ratio),
                   ref.gamma,
                   bench::Fmt(result.allocation_seconds, 4)});

@@ -1,14 +1,18 @@
 // Adaptive-pipeline scenario: a miner-side allocation daemon. Blocks
-// stream in; A-TxAllo updates the mapping every tau1 blocks and G-TxAllo
-// refreshes it every tau2 blocks (paper §V-A's hybrid schedule). Prints a
-// step-by-step log like a node operator would see.
+// stream in; the chosen online allocator refreshes the mapping every tau1
+// blocks. The default strategy is TxAllo's hybrid schedule (A-TxAllo with a
+// G-TxAllo refresh every tau2 steps, paper §V-A), but any online method
+// from the registry drops in:
 //
 //   ./build/examples/adaptive_pipeline [--steps=N] [--tau1=B] [--tau2-steps=M]
+//   ./build/examples/adaptive_pipeline --allocator=metis
+//   TXALLO_ALLOCATOR=shard-scheduler ./build/examples/adaptive_pipeline
 #include <cstdio>
 
 #include "txallo/alloc/metrics.h"
+#include "txallo/allocator/registry.h"
 #include "txallo/common/flags.h"
-#include "txallo/core/controller.h"
+#include "txallo/common/stopwatch.h"
 #include "txallo/sim/reconfig.h"
 #include "txallo/workload/ethereum_like.h"
 
@@ -20,6 +24,8 @@ int main(int argc, char** argv) {
   const int steps = static_cast<int>(flags.GetInt("steps", 24));
   const int tau1 = static_cast<int>(flags.GetInt("tau1", 25));  // Blocks.
   const int tau2_steps = static_cast<int>(flags.GetInt("tau2-steps", 8));
+  const std::string spec = ResolveAllocatorSpec(
+      flags, "txallo-hybrid:global-every=" + std::to_string(tau2_steps));
 
   workload::EthereumLikeConfig config;
   config.txs_per_block = 120;
@@ -29,45 +35,52 @@ int main(int argc, char** argv) {
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
   workload::EthereumLikeGenerator generator(config);
 
-  alloc::AllocationParams params =
-      alloc::AllocationParams::ForExperiment(1, k, eta);
-  core::TxAlloController controller(&generator.registry(), params);
+  allocator::AllocatorOptions options;
+  options.params = alloc::AllocationParams::ForExperiment(1, k, eta);
+  options.registry = &generator.registry();
+  auto made = allocator::MakeAllocatorFromSpec(spec, options);
+  if (!made.ok()) {
+    std::fprintf(stderr, "allocator: %s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  allocator::OnlineAllocator* daemon = (*made)->AsOnline();
+  if (daemon == nullptr) {
+    std::fprintf(stderr, "allocator '%s' is one-shot only\n", spec.c_str());
+    return 1;
+  }
 
-  // Bootstrap: absorb some history and run the first global allocation.
-  std::printf("bootstrapping: 400 blocks of history + initial G-TxAllo\n");
-  for (int b = 0; b < 400; ++b) controller.ApplyBlock(generator.NextBlock());
-  auto bootstrap = controller.StepGlobal();
+  // Bootstrap: absorb some history and run the first rebalance (for the
+  // txallo strategies that is the initial G-TxAllo).
+  std::printf("allocator: %s\nbootstrapping: 400 blocks of history + "
+              "initial rebalance\n\n",
+              spec.c_str());
+  for (int b = 0; b < 400; ++b) daemon->ApplyBlock(generator.NextBlock());
+  auto bootstrap = daemon->Rebalance();
   if (!bootstrap.ok()) {
     std::fprintf(stderr, "bootstrap failed: %s\n",
                  bootstrap.status().ToString().c_str());
     return 1;
   }
-  std::printf("  louvain communities=%u  sweeps=%d  %.3fs\n\n",
-              bootstrap->louvain_communities, bootstrap->sweeps,
-              bootstrap->total_seconds);
 
-  std::printf("%-5s %-8s %10s %12s %12s %10s\n", "step", "update",
-              "secs", "Lambda", "gamma(win)", "moved");
-  alloc::Allocation previous = controller.allocation();
+  std::printf("%-5s %10s %12s %12s %10s\n", "step", "secs", "Lambda/lam",
+              "gamma(win)", "moved");
+  alloc::Allocation previous = std::move(bootstrap.value());
   for (int step = 0; step < steps; ++step) {
     std::vector<chain::Block> window;
     for (int b = 0; b < tau1; ++b) {
       window.push_back(generator.NextBlock());
-      controller.ApplyBlock(window.back());
+      daemon->ApplyBlock(window.back());
     }
-    double seconds = 0.0;
-    const bool global_now = (step + 1) % tau2_steps == 0;
-    if (global_now) {
-      auto info = controller.StepGlobal();
-      if (!info.ok()) return 1;
-      seconds = info->total_seconds;
-    } else {
-      auto info = controller.StepAdaptive();
-      if (!info.ok()) return 1;
-      seconds = info->total_seconds;
+    Stopwatch watch;
+    auto rebalanced = daemon->Rebalance();
+    if (!rebalanced.ok()) {
+      std::fprintf(stderr, "rebalance failed: %s\n",
+                   rebalanced.status().ToString().c_str());
+      return 1;
     }
+    const double seconds = watch.ElapsedSeconds();
 
-    // Window-level cross-shard ratio under the fresh mapping.
+    // Window-level metrics under the fresh mapping.
     std::vector<chain::Transaction> txs;
     for (const chain::Block& blk : window) {
       txs.insert(txs.end(), blk.transactions().begin(),
@@ -75,24 +88,19 @@ int main(int argc, char** argv) {
     }
     alloc::AllocationParams window_params =
         alloc::AllocationParams::ForExperiment(txs.size(), k, eta);
-    auto report = alloc::EvaluateAllocation(txs, controller.allocation(),
-                                            window_params);
+    auto report = (*made)->Evaluate(txs, *rebalanced, window_params);
     if (!report.ok()) return 1;
 
     // How many accounts had to move (state-migration cost, paper §VII).
     sim::ReconfigStats moved =
-        sim::CompareAllocations(previous, controller.allocation());
-    previous = controller.allocation();
+        sim::CompareAllocations(previous, *rebalanced);
+    previous = std::move(rebalanced.value());
 
-    std::printf("%-5d %-8s %9.4fs %12.2f %12.3f %10llu\n", step,
-                global_now ? "GLOBAL" : "adaptive", seconds,
-                controller.CurrentThroughput(), report->cross_shard_ratio,
+    std::printf("%-5d %9.4fs %12.2f %12.3f %10llu\n", step, seconds,
+                report->normalized_throughput, report->cross_shard_ratio,
                 static_cast<unsigned long long>(moved.accounts_moved));
   }
-
-  std::printf("\n%llu transactions absorbed; final model throughput %.2f\n",
-              static_cast<unsigned long long>(
-                  controller.transactions_applied()),
-              controller.CurrentThroughput());
+  std::printf("\ndone: %d windows of %d blocks under '%s'\n", steps, tau1,
+              spec.c_str());
   return 0;
 }

@@ -1,22 +1,28 @@
 // Parallel engine scenario: the same live traffic executed three ways —
 //
 //   1. static hash routing,
-//   2. a static G-TxAllo mapping learned from warmup history,
-//   3. TxAllo online: the hybrid controller re-learns the workload every
-//      epoch and hot-swaps the engine's allocation snapshot between block
-//      boundaries (copy-on-write, workers never pause).
+//   2. a static mapping learned from warmup history by the chosen
+//      allocator (--allocator, default TxAllo's hybrid controller),
+//   3. online: the allocator keeps learning and hot-swaps the engine's
+//      allocation snapshot between block boundaries (copy-on-write,
+//      workers never pause) via engine::RunReallocatedStream.
+//
+// Any online strategy from the registry drops into slots 2 and 3 — METIS,
+// Louvain, Shard Scheduler and hash itself run live on the engine exactly
+// like TxAllo.
 //
 // Shards execute on real worker threads with cross-shard two-phase commits;
 // reports carry both the simulator-compatible metrics and the engine-only
 // ones (queue depth, worker stall, reallocation pause).
 //
 //   ./build/examples/parallel_engine [--blocks=N] [--k=K] [--threads=T]
+//       [--allocator=SPEC]
 #include <cstdio>
 #include <memory>
 
+#include "txallo/allocator/registry.h"
 #include "txallo/baselines/hash_allocator.h"
 #include "txallo/common/flags.h"
-#include "txallo/core/controller.h"
 #include "txallo/engine/engine.h"
 #include "txallo/engine/pipeline.h"
 #include "txallo/workload/ethereum_like.h"
@@ -29,6 +35,8 @@ int main(int argc, char** argv) {
   const int blocks = static_cast<int>(flags.GetInt("blocks", 300));
   const uint32_t threads =
       static_cast<uint32_t>(flags.GetInt("threads", 0));
+  const std::string spec =
+      ResolveAllocatorSpec(flags, "txallo-hybrid:global-every=4");
 
   workload::EthereumLikeConfig config;
   config.txs_per_block = 100;
@@ -51,27 +59,43 @@ int main(int argc, char** argv) {
       1.3 * static_cast<double>(config.txs_per_block) / k;
   engine_config.hash_route_unassigned = true;
 
-  alloc::AllocationParams params = alloc::AllocationParams::ForExperiment(
+  // The chosen allocator learns the warmup history; its mapping is policy
+  // 2's static snapshot and policy 3's starting point.
+  allocator::AllocatorOptions options;
+  options.params = alloc::AllocationParams::ForExperiment(
       history.num_transactions(), k, eta);
-
-  // Controller learns the warmup history; its mapping is policy 2's static
-  // snapshot and policy 3's starting point.
-  core::TxAlloController controller(&generator.registry(), params);
-  for (const chain::Block& block : history.blocks()) {
-    controller.ApplyBlock(block);
-  }
-  if (!controller.StepGlobal().ok()) {
-    std::fprintf(stderr, "G-TxAllo on warmup history failed\n");
+  options.registry = &generator.registry();
+  auto made = allocator::MakeAllocatorFromSpec(spec, options);
+  if (!made.ok()) {
+    std::fprintf(stderr, "allocator: %s\n", made.status().ToString().c_str());
     return 1;
   }
-  auto static_txallo = controller.ShareAllocation();
+  allocator::OnlineAllocator* learner = (*made)->AsOnline();
+  if (learner == nullptr) {
+    std::fprintf(stderr, "allocator '%s' is one-shot only; pick an online "
+                 "strategy\n",
+                 spec.c_str());
+    return 1;
+  }
+  for (const chain::Block& block : history.blocks()) {
+    learner->ApplyBlock(block);
+  }
+  auto warm = learner->Rebalance();
+  if (!warm.ok()) {
+    std::fprintf(stderr, "warmup rebalance failed: %s\n",
+                 warm.status().ToString().c_str());
+    return 1;
+  }
+  auto static_learned =
+      std::make_shared<const alloc::Allocation>(std::move(warm.value()));
   auto hash_alloc = std::make_shared<alloc::Allocation>(
       baselines::AllocateByHash(generator.registry(), k));
 
   std::printf(
-      "live traffic: %d blocks x %llu txs, k=%u shards, eta=%.0f, "
-      "capacity=%.0f work-units/block/shard\n\n",
-      blocks, static_cast<unsigned long long>(config.txs_per_block), k, eta,
+      "allocator: %s\nlive traffic: %d blocks x %llu txs, k=%u shards, "
+      "eta=%.0f, capacity=%.0f work-units/block/shard\n\n",
+      spec.c_str(), blocks,
+      static_cast<unsigned long long>(config.txs_per_block), k, eta,
       engine_config.work.capacity_per_block);
   std::printf("%-14s %8s %9s %10s %10s %8s %9s %8s\n", "policy", "workers",
               "commit", "tput/blk", "zeta(avg)", "cross%", "realloc",
@@ -96,7 +120,7 @@ int main(int argc, char** argv) {
     std::shared_ptr<const alloc::Allocation> allocation;
   };
   const StaticPolicy static_policies[] = {{"hash-static", hash_alloc},
-                                          {"txallo-static", static_txallo}};
+                                          {"learned-static", static_learned}};
   for (const StaticPolicy& policy : static_policies) {
     engine::ParallelEngine engine(engine_config, policy.allocation);
     for (const chain::Block& block : live.blocks()) {
@@ -109,19 +133,20 @@ int main(int argc, char** argv) {
     print_row(policy.name, engine.DrainAndReport(), 0);
   }
 
-  // Policy 3: online — controller keeps learning, engine swaps snapshots.
-  engine::ParallelEngine online_engine(engine_config, static_txallo);
+  // Policy 3: online — the allocator keeps learning, the engine swaps
+  // snapshots.
+  engine::ParallelEngine online_engine(engine_config, static_learned);
   engine::PipelineConfig pipeline;
   pipeline.blocks_per_epoch =
       static_cast<uint32_t>(std::max(10, blocks / 10));
-  auto online = engine::RunReallocatedStream(live, &controller,
-                                             &online_engine, pipeline);
+  auto online =
+      engine::RunReallocatedStream(live, learner, &online_engine, pipeline);
   if (!online.ok()) {
     std::fprintf(stderr, "online pipeline failed: %s\n",
                  online.status().ToString().c_str());
     return 1;
   }
-  print_row("txallo-online", online->report, online->accounts_moved);
+  print_row("online", online->report, online->accounts_moved);
   std::printf(
       "\nonline reallocation: %llu epochs, %.3fs allocator time between "
       "ticks (shards idle meanwhile),\n%.6fs total ingest pause across "
@@ -130,8 +155,8 @@ int main(int argc, char** argv) {
       online->report.realloc_pause_seconds,
       online->report.worker_stall_seconds);
   std::printf(
-      "\nExpected: hash routing makes ~every transaction cross-shard; the "
-      "static TxAllo mapping\ncuts cross%% and latency until drift erodes "
+      "\nExpected: hash routing makes ~every transaction cross-shard; a "
+      "static learned mapping\ncuts cross%% and latency until drift erodes "
       "it; the online schedule holds the advantage\nby republishing the "
       "mapping each epoch without stopping shard workers.\n");
   return 0;

@@ -1,16 +1,20 @@
-// Quickstart: build a tiny ledger by hand, run G-TxAllo, inspect the
-// mapping and the model metrics. Start here.
+// Quickstart: build a tiny ledger by hand, pick an allocation strategy by
+// name from the registry, run it, inspect the mapping and the model
+// metrics. Start here.
 //
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart [--allocator=txallo-global]
+//   TXALLO_ALLOCATOR=metis ./build/examples/quickstart
 #include <cstdio>
 
-#include "txallo/alloc/metrics.h"
+#include "txallo/allocator/registry.h"
 #include "txallo/chain/ledger.h"
-#include "txallo/core/global.h"
+#include "txallo/common/flags.h"
 #include "txallo/graph/builder.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace txallo;
+  Flags flags = Flags::Parse(argc, argv);
+  const std::string spec = ResolveAllocatorSpec(flags, "txallo-global");
 
   // 1. A ledger: two groups of accounts that mostly transact internally
   //    ({alice, bob, carol} and {dave, erin}), plus one bridging payment.
@@ -37,13 +41,34 @@ int main() {
   std::printf("transaction graph: %zu accounts, %zu edges, weight %.1f\n",
               graph.num_nodes(), graph.num_edges(), graph.TotalWeight());
 
-  // 3. Allocate into k=2 shards with the paper's experimental setting
-  //    (lambda = |T|/k, epsilon = 1e-5 |T|) and eta = 2.
+  // 3. Pick the strategy by name. Every method — TxAllo, the baselines,
+  //    the broker decorator — hangs off the same registry.
+  std::printf("allocator: %s (registered:", spec.c_str());
+  for (const std::string& name : allocator::RegisteredNames()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf(")\n");
   alloc::AllocationParams params =
       alloc::AllocationParams::ForExperiment(ledger.num_transactions(),
                                              /*num_shards=*/2, /*eta=*/2.0);
-  auto allocation = core::RunGlobalTxAllo(graph, registry.IdsInHashOrder(),
-                                          params);
+  allocator::AllocatorOptions options;
+  options.params = params;
+  options.registry = &registry;
+  auto method = allocator::MakeAllocatorFromSpec(spec, options);
+  if (!method.ok()) {
+    std::fprintf(stderr, "allocator: %s\n",
+                 method.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Allocate into k=2 shards with the paper's experimental setting
+  //    (lambda = |T|/k, epsilon = 1e-5 |T|) and eta = 2.
+  allocator::AllocationContext context;
+  context.graph = &graph;
+  context.ledger = &ledger;
+  context.registry = &registry;
+  context.params = params;
+  auto allocation = (*method)->Allocate(context);
   if (!allocation.ok()) {
     std::fprintf(stderr, "allocation failed: %s\n",
                  allocation.status().ToString().c_str());
@@ -54,12 +79,15 @@ int main() {
                 allocation->shard_of(a));
   }
 
-  // 4. Evaluate: with the two groups separated, only the bridge payment is
+  // 5. Evaluate under the strategy's own execution semantics. With the two
+  //    groups separated (TxAllo's answer), only the bridge payment is
   //    cross-shard.
-  auto report = alloc::EvaluateAllocation(ledger, *allocation, params);
+  auto report = (*method)->Evaluate(ledger, *allocation, params);
   if (!report.ok()) return 1;
-  std::printf("cross-shard ratio : %.0f%% (1 of 6 transactions)\n",
-              100.0 * report->cross_shard_ratio);
+  std::printf("cross-shard ratio : %.0f%% (%llu of 6 transactions)\n",
+              100.0 * report->cross_shard_ratio,
+              static_cast<unsigned long long>(
+                  report->cross_shard_transactions));
   std::printf("throughput        : %.2f of %llu transactions\n",
               report->throughput,
               static_cast<unsigned long long>(report->total_transactions));

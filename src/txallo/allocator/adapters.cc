@@ -1,0 +1,364 @@
+#include "txallo/allocator/adapters.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "txallo/common/sha256.h"
+#include "txallo/core/global.h"
+#include "txallo/graph/csr.h"
+
+namespace txallo::allocator {
+
+namespace {
+
+// The account domain a one-shot mapping must cover: the widest of the
+// context's graph, registry and explicit order.
+size_t DomainSize(const AllocationContext& context) {
+  size_t n = context.graph != nullptr ? context.graph->num_nodes() : 0;
+  if (context.registry != nullptr) n = std::max(n, context.registry->size());
+  return n;
+}
+
+// Hash mapping over `domain` accounts: address hash for ids the registry
+// knows, id hash for the synthetic tail beyond it. Keeps registry-known
+// accounts' placement stable as the domain grows — no global reshard when
+// one synthetic id appears.
+alloc::Allocation HashOverDomain(const chain::AccountRegistry* registry,
+                                 size_t domain, uint32_t num_shards) {
+  const size_t known = registry != nullptr ? registry->size() : 0;
+  alloc::Allocation allocation(domain, num_shards);
+  for (size_t a = 0; a < domain; ++a) {
+    const auto id = static_cast<chain::AccountId>(a);
+    const uint64_t key = a < known ? registry->OrderKey(id)
+                                   : Sha256::Hash64(static_cast<uint64_t>(a));
+    allocation.Assign(id, static_cast<alloc::ShardId>(key % num_shards));
+  }
+  return allocation;
+}
+
+Status RequireGraph(const AllocationContext& context, const char* who) {
+  if (context.graph == nullptr) {
+    return Status::InvalidArgument(std::string(who) +
+                                   " needs AllocationContext.graph");
+  }
+  if (!context.graph->consolidated()) {
+    return Status::InvalidArgument(std::string(who) +
+                                   ": the transaction graph must be "
+                                   "consolidated before Allocate()");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TxAllo (global + hybrid)
+// ---------------------------------------------------------------------------
+
+TxAlloAllocator::TxAlloAllocator(std::string name,
+                                 const chain::AccountRegistry* registry,
+                                 alloc::AllocationParams params,
+                                 uint32_t global_every)
+    : OnlineAllocator(std::move(name), params),
+      controller_(registry, params),
+      global_every_(global_every) {}
+
+Result<alloc::Allocation> TxAlloAllocator::Allocate(
+    const AllocationContext& context) {
+  TXALLO_RETURN_NOT_OK(RequireGraph(context, Name().c_str()));
+  const std::vector<graph::NodeId> order = ResolveNodeOrder(context);
+  return core::RunGlobalTxAllo(*context.graph, order, context.params);
+}
+
+void TxAlloAllocator::ApplyBlock(const chain::Block& block) {
+  controller_.ApplyBlock(block);
+}
+
+Result<alloc::Allocation> TxAlloAllocator::Rebalance() {
+  if (controller_.transactions_applied() == 0) {
+    // Nothing absorbed yet: there is no workload to optimize against.
+    return controller_.allocation();
+  }
+  ++rebalances_;
+  const bool global_now =
+      rebalances_ == 1 ||
+      (global_every_ > 0 && rebalances_ % global_every_ == 0);
+  if (global_now) {
+    Result<core::GlobalRunInfo> info = controller_.StepGlobal();
+    if (!info.ok()) return info.status();
+  } else {
+    Result<core::AdaptiveRunInfo> info = controller_.StepAdaptive();
+    if (!info.ok()) return info.status();
+  }
+  return controller_.allocation();
+}
+
+alloc::Allocation TxAlloAllocator::CurrentAllocation() const {
+  return controller_.allocation();
+}
+
+// ---------------------------------------------------------------------------
+// Hash routing
+// ---------------------------------------------------------------------------
+
+HashStrategy::HashStrategy(std::string name,
+                           const chain::AccountRegistry* registry,
+                           alloc::AllocationParams params)
+    : OnlineAllocator(std::move(name), params), registry_(registry) {}
+
+Result<alloc::Allocation> HashStrategy::Allocate(
+    const AllocationContext& context) {
+  return HashOverDomain(context.registry, DomainSize(context),
+                        context.params.num_shards);
+}
+
+void HashStrategy::ApplyBlock(const chain::Block& block) {
+  for (const chain::Transaction& tx : block.transactions()) {
+    if (tx.accounts().empty()) continue;
+    // accounts() is sorted; the widest id grows the domain.
+    num_accounts_seen_ = std::max(
+        num_accounts_seen_, static_cast<size_t>(tx.accounts().back()) + 1);
+  }
+}
+
+Result<alloc::Allocation> HashStrategy::Rebalance() {
+  return CurrentAllocation();
+}
+
+alloc::Allocation HashStrategy::CurrentAllocation() const {
+  const size_t domain =
+      registry_ != nullptr ? std::max(registry_->size(), num_accounts_seen_)
+                           : num_accounts_seen_;
+  return HashOverDomain(registry_, domain, params_.num_shards);
+}
+
+// ---------------------------------------------------------------------------
+// METIS
+// ---------------------------------------------------------------------------
+
+MetisStrategy::MetisStrategy(std::string name, alloc::AllocationParams params,
+                             baselines::metis::PartitionOptions options)
+    : OnlineAllocator(std::move(name), params),
+      options_(options),
+      last_(0, params.num_shards) {}
+
+Result<alloc::Allocation> MetisStrategy::Allocate(
+    const AllocationContext& context) {
+  TXALLO_RETURN_NOT_OK(RequireGraph(context, Name().c_str()));
+  return baselines::metis::PartitionGraph(
+      *context.graph, context.params.num_shards, options_);
+}
+
+void MetisStrategy::ApplyBlock(const chain::Block& block) {
+  builder_.AddBlock(block);
+}
+
+Result<alloc::Allocation> MetisStrategy::Rebalance() {
+  builder_.Finish();
+  if (graph_.num_nodes() == 0) return last_;
+  Result<alloc::Allocation> result = baselines::metis::PartitionGraph(
+      graph_, params_.num_shards, options_);
+  if (!result.ok()) return result.status();
+  last_ = std::move(result.value());
+  return last_;
+}
+
+alloc::Allocation MetisStrategy::CurrentAllocation() const { return last_; }
+
+// ---------------------------------------------------------------------------
+// Louvain communities, packed into k shards
+// ---------------------------------------------------------------------------
+
+LouvainStrategy::LouvainStrategy(std::string name,
+                                 const chain::AccountRegistry* registry,
+                                 alloc::AllocationParams params,
+                                 graph::LouvainOptions options)
+    : OnlineAllocator(std::move(name), params),
+      registry_(registry),
+      options_(options),
+      last_(0, params.num_shards) {}
+
+Result<alloc::Allocation> LouvainStrategy::Partition(
+    const graph::TransactionGraph& graph,
+    const std::vector<graph::NodeId>& node_order, uint32_t num_shards) const {
+  const size_t n = graph.num_nodes();
+  if (n == 0) return alloc::Allocation(0, num_shards);
+  const graph::CsrGraph csr = graph::CsrGraph::FromGraph(graph);
+  const graph::LouvainResult louvain =
+      graph::RunLouvain(csr, node_order, options_);
+
+  // Pack whole communities into shards: heaviest community first into the
+  // currently lightest shard (LPT). Keeps communities intact — the point of
+  // this baseline — at the price of coarse balance when communities are few.
+  std::vector<double> community_weight(louvain.num_communities, 0.0);
+  for (size_t v = 0; v < n; ++v) {
+    community_weight[louvain.community[v]] +=
+        csr.Strength(static_cast<graph::NodeId>(v)) +
+        csr.SelfLoop(static_cast<graph::NodeId>(v));
+  }
+  std::vector<uint32_t> by_weight(louvain.num_communities);
+  for (uint32_t c = 0; c < louvain.num_communities; ++c) by_weight[c] = c;
+  std::sort(by_weight.begin(), by_weight.end(),
+            [&community_weight](uint32_t a, uint32_t b) {
+              if (community_weight[a] != community_weight[b]) {
+                return community_weight[a] > community_weight[b];
+              }
+              return a < b;
+            });
+  std::vector<double> shard_load(num_shards, 0.0);
+  std::vector<alloc::ShardId> shard_of_community(louvain.num_communities, 0);
+  for (uint32_t c : by_weight) {
+    alloc::ShardId best = 0;
+    for (alloc::ShardId s = 1; s < num_shards; ++s) {
+      if (shard_load[s] < shard_load[best]) best = s;
+    }
+    shard_of_community[c] = best;
+    shard_load[best] += community_weight[c];
+  }
+  alloc::Allocation allocation(n, num_shards);
+  for (size_t v = 0; v < n; ++v) {
+    allocation.Assign(static_cast<chain::AccountId>(v),
+                      shard_of_community[louvain.community[v]]);
+  }
+  return allocation;
+}
+
+Result<alloc::Allocation> LouvainStrategy::Allocate(
+    const AllocationContext& context) {
+  TXALLO_RETURN_NOT_OK(RequireGraph(context, Name().c_str()));
+  return Partition(*context.graph, ResolveNodeOrder(context),
+                   context.params.num_shards);
+}
+
+void LouvainStrategy::ApplyBlock(const chain::Block& block) {
+  builder_.AddBlock(block);
+}
+
+Result<alloc::Allocation> LouvainStrategy::Rebalance() {
+  builder_.Finish();
+  AllocationContext context;
+  context.graph = &graph_;
+  context.registry = registry_;
+  Result<alloc::Allocation> result =
+      Partition(graph_, ResolveNodeOrder(context), params_.num_shards);
+  if (!result.ok()) return result.status();
+  last_ = std::move(result.value());
+  return last_;
+}
+
+alloc::Allocation LouvainStrategy::CurrentAllocation() const { return last_; }
+
+// ---------------------------------------------------------------------------
+// Shard Scheduler
+// ---------------------------------------------------------------------------
+
+ShardSchedulerStrategy::ShardSchedulerStrategy(
+    std::string name, const chain::AccountRegistry* registry,
+    alloc::AllocationParams params, baselines::ShardSchedulerOptions options)
+    : OnlineAllocator(std::move(name), params),
+      registry_(registry),
+      options_(options),
+      scheduler_(params.num_shards, params.eta, options) {}
+
+Result<alloc::Allocation> ShardSchedulerStrategy::Allocate(
+    const AllocationContext& context) {
+  if (context.ledger == nullptr) {
+    return Status::InvalidArgument(
+        Name() + " needs AllocationContext.ledger (it replays the "
+                 "transaction stream)");
+  }
+  baselines::ShardScheduler scheduler(context.params.num_shards,
+                                      context.params.eta, options_);
+  scheduler.ProcessLedger(*context.ledger);
+  return scheduler.SnapshotAllocation(DomainSize(context));
+}
+
+void ShardSchedulerStrategy::ApplyBlock(const chain::Block& block) {
+  for (const chain::Transaction& tx : block.transactions()) {
+    scheduler_.Process(tx);
+    if (!tx.accounts().empty()) {
+      num_accounts_seen_ = std::max(
+          num_accounts_seen_, static_cast<size_t>(tx.accounts().back()) + 1);
+    }
+  }
+}
+
+Result<alloc::Allocation> ShardSchedulerStrategy::Rebalance() {
+  return CurrentAllocation();
+}
+
+alloc::Allocation ShardSchedulerStrategy::CurrentAllocation() const {
+  const size_t domain =
+      registry_ != nullptr ? std::max(registry_->size(), num_accounts_seen_)
+                           : num_accounts_seen_;
+  return scheduler_.SnapshotAllocation(domain);
+}
+
+// ---------------------------------------------------------------------------
+// Broker overlay (decorator)
+// ---------------------------------------------------------------------------
+
+BrokerOverlay::BrokerOverlay(std::string name,
+                             std::unique_ptr<Allocator> inner,
+                             alloc::AllocationParams params,
+                             baselines::BrokerOptions options)
+    : OnlineAllocator(std::move(name), params),
+      inner_(std::move(inner)),
+      options_(options) {}
+
+Result<alloc::Allocation> BrokerOverlay::Allocate(
+    const AllocationContext& context) {
+  Result<alloc::Allocation> result = inner_->Allocate(context);
+  if (!result.ok()) return result;
+  if (context.graph != nullptr) {
+    brokers_ = baselines::SelectBrokersByActivity(*context.graph,
+                                                  options_.num_brokers);
+  } else {
+    brokers_.clear();
+  }
+  return result;
+}
+
+void BrokerOverlay::ApplyBlock(const chain::Block& block) {
+  builder_.AddBlock(block);
+  if (OnlineAllocator* online = inner_->AsOnline()) {
+    online->ApplyBlock(block);
+  }
+}
+
+Result<alloc::Allocation> BrokerOverlay::Rebalance() {
+  OnlineAllocator* online = inner_->AsOnline();
+  if (online == nullptr) {
+    return Status::FailedPrecondition(
+        Name() + ": inner allocator '" + inner_->Name() +
+        "' does not support online use");
+  }
+  builder_.Finish();
+  brokers_ =
+      baselines::SelectBrokersByActivity(graph_, options_.num_brokers);
+  return online->Rebalance();
+}
+
+alloc::Allocation BrokerOverlay::CurrentAllocation() const {
+  if (OnlineAllocator* online = inner_->AsOnline()) {
+    return online->CurrentAllocation();
+  }
+  return alloc::Allocation(0, params_.num_shards);
+}
+
+Result<alloc::EvaluationReport> BrokerOverlay::Evaluate(
+    const chain::Ledger& ledger, const alloc::Allocation& allocation,
+    const alloc::AllocationParams& params) const {
+  return baselines::EvaluateWithBrokers(ledger, allocation, params, brokers_,
+                                        options_);
+}
+
+Result<alloc::EvaluationReport> BrokerOverlay::Evaluate(
+    const std::vector<chain::Transaction>& transactions,
+    const alloc::Allocation& allocation,
+    const alloc::AllocationParams& params) const {
+  return baselines::EvaluateWithBrokers(transactions, allocation, params,
+                                        brokers_, options_);
+}
+
+}  // namespace txallo::allocator

@@ -1,0 +1,141 @@
+// The unified allocation-strategy API (paper §VI's method matrix as code).
+//
+// Every allocation method — TxAllo itself, the §II-C baselines, and any
+// future ContribChain/Mosaic-style plugin — sits behind one polymorphic
+// interface with two calling conventions:
+//
+//   * one-shot: Allocate(AllocationContext) partitions a historical
+//     workload once (what the figure sweeps evaluate);
+//   * online: an OnlineAllocator additionally absorbs committed blocks
+//     (ApplyBlock) and refreshes the mapping on demand (Rebalance) — the
+//     epoch-driven shape engine::RunReallocatedStream drives.
+//
+// Instances come from the string-keyed factory in allocator/registry.h
+// (MakeAllocator("txallo-hybrid", options)), so benches, examples and the
+// engine pick strategies by name (--allocator=...) instead of compiling
+// against each method's bespoke entry point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "txallo/alloc/allocation.h"
+#include "txallo/alloc/metrics.h"
+#include "txallo/alloc/params.h"
+#include "txallo/chain/account.h"
+#include "txallo/chain/block.h"
+#include "txallo/chain/ledger.h"
+#include "txallo/common/status.h"
+#include "txallo/graph/graph.h"
+
+namespace txallo::allocator {
+
+/// Everything a one-shot strategy may consume. Graph-based methods (TxAllo,
+/// METIS, Louvain) read `graph`; transaction-level methods (Shard
+/// Scheduler) replay `ledger`; hash routing only needs the account domain.
+/// A strategy fails with InvalidArgument when a field it requires is null.
+struct AllocationContext {
+  /// Consolidated transaction graph (paper Definition 2).
+  const graph::TransactionGraph* graph = nullptr;
+  /// The raw transaction history, for strategies that replay it.
+  const chain::Ledger* ledger = nullptr;
+  /// Account metadata: address hashes for deterministic ordering and
+  /// hash-based routing. Optional — id order / id hashing are the fallback.
+  const chain::AccountRegistry* registry = nullptr;
+  /// Explicit deterministic node iteration order (a permutation of
+  /// [0, graph->num_nodes())). Defaults to the registry's hash order, then
+  /// to id order.
+  const std::vector<graph::NodeId>* node_order = nullptr;
+  /// θ: shard count k, η, capacity λ, convergence ε.
+  alloc::AllocationParams params;
+  /// Seed for randomized strategies. Every built-in method is
+  /// deterministic and ignores it; plugins get it for free.
+  uint64_t seed = 0;
+};
+
+class OnlineAllocator;
+
+/// Abstract allocation strategy. Implementations must be deterministic for
+/// a given context (paper §V-B: all miners recompute the same mapping), so
+/// calling Allocate twice with the same inputs yields the same mapping.
+class Allocator {
+ public:
+  explicit Allocator(std::string name) : name_(std::move(name)) {}
+  virtual ~Allocator() = default;
+
+  Allocator(const Allocator&) = delete;
+  Allocator& operator=(const Allocator&) = delete;
+
+  /// The registry key this instance was created under ("metis",
+  /// "txallo-hybrid", ...).
+  const std::string& Name() const { return name_; }
+
+  /// One-shot partitioning of the context's workload into
+  /// context.params.num_shards shards. The returned mapping covers the
+  /// full account domain (Allocation::Validate() passes).
+  virtual Result<alloc::Allocation> Allocate(
+      const AllocationContext& context) = 0;
+
+  /// Online view of this strategy, or nullptr for one-shot-only methods.
+  virtual OnlineAllocator* AsOnline() { return nullptr; }
+
+  /// Evaluates `allocation` over a transaction set under this strategy's
+  /// execution semantics. The default is the plain §III-B model; overlays
+  /// (brokers) override it — their runtime behavior, not their mapping, is
+  /// what differs.
+  virtual Result<alloc::EvaluationReport> Evaluate(
+      const chain::Ledger& ledger, const alloc::Allocation& allocation,
+      const alloc::AllocationParams& params) const;
+  virtual Result<alloc::EvaluationReport> Evaluate(
+      const std::vector<chain::Transaction>& transactions,
+      const alloc::Allocation& allocation,
+      const alloc::AllocationParams& params) const;
+
+ private:
+  std::string name_;
+};
+
+/// A strategy that can run live: absorb committed blocks as they arrive and
+/// refresh the full mapping at epoch boundaries. This is the interface
+/// engine::RunReallocatedStream drives, so every online method — not just
+/// TxAllo's hybrid controller — can reallocate a running engine.
+class OnlineAllocator : public Allocator {
+ public:
+  OnlineAllocator(std::string name, alloc::AllocationParams params)
+      : Allocator(std::move(name)), params_(params) {}
+
+  OnlineAllocator* AsOnline() override { return this; }
+
+  /// Absorbs one committed block into the strategy's internal state.
+  virtual void ApplyBlock(const chain::Block& block) = 0;
+
+  /// Recomputes the mapping from everything absorbed so far and returns the
+  /// account-shard mapping to publish. Every account that has transacted is
+  /// assigned; ids that exist only as domain padding (never seen in a
+  /// transaction) may read as unassigned — engines hash-route those.
+  virtual Result<alloc::Allocation> Rebalance() = 0;
+
+  /// The mapping currently in force, before/without a Rebalance. The
+  /// default — an empty all-unassigned mapping over k shards — is valid
+  /// bootstrap state for an engine running with hash_route_unassigned.
+  virtual alloc::Allocation CurrentAllocation() const {
+    return alloc::Allocation(0, params_.num_shards);
+  }
+
+  /// The parameters this instance streams under (the one-shot path uses the
+  /// per-call context's instead).
+  const alloc::AllocationParams& online_params() const { return params_; }
+
+ protected:
+  alloc::AllocationParams params_;
+};
+
+/// Resolves the deterministic node iteration order for `graph`:
+/// context-supplied order first, then the registry's account-hash order
+/// (grown with id-order tail for accounts the registry does not know),
+/// then plain id order.
+std::vector<graph::NodeId> ResolveNodeOrder(const AllocationContext& context);
+
+}  // namespace txallo::allocator

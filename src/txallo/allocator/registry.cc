@@ -1,0 +1,307 @@
+#include "txallo/allocator/registry.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "txallo/allocator/adapters.h"
+
+namespace txallo::allocator {
+
+namespace {
+
+using OptionMap = std::map<std::string, std::string>;
+
+// Strict typed readers: the whole value must parse, otherwise the caller
+// gets an InvalidArgument naming key and value.
+Status ReadUint32(const OptionMap& options, const std::string& key,
+                  uint32_t* out) {
+  auto it = options.find(key);
+  if (it == options.end()) return Status::OK();
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0' || v > UINT32_MAX) {
+    return Status::InvalidArgument("option '" + key + "' expects a "
+                                   "non-negative integer, got '" +
+                                   it->second + "'");
+  }
+  *out = static_cast<uint32_t>(v);
+  return Status::OK();
+}
+
+Status ReadDouble(const OptionMap& options, const std::string& key,
+                  double* out) {
+  auto it = options.find(key);
+  if (it == options.end()) return Status::OK();
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("option '" + key +
+                                   "' expects a number, got '" + it->second +
+                                   "'");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+// Rejects any key outside the strategy's known set, so a typo'd option
+// never silently falls back to its default.
+Status ExpectOnly(const std::string& name, const OptionMap& options,
+                  std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : options) {
+    bool found = false;
+    for (const char* k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string list;
+      for (const char* k : known) {
+        if (!list.empty()) list += ", ";
+        list += k;
+      }
+      return Status::InvalidArgument(
+          "unknown option '" + key + "' for allocator '" + name +
+          "' (known: " + (list.empty() ? "<none>" : list) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+Status RequireRegistry(const std::string& name,
+                       const AllocatorOptions& options) {
+  if (options.registry == nullptr) {
+    return Status::InvalidArgument(
+        "allocator '" + name +
+        "' requires AllocatorOptions.registry (deterministic account-hash "
+        "node order)");
+  }
+  return Status::OK();
+}
+
+using Factory = Result<std::unique_ptr<Allocator>> (*)(
+    const std::string&, const AllocatorOptions&);
+
+Result<std::unique_ptr<Allocator>> MakeTxAlloGlobal(
+    const std::string& name, const AllocatorOptions& options) {
+  TXALLO_RETURN_NOT_OK(ExpectOnly(name, options.extra, {}));
+  TXALLO_RETURN_NOT_OK(RequireRegistry(name, options));
+  return std::unique_ptr<Allocator>(new TxAlloAllocator(
+      name, options.registry, options.params, /*global_every=*/1));
+}
+
+Result<std::unique_ptr<Allocator>> MakeTxAlloHybrid(
+    const std::string& name, const AllocatorOptions& options) {
+  TXALLO_RETURN_NOT_OK(ExpectOnly(name, options.extra, {"global-every"}));
+  TXALLO_RETURN_NOT_OK(RequireRegistry(name, options));
+  uint32_t global_every = 0;  // Adaptive-only after the global bootstrap.
+  TXALLO_RETURN_NOT_OK(ReadUint32(options.extra, "global-every",
+                                  &global_every));
+  return std::unique_ptr<Allocator>(new TxAlloAllocator(
+      name, options.registry, options.params, global_every));
+}
+
+Result<std::unique_ptr<Allocator>> MakeHash(const std::string& name,
+                                            const AllocatorOptions& options) {
+  TXALLO_RETURN_NOT_OK(ExpectOnly(name, options.extra, {}));
+  return std::unique_ptr<Allocator>(
+      new HashStrategy(name, options.registry, options.params));
+}
+
+Result<std::unique_ptr<Allocator>> MakeMetis(const std::string& name,
+                                             const AllocatorOptions& options) {
+  TXALLO_RETURN_NOT_OK(ExpectOnly(name, options.extra, {"imbalance"}));
+  baselines::metis::PartitionOptions metis_options;
+  TXALLO_RETURN_NOT_OK(
+      ReadDouble(options.extra, "imbalance", &metis_options.imbalance));
+  if (metis_options.imbalance < 1.0) {
+    return Status::InvalidArgument(
+        "option 'imbalance' must be >= 1.0 for allocator '" + name + "'");
+  }
+  return std::unique_ptr<Allocator>(
+      new MetisStrategy(name, options.params, metis_options));
+}
+
+Result<std::unique_ptr<Allocator>> MakeLouvain(
+    const std::string& name, const AllocatorOptions& options) {
+  TXALLO_RETURN_NOT_OK(ExpectOnly(name, options.extra, {"resolution"}));
+  graph::LouvainOptions louvain_options;
+  TXALLO_RETURN_NOT_OK(
+      ReadDouble(options.extra, "resolution", &louvain_options.resolution));
+  if (louvain_options.resolution <= 0.0) {
+    return Status::InvalidArgument(
+        "option 'resolution' must be > 0 for allocator '" + name + "'");
+  }
+  return std::unique_ptr<Allocator>(new LouvainStrategy(
+      name, options.registry, options.params, louvain_options));
+}
+
+Result<std::unique_ptr<Allocator>> MakeShardScheduler(
+    const std::string& name, const AllocatorOptions& options) {
+  TXALLO_RETURN_NOT_OK(ExpectOnly(name, options.extra,
+                                  {"buffer-ratio", "migration-benefit"}));
+  baselines::ShardSchedulerOptions scheduler_options;
+  TXALLO_RETURN_NOT_OK(ReadDouble(options.extra, "buffer-ratio",
+                                  &scheduler_options.buffer_ratio));
+  TXALLO_RETURN_NOT_OK(ReadDouble(options.extra, "migration-benefit",
+                                  &scheduler_options.migration_benefit));
+  return std::unique_ptr<Allocator>(new ShardSchedulerStrategy(
+      name, options.registry, options.params, scheduler_options));
+}
+
+Result<std::unique_ptr<Allocator>> MakeBroker(const std::string& name,
+                                              const AllocatorOptions& options);
+
+struct Entry {
+  const char* name;
+  const char* summary;
+  Factory factory;
+};
+
+// Sorted by name (RegisteredNames() relies on it).
+constexpr Entry kEntries[] = {
+    {"broker",
+     "BrokerChain-style overlay over any inner allocator (inner=NAME, "
+     "brokers=N, cross-cost=C): replicated broker accounts absorb "
+     "cross-shard traffic at evaluation time",
+     MakeBroker},
+    {"hash",
+     "SHA256(address) mod k — the history-oblivious scheme of "
+     "Chainspace/Monoxide/OmniLedger/RapidChain",
+     MakeHash},
+    {"louvain",
+     "deterministic Louvain communities packed whole into k shards "
+     "(resolution=R)",
+     MakeLouvain},
+    {"metis",
+     "from-scratch METIS-style multilevel k-way partitioner "
+     "(imbalance=F >= 1.0)",
+     MakeMetis},
+    {"shard-scheduler",
+     "Shard Scheduler (AFT'21): per-transaction streaming placement and "
+     "migration (buffer-ratio=R, migration-benefit=B)",
+     MakeShardScheduler},
+    {"txallo-global",
+     "G-TxAllo (Algorithm 1) on the full graph; online Rebalance re-runs "
+     "it from scratch (the paper's Global Method)",
+     MakeTxAlloGlobal},
+    {"txallo-hybrid",
+     "TxAllo hybrid schedule (§V-A): A-TxAllo per Rebalance with periodic "
+     "G-TxAllo refreshes (global-every=N, 0 = adaptive after bootstrap)",
+     MakeTxAlloHybrid},
+};
+
+Result<std::unique_ptr<Allocator>> MakeBroker(const std::string& name,
+                                              const AllocatorOptions& options) {
+  TXALLO_RETURN_NOT_OK(ExpectOnly(name, options.extra,
+                                  {"inner", "brokers", "cross-cost"}));
+  baselines::BrokerOptions broker_options;
+  TXALLO_RETURN_NOT_OK(
+      ReadUint32(options.extra, "brokers", &broker_options.num_brokers));
+  TXALLO_RETURN_NOT_OK(ReadDouble(options.extra, "cross-cost",
+                                  &broker_options.broker_cross_cost));
+  // BrokerChain's backbone allocator is METIS; that is the default inner.
+  std::string inner_name = "metis";
+  if (auto it = options.extra.find("inner"); it != options.extra.end()) {
+    inner_name = it->second;
+  }
+  if (inner_name == name) {
+    return Status::InvalidArgument(
+        "allocator 'broker' cannot wrap itself (inner=" + inner_name + ")");
+  }
+  AllocatorOptions inner_options = options;
+  inner_options.extra.clear();  // Broker keys must not leak into the inner.
+  Result<std::unique_ptr<Allocator>> inner =
+      MakeAllocator(inner_name, inner_options);
+  if (!inner.ok()) {
+    return Status::InvalidArgument("allocator 'broker': inner allocator "
+                                   "failed: " +
+                                   inner.status().ToString());
+  }
+  return std::unique_ptr<Allocator>(
+      new BrokerOverlay(name, std::move(inner.value()), options.params,
+                        broker_options));
+}
+
+}  // namespace
+
+Result<OptionMap> ParseOptionList(const std::string& spec) {
+  OptionMap options;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(start, end - start);
+    start = end + 1;
+    if (clause.empty()) continue;
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("malformed option clause '" + clause +
+                                     "' (expected key=value)");
+    }
+    const std::string key = clause.substr(0, eq);
+    if (options.count(key) > 0) {
+      return Status::InvalidArgument("duplicate option key '" + key + "'");
+    }
+    options[key] = clause.substr(eq + 1);
+  }
+  return options;
+}
+
+Result<AllocatorSpec> ParseAllocatorSpec(const std::string& spec) {
+  AllocatorSpec parsed;
+  const size_t colon = spec.find(':');
+  parsed.name = spec.substr(0, colon);
+  if (parsed.name.empty()) {
+    return Status::InvalidArgument("empty allocator name in spec '" + spec +
+                                   "'");
+  }
+  if (colon != std::string::npos) {
+    Result<OptionMap> options = ParseOptionList(spec.substr(colon + 1));
+    if (!options.ok()) return options.status();
+    parsed.options = std::move(options.value());
+  }
+  return parsed;
+}
+
+std::vector<std::string> RegisteredNames() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kEntries));
+  for (const Entry& entry : kEntries) names.emplace_back(entry.name);
+  return names;
+}
+
+std::string DescribeAllocator(const std::string& name) {
+  for (const Entry& entry : kEntries) {
+    if (name == entry.name) return entry.summary;
+  }
+  return "";
+}
+
+Result<std::unique_ptr<Allocator>> MakeAllocator(
+    const std::string& name, const AllocatorOptions& options) {
+  for (const Entry& entry : kEntries) {
+    if (name == entry.name) return entry.factory(name, options);
+  }
+  std::string known;
+  for (const Entry& entry : kEntries) {
+    if (!known.empty()) known += ", ";
+    known += entry.name;
+  }
+  return Status::NotFound("no allocator registered under '" + name +
+                          "' (registered: " + known + ")");
+}
+
+Result<std::unique_ptr<Allocator>> MakeAllocatorFromSpec(
+    const std::string& spec, AllocatorOptions options) {
+  Result<AllocatorSpec> parsed = ParseAllocatorSpec(spec);
+  if (!parsed.ok()) return parsed.status();
+  for (auto& [key, value] : parsed->options) {
+    options.extra[key] = value;
+  }
+  return MakeAllocator(parsed->name, options);
+}
+
+}  // namespace txallo::allocator

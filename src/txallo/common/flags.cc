@@ -101,4 +101,13 @@ BenchScale ResolveBenchScale(const Flags& flags) {
   return preset;
 }
 
+std::string ResolveAllocatorSpec(const Flags& flags,
+                                 const std::string& default_spec) {
+  if (flags.Has("allocator")) return flags.GetString("allocator", default_spec);
+  if (const char* env = std::getenv("TXALLO_ALLOCATOR")) {
+    if (env[0] != '\0') return env;
+  }
+  return default_spec;
+}
+
 }  // namespace txallo

@@ -55,4 +55,11 @@ struct BenchScale {
 /// Resolves the scale preset from TXALLO_SCALE (or --scale).
 BenchScale ResolveBenchScale(const Flags& flags);
 
+/// Resolves the allocation-strategy spec shared by benches and examples:
+/// --allocator beats the TXALLO_ALLOCATOR environment variable beats
+/// `default_spec`. The value is an allocator-registry spec, e.g. "metis" or
+/// "txallo-hybrid:global-every=4" (see allocator/registry.h).
+std::string ResolveAllocatorSpec(const Flags& flags,
+                                 const std::string& default_spec);
+
 }  // namespace txallo

@@ -127,6 +127,7 @@ class ParallelEngine {
   EngineReport Snapshot();
 
   uint64_t current_block() const { return now_; }
+  const EngineConfig& config() const { return config_; }
   uint32_t num_workers() const {
     return static_cast<uint32_t>(workers_.size());
   }

@@ -10,17 +10,28 @@
 namespace txallo::engine {
 
 Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
-                                            core::TxAlloController* controller,
+                                            allocator::OnlineAllocator* alloc,
                                             ParallelEngine* engine,
                                             const PipelineConfig& config) {
   if (config.blocks_per_epoch == 0) {
     return Status::InvalidArgument("blocks_per_epoch must be positive");
   }
+  if (alloc == nullptr || engine == nullptr) {
+    return Status::InvalidArgument(
+        "RunReallocatedStream needs a non-null allocator and engine");
+  }
+  if (!engine->config().hash_route_unassigned) {
+    return Status::InvalidArgument(
+        "RunReallocatedStream requires EngineConfig::hash_route_unassigned: "
+        "accounts created since the last epoch have no shard in the "
+        "allocator's snapshot and must hash-route until the next Rebalance");
+  }
   PipelineResult result;
   std::shared_ptr<const alloc::Allocation> current =
       engine->allocation_snapshot();
   if (current == nullptr) {
-    current = std::make_shared<alloc::Allocation>(controller->allocation());
+    current = std::make_shared<const alloc::Allocation>(
+        alloc->CurrentAllocation());
     TXALLO_RETURN_NOT_OK(engine->InstallAllocation(current));
   }
   workload::BlockWindowStream epochs(&ledger, config.blocks_per_epoch);
@@ -31,30 +42,24 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
       const chain::Block& block = ledger.blocks()[b];
       TXALLO_RETURN_NOT_OK(engine->SubmitBlock(block.transactions()));
       engine->Tick();
-      controller->ApplyBlock(block);
+      alloc->ApplyBlock(block);
     }
     // Ledger exhausted: skip the trailing update — there is no traffic
     // left for a new mapping to route, and its alloc_seconds /
-    // accounts_moved would overstate the run's real cost. The controller
+    // accounts_moved would overstate the run's real cost. The allocator
     // has still absorbed the final window, so a caller continuing the
-    // stream can step it immediately.
+    // stream can rebalance it immediately.
     if (epochs.Done()) break;
     // Epoch boundary: refresh the mapping and publish it without stopping
     // the workers.
     ++result.epochs;
     Stopwatch alloc_watch;
-    const bool global_now = config.global_every_epochs > 0 &&
-                            result.epochs % config.global_every_epochs == 0;
-    if (global_now) {
-      Result<core::GlobalRunInfo> info = controller->StepGlobal();
-      if (!info.ok()) return info.status();
-    } else {
-      Result<core::AdaptiveRunInfo> info = controller->StepAdaptive();
-      if (!info.ok()) return info.status();
-    }
+    Result<alloc::Allocation> rebalanced = alloc->Rebalance();
+    if (!rebalanced.ok()) return rebalanced.status();
     result.alloc_seconds += alloc_watch.ElapsedSeconds();
     std::shared_ptr<const alloc::Allocation> next =
-        controller->ShareAllocation();
+        std::make_shared<const alloc::Allocation>(
+            std::move(rebalanced.value()));
     result.accounts_moved +=
         sim::CompareAllocations(*current, *next).accounts_moved;
     TXALLO_RETURN_NOT_OK(engine->InstallAllocation(next));

@@ -1,14 +1,16 @@
-// Epoch-based online reallocation: core::TxAlloController driving the
-// parallel engine.
+// Epoch-based online reallocation: any allocator::OnlineAllocator driving
+// the parallel engine.
 //
-// The controller absorbs committed blocks into its transaction graph; every
-// `blocks_per_epoch` blocks it runs A-TxAllo (with optional periodic
-// G-TxAllo refreshes — the paper's hybrid §V-A schedule) and the resulting
-// mapping is published to the engine as a fresh copy-on-write snapshot via
-// InstallAllocation(). The *swap* is pause-free — a shared_ptr exchange
-// whose cost the engine reports as `realloc_pause_seconds`, never a worker
-// stop — but this single-driver loop computes the allocation between ticks,
-// so shards sit idle for `alloc_seconds` at each epoch boundary. Moving the
+// The allocator absorbs committed blocks (ApplyBlock); every
+// `blocks_per_epoch` blocks its Rebalance() refreshes the mapping and the
+// result is published to the engine as a fresh copy-on-write snapshot via
+// InstallAllocation(). For TxAllo the allocator is the hybrid §V-A schedule
+// (allocator "txallo-hybrid"); the same loop runs hash, METIS, Louvain and
+// Shard Scheduler live — the engine-backed version of the paper's Fig. 9/10
+// method comparison. The *swap* is pause-free — a shared_ptr exchange whose
+// cost the engine reports as `realloc_pause_seconds`, never a worker stop —
+// but this single-driver loop computes the allocation between ticks, so
+// shards sit idle for `alloc_seconds` at each epoch boundary. Moving the
 // allocator onto a background thread (publishing via the same thread-safe
 // InstallAllocation) is the ROADMAP follow-on that would overlap it with
 // execution.
@@ -16,19 +18,18 @@
 
 #include <cstdint>
 
+#include "txallo/allocator/allocator.h"
 #include "txallo/chain/ledger.h"
 #include "txallo/common/status.h"
-#include "txallo/core/controller.h"
 #include "txallo/engine/engine.h"
 
 namespace txallo::engine {
 
 struct PipelineConfig {
-  /// Reallocation cadence in blocks (the paper's τ1 update window).
+  /// Reallocation cadence in blocks (the paper's τ1 update window). The
+  /// global-refresh cadence (τ2) is the allocator's own business — e.g.
+  /// "txallo-hybrid:global-every=4".
   uint32_t blocks_per_epoch = 50;
-  /// Every n-th epoch runs G-TxAllo instead of A-TxAllo (the hybrid
-  /// schedule's τ2); 0 = adaptive only.
-  uint32_t global_every_epochs = 0;
 };
 
 struct PipelineResult {
@@ -44,17 +45,19 @@ struct PipelineResult {
   uint64_t accounts_moved = 0;
 };
 
-/// Streams `ledger` through `engine` (one Tick per block) while `controller`
-/// learns the workload and republishes the allocation each epoch. The
-/// engine should be configured with hash_route_unassigned = true so accounts
-/// born since the last epoch still route; the controller's mapping takes
-/// over for them at the next epoch boundary. If the engine has no snapshot
-/// yet, the controller's current mapping is installed first. The final
-/// window gets no trailing update (nothing left to route); the controller
-/// still absorbs its blocks, so `epochs` is one less than the window count
-/// when the ledger divides evenly.
+/// Streams `ledger` through `engine` (one Tick per block) while `alloc`
+/// learns the workload and republishes the mapping each epoch. The engine
+/// MUST be configured with hash_route_unassigned = true — accounts born
+/// since the last epoch still have to route, and the allocator's mapping
+/// only takes them over at the next epoch boundary; a config without it is
+/// rejected with InvalidArgument (this used to be a silent header-comment
+/// contract). If the engine has no snapshot yet, the allocator's
+/// CurrentAllocation() is installed first. The final window gets no
+/// trailing update (nothing left to route); the allocator still absorbs its
+/// blocks, so `epochs` is one less than the window count when the ledger
+/// divides evenly.
 Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
-                                            core::TxAlloController* controller,
+                                            allocator::OnlineAllocator* alloc,
                                             ParallelEngine* engine,
                                             const PipelineConfig& config);
 

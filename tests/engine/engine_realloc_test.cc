@@ -1,5 +1,5 @@
 // Online reallocation: copy-on-write snapshot swaps racing live traffic,
-// and the controller-driven epoch pipeline. The concurrent-install test is
+// and the allocator-driven epoch pipeline. The concurrent-install test is
 // the one the TSan CI job exists for.
 #include <gtest/gtest.h>
 
@@ -8,7 +8,7 @@
 #include <thread>
 #include <vector>
 
-#include "txallo/core/controller.h"
+#include "txallo/allocator/registry.h"
 #include "txallo/engine/engine.h"
 #include "txallo/engine/pipeline.h"
 #include "txallo/workload/ethereum_like.h"
@@ -98,7 +98,7 @@ TEST(EngineReallocTest, ConcurrentInstallsNeverStopTheWorkers) {
   EXPECT_GE(report.reallocations, 1u);
 }
 
-TEST(EngineReallocTest, ControllerPipelineReallocatesPerEpoch) {
+TEST(EngineReallocTest, HybridAllocatorPipelineReallocatesPerEpoch) {
   workload::EthereumLikeConfig gen_config;
   gen_config.num_blocks = 60;
   gen_config.txs_per_block = 60;
@@ -109,9 +109,14 @@ TEST(EngineReallocTest, ControllerPipelineReallocatesPerEpoch) {
   chain::Ledger ledger = gen.GenerateLedger(gen_config.num_blocks);
 
   const uint32_t k = 4;
-  alloc::AllocationParams params =
-      alloc::AllocationParams::ForExperiment(1, k, 2.0);
-  core::TxAlloController controller(&gen.registry(), params);
+  allocator::AllocatorOptions options;
+  options.params = alloc::AllocationParams::ForExperiment(1, k, 2.0);
+  options.registry = &gen.registry();
+  auto made = allocator::MakeAllocatorFromSpec(
+      "txallo-hybrid:global-every=3", options);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  allocator::OnlineAllocator* online = (*made)->AsOnline();
+  ASSERT_NE(online, nullptr);
 
   engine::EngineConfig config;
   config.num_shards = k;
@@ -123,9 +128,8 @@ TEST(EngineReallocTest, ControllerPipelineReallocatesPerEpoch) {
 
   engine::PipelineConfig pipeline;
   pipeline.blocks_per_epoch = 10;
-  pipeline.global_every_epochs = 3;
   auto result =
-      engine::RunReallocatedStream(ledger, &controller, &engine, pipeline);
+      engine::RunReallocatedStream(ledger, online, &engine, pipeline);
   ASSERT_TRUE(result.ok());
   // 6 windows of 10 blocks; the last gets no trailing update.
   EXPECT_EQ(result->epochs, 5u);
@@ -141,19 +145,43 @@ TEST(EngineReallocTest, ControllerPipelineReallocatesPerEpoch) {
 
 TEST(EngineReallocTest, PipelineRejectsZeroEpoch) {
   const uint32_t k = 2;
-  alloc::AllocationParams params =
-      alloc::AllocationParams::ForExperiment(1, k, 2.0);
-  chain::AccountRegistry registry;
-  core::TxAlloController controller(&registry, params);
+  allocator::AllocatorOptions options;
+  options.params = alloc::AllocationParams::ForExperiment(1, k, 2.0);
+  auto made = allocator::MakeAllocator("hash", options);
+  ASSERT_TRUE(made.ok());
   engine::EngineConfig config;
   config.num_shards = k;
+  config.hash_route_unassigned = true;
   engine::ParallelEngine engine(config, nullptr);
   chain::Ledger ledger;
   engine::PipelineConfig pipeline;
   pipeline.blocks_per_epoch = 0;
-  auto result =
-      engine::RunReallocatedStream(ledger, &controller, &engine, pipeline);
+  auto result = engine::RunReallocatedStream(ledger, (*made)->AsOnline(),
+                                             &engine, pipeline);
   EXPECT_FALSE(result.ok());
+}
+
+TEST(EngineReallocTest, PipelineEnforcesHashRoutingPrecondition) {
+  // The documented hash_route_unassigned contract is now enforced: an
+  // engine that would reject newly born accounts mid-epoch is refused up
+  // front instead of failing on the first such SubmitBlock.
+  const uint32_t k = 2;
+  allocator::AllocatorOptions options;
+  options.params = alloc::AllocationParams::ForExperiment(1, k, 2.0);
+  auto made = allocator::MakeAllocator("hash", options);
+  ASSERT_TRUE(made.ok());
+  engine::EngineConfig config;
+  config.num_shards = k;  // hash_route_unassigned left false.
+  engine::ParallelEngine engine(config, nullptr);
+  chain::Ledger ledger;
+  engine::PipelineConfig pipeline;
+  pipeline.blocks_per_epoch = 10;
+  auto result = engine::RunReallocatedStream(ledger, (*made)->AsOnline(),
+                                             &engine, pipeline);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("hash_route_unassigned"),
+            std::string::npos);
 }
 
 }  // namespace
