@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace txallo;
   bench::Flags flags = bench::Flags::Parse(argc, argv);
+  if (bench::HandleAllocatorHelp(flags)) return 0;
   bench::BenchScale scale = bench::ResolveBenchScale(flags);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const double eta = flags.GetDouble("eta", 2.0);
@@ -26,6 +27,14 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.GetInt("engine-blocks", 40));
   const uint64_t engine_txs_per_block =
       static_cast<uint64_t>(flags.GetInt("engine-txs-per-block", 120));
+  auto alloc_mode =
+      engine::ParseAllocatorMode(flags.GetString("alloc-mode", "sync"));
+  if (!alloc_mode.ok()) {
+    std::fprintf(stderr, "%s\n", alloc_mode.status().ToString().c_str());
+    return 1;
+  }
+  const uint32_t producers =
+      static_cast<uint32_t>(std::max<int64_t>(0, flags.GetInt("producers", 0)));
 
   std::vector<uint32_t> k_list;
   for (const std::string& item :
@@ -123,6 +132,8 @@ int main(int argc, char** argv) {
       engine::PipelineConfig pipeline;
       pipeline.blocks_per_epoch =
           static_cast<uint32_t>(std::max(5, engine_blocks / 6));
+      pipeline.allocator_mode = *alloc_mode;
+      pipeline.ingest_producers = producers;
       auto result =
           engine::RunReallocatedStream(ledger, online, &engine, pipeline);
       if (!result.ok()) {

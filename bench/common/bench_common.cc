@@ -4,11 +4,11 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "txallo/common/csv.h"
 #include "txallo/common/stopwatch.h"
-#include "txallo/core/controller.h"
 #include "txallo/graph/builder.h"
 
 namespace txallo::bench {
@@ -29,7 +29,13 @@ std::vector<std::string> SplitList(const std::string& list, char separator) {
   return items;
 }
 
-std::vector<std::string> ResolveMethodSpecs(const Flags& flags) {
+std::vector<std::string> ResolveMethodSpecs(
+    const Flags& flags, const std::vector<std::string>& fallback) {
+  // Structural backstop so every spec-consuming bench honors
+  // --allocator=help / --methods=help even when its main() forgot the
+  // early HandleAllocatorHelp() hook (which remains preferable — it runs
+  // before any fixture is built).
+  if (HandleAllocatorHelp(flags)) std::exit(0);
   if (flags.Has("methods")) {
     // ';' is the separator when present, so specs whose own option lists
     // contain commas ("broker:inner=metis,brokers=8") remain expressible.
@@ -40,7 +46,17 @@ std::vector<std::string> ResolveMethodSpecs(const Flags& flags) {
   }
   const std::string single = ResolveAllocatorSpec(flags, "");
   if (!single.empty()) return {single};
+  if (!fallback.empty()) return fallback;
   return DefaultMethodSpecs();
+}
+
+bool HandleAllocatorHelp(const Flags& flags) {
+  if (ResolveAllocatorSpec(flags, "") != "help" &&
+      flags.GetString("methods", "") != "help") {
+    return false;
+  }
+  std::printf("%s", allocator::AllocatorUsageText().c_str());
+  return true;
 }
 
 std::string MethodLabel(const std::string& spec) {
@@ -315,7 +331,7 @@ TimelineConfig ResolveTimelineConfig(const Flags& flags,
 }
 
 TimelineResult RunTimeline(const TimelineConfig& config,
-                           int global_gap_steps) {
+                           const std::string& spec) {
   workload::EthereumLikeConfig gen_config;
   gen_config.num_accounts = config.num_accounts;
   gen_config.txs_per_block = config.txs_per_block;
@@ -327,22 +343,39 @@ TimelineResult RunTimeline(const TimelineConfig& config,
   gen_config.seed = config.seed;
   workload::EthereumLikeGenerator generator(gen_config);
 
-  alloc::AllocationParams params = alloc::AllocationParams::ForExperiment(
+  // Any registered online strategy runs the timeline; the paper's schedule
+  // pair is "txallo-global" vs "txallo-hybrid:global-every=G".
+  allocator::AllocatorOptions options;
+  options.params = alloc::AllocationParams::ForExperiment(
       1, config.num_shards, config.eta);
-  core::TxAlloController controller(&generator.registry(), params);
+  options.registry = &generator.registry();
+  options.seed = config.seed;
+  auto made = allocator::MakeAllocatorFromSpec(spec, std::move(options));
+  if (!made.ok()) {
+    std::fprintf(stderr, "timeline allocator spec '%s': %s\n", spec.c_str(),
+                 made.status().ToString().c_str());
+    std::abort();
+  }
+  allocator::OnlineAllocator* online = (*made)->AsOnline();
+  if (online == nullptr) {
+    std::fprintf(stderr, "timeline allocator '%s' is one-shot only; pick an "
+                 "online strategy\n", spec.c_str());
+    std::abort();
+  }
 
-  // Prefix: absorb and allocate globally once (the paper's setup runs
-  // G-TxAllo on the first 90% of blocks).
+  // Prefix: absorb and bootstrap once (the paper's setup allocates the
+  // first 90% of blocks globally; a txallo-* bootstrap Rebalance is always
+  // G-TxAllo).
   const int prefix_blocks =
       config.steps * config.blocks_per_step * config.prefix_multiple;
   for (int b = 0; b < prefix_blocks; ++b) {
-    controller.ApplyBlock(generator.NextBlock());
+    online->ApplyBlock(generator.NextBlock());
   }
   {
-    auto info = controller.StepGlobal();
-    if (!info.ok()) {
-      std::fprintf(stderr, "prefix StepGlobal failed: %s\n",
-                   info.status().ToString().c_str());
+    auto bootstrap = online->Rebalance();
+    if (!bootstrap.ok()) {
+      std::fprintf(stderr, "prefix bootstrap Rebalance failed: %s\n",
+                   bootstrap.status().ToString().c_str());
       std::abort();
     }
   }
@@ -354,24 +387,22 @@ TimelineResult RunTimeline(const TimelineConfig& config,
     window.reserve(config.blocks_per_step);
     for (int b = 0; b < config.blocks_per_step; ++b) {
       window.push_back(generator.NextBlock());
-      controller.ApplyBlock(window.back());
+      online->ApplyBlock(window.back());
     }
-    // Scheduled update.
-    double seconds = 0.0;
-    const bool global_now =
-        global_gap_steps > 0 && (step + 1) % global_gap_steps == 0;
-    if (global_now) {
-      auto info = controller.StepGlobal();
-      if (!info.ok()) std::abort();
-      seconds = info->total_seconds;
-    } else {
-      auto info = controller.StepAdaptive();
-      if (!info.ok()) std::abort();
-      seconds = info->total_seconds;
+    // Scheduled update (the strategy's own τ2 policy decides whether this
+    // is a cheap adaptive step or a full refresh).
+    Stopwatch watch;
+    auto rebalanced = online->Rebalance();
+    if (!rebalanced.ok()) {
+      std::fprintf(stderr, "step %d Rebalance failed: %s\n", step,
+                   rebalanced.status().ToString().c_str());
+      std::abort();
     }
-    result.seconds_per_step.push_back(seconds);
+    result.seconds_per_step.push_back(watch.ElapsedSeconds());
 
-    // Evaluate this window's transactions under the updated mapping.
+    // Evaluate this window's transactions under the updated mapping, with
+    // the strategy's own execution semantics (broker overlays price
+    // brokered transactions honestly).
     uint64_t window_txs = 0;
     for (const chain::Block& blk : window) window_txs += blk.size();
     alloc::AllocationParams window_params =
@@ -383,8 +414,7 @@ TimelineResult RunTimeline(const TimelineConfig& config,
       txs.insert(txs.end(), blk.transactions().begin(),
                  blk.transactions().end());
     }
-    auto report = alloc::EvaluateAllocation(txs, controller.allocation(),
-                                            window_params);
+    auto report = (*made)->Evaluate(txs, *rebalanced, window_params);
     if (!report.ok()) {
       std::fprintf(stderr, "window evaluation failed: %s\n",
                    report.status().ToString().c_str());
@@ -406,6 +436,7 @@ int RunStandardSweepFigure(int argc, char** argv, const char* figure_title,
                            double (*extract)(const MethodResult&),
                            const char* csv_prefix, const char* paper_note) {
   Flags flags = Flags::Parse(argc, argv);
+  if (HandleAllocatorHelp(flags)) return 0;
   BenchScale scale = ResolveBenchScale(flags);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   Fixture fixture(scale, seed);

@@ -49,8 +49,15 @@ std::vector<std::string> SplitList(const std::string& list,
 
 /// Method list of the sweep figures: --methods=a,b,c (allocator specs,
 /// ';'-separated when any spec's option list itself contains commas) beats
-/// a single-method --allocator/TXALLO_ALLOCATOR beats DefaultMethodSpecs().
-std::vector<std::string> ResolveMethodSpecs(const Flags& flags);
+/// a single-method --allocator/TXALLO_ALLOCATOR beats `fallback` (the
+/// paper's four when omitted).
+std::vector<std::string> ResolveMethodSpecs(
+    const Flags& flags, const std::vector<std::string>& fallback = {});
+
+/// `--allocator=help` / `--methods=help`: prints the registry's generated
+/// usage table (allocator::AllocatorUsageText). Returns true when help was
+/// printed — the caller should exit 0.
+bool HandleAllocatorHelp(const Flags& flags);
 
 /// Table label: the paper's legend name for the classic methods
 /// ("Our Method", "Random", "Metis", "Shard Scheduler"); any other spec
@@ -202,10 +209,13 @@ void PrintRunBanner(const char* figure, const BenchScale& scale,
                     const Fixture& fixture, uint64_t seed);
 
 /// One timeline experiment (Figures 9 and 10): a prefix ledger is absorbed
-/// and allocated with G-TxAllo, then the suffix streams in windows of
-/// `blocks_per_step` blocks. Every step runs A-TxAllo; every
-/// `global_gap_steps`-th step runs G-TxAllo instead (1 = the paper's pure
-/// "Global Method" curve; 0 = never re-run the global method).
+/// and bootstrapped by the chosen strategy (for txallo-* the bootstrap
+/// Rebalance is always G-TxAllo — the paper's setup), then the suffix
+/// streams in windows of `blocks_per_step` blocks with one Rebalance per
+/// step. Any registered online allocator spec runs here: the paper's
+/// schedule comparison is "txallo-global" (Global Method) vs
+/// "txallo-hybrid:global-every=G" (gap-G hybrid), but --methods accepts an
+/// arbitrary strategy schedule list.
 struct TimelineResult {
   /// Normalized throughput Λ/λ of each step's window transactions, under
   /// the allocation in force after that step's update.
@@ -228,9 +238,11 @@ struct TimelineConfig {
   uint64_t num_accounts = 64'000;
 };
 
-/// Runs one schedule over the (deterministic) generated stream.
+/// Runs one allocator spec (any online strategy in the registry) over the
+/// (deterministic) generated stream. Aborts with a diagnostic on an
+/// invalid or one-shot-only spec, like Fixture::MakeAllocator.
 TimelineResult RunTimeline(const TimelineConfig& config,
-                           int global_gap_steps);
+                           const std::string& spec);
 
 /// Resolves the timeline shape from flags + scale presets.
 TimelineConfig ResolveTimelineConfig(const Flags& flags,

@@ -71,7 +71,15 @@ Result<alloc::Allocation> TxAlloAllocator::Allocate(
 }
 
 void TxAlloAllocator::ApplyBlock(const chain::Block& block) {
+  // While a RebalanceTask steps a controller clone, buffer the block so
+  // Commit() can replay it into the stepped clone (see BeginRebalance).
+  if (task_outstanding_) pending_blocks_.push_back(block);
   controller_.ApplyBlock(block);
+}
+
+bool TxAlloAllocator::GlobalNow() const {
+  return rebalances_ == 1 ||
+         (global_every_ > 0 && rebalances_ % global_every_ == 0);
 }
 
 Result<alloc::Allocation> TxAlloAllocator::Rebalance() {
@@ -80,10 +88,7 @@ Result<alloc::Allocation> TxAlloAllocator::Rebalance() {
     return controller_.allocation();
   }
   ++rebalances_;
-  const bool global_now =
-      rebalances_ == 1 ||
-      (global_every_ > 0 && rebalances_ % global_every_ == 0);
-  if (global_now) {
+  if (GlobalNow()) {
     Result<core::GlobalRunInfo> info = controller_.StepGlobal();
     if (!info.ok()) return info.status();
   } else {
@@ -91,6 +96,50 @@ Result<alloc::Allocation> TxAlloAllocator::Rebalance() {
     if (!info.ok()) return info.status();
   }
   return controller_.allocation();
+}
+
+std::unique_ptr<RebalanceTask> TxAlloAllocator::BeginRebalance() {
+  if (task_outstanding_) return nullptr;  // At most one task outstanding.
+  if (controller_.transactions_applied() == 0) {
+    // Mirror the synchronous no-op path: no step, no rebalance counted.
+    return std::make_unique<ClosureRebalanceTask>(
+        [mapping = controller_.allocation()]() -> Result<alloc::Allocation> {
+          return mapping;
+        },
+        nullptr);
+  }
+  ++rebalances_;
+  const bool global_now = GlobalNow();
+  // Double buffer: the task owns a full clone of the controller (graph,
+  // mapping, community state, V̂) frozen at this point; the live controller
+  // keeps absorbing blocks.
+  auto clone = std::make_shared<core::TxAlloController>(controller_);
+  task_outstanding_ = true;
+  return std::make_unique<ClosureRebalanceTask>(
+      [clone, global_now]() -> Result<alloc::Allocation> {
+        if (global_now) {
+          Result<core::GlobalRunInfo> info = clone->StepGlobal();
+          if (!info.ok()) return info.status();
+        } else {
+          Result<core::AdaptiveRunInfo> info = clone->StepAdaptive();
+          if (!info.ok()) return info.status();
+        }
+        return clone->allocation();
+      },
+      [this, clone](const Result<alloc::Allocation>& result) -> Status {
+        // Clear the bookkeeping first so a failed task cannot wedge the
+        // allocator.
+        std::vector<chain::Block> replay = std::move(pending_blocks_);
+        pending_blocks_.clear();
+        task_outstanding_ = false;
+        if (!result.ok()) return result.status();
+        // stepped-clone + replayed tail == the state the synchronous path
+        // reaches when Rebalance() ran at the snapshot point and the same
+        // blocks arrived afterwards.
+        for (const chain::Block& block : replay) clone->ApplyBlock(block);
+        controller_ = std::move(*clone);
+        return Status::OK();
+      });
 }
 
 alloc::Allocation TxAlloAllocator::CurrentAllocation() const {
@@ -123,6 +172,20 @@ void HashStrategy::ApplyBlock(const chain::Block& block) {
 
 Result<alloc::Allocation> HashStrategy::Rebalance() {
   return CurrentAllocation();
+}
+
+std::unique_ptr<RebalanceTask> HashStrategy::BeginRebalance() {
+  // Freeze the domain width; the hash mapping itself is stateless, so the
+  // (cheap) recompute runs off-thread against the immutable registry.
+  const size_t domain =
+      registry_ != nullptr ? std::max(registry_->size(), num_accounts_seen_)
+                           : num_accounts_seen_;
+  return std::make_unique<ClosureRebalanceTask>(
+      [registry = registry_, domain,
+       k = params_.num_shards]() -> Result<alloc::Allocation> {
+        return HashOverDomain(registry, domain, k);
+      },
+      nullptr);
 }
 
 alloc::Allocation HashStrategy::CurrentAllocation() const {
@@ -161,6 +224,29 @@ Result<alloc::Allocation> MetisStrategy::Rebalance() {
   if (!result.ok()) return result.status();
   last_ = std::move(result.value());
   return last_;
+}
+
+std::unique_ptr<RebalanceTask> MetisStrategy::BeginRebalance() {
+  // Consolidate on the owner thread (ApplyBlock shares the builder), then
+  // double-buffer: the task partitions a frozen copy of the graph while the
+  // live one keeps accumulating.
+  builder_.Finish();
+  if (graph_.num_nodes() == 0) {
+    return std::make_unique<ClosureRebalanceTask>(
+        [mapping = last_]() -> Result<alloc::Allocation> { return mapping; },
+        nullptr);
+  }
+  auto snapshot = std::make_shared<const graph::TransactionGraph>(graph_);
+  return std::make_unique<ClosureRebalanceTask>(
+      [snapshot, options = options_,
+       k = params_.num_shards]() -> Result<alloc::Allocation> {
+        return baselines::metis::PartitionGraph(*snapshot, k, options);
+      },
+      [this](const Result<alloc::Allocation>& result) -> Status {
+        if (!result.ok()) return result.status();
+        last_ = *result;
+        return Status::OK();
+      });
 }
 
 alloc::Allocation MetisStrategy::CurrentAllocation() const { return last_; }
@@ -246,6 +332,30 @@ Result<alloc::Allocation> LouvainStrategy::Rebalance() {
   return last_;
 }
 
+std::unique_ptr<RebalanceTask> LouvainStrategy::BeginRebalance() {
+  builder_.Finish();
+  AllocationContext context;
+  context.graph = &graph_;
+  context.registry = registry_;
+  // Node order resolves against the live registry on the owner thread; the
+  // graph is double-buffered so Partition sees a frozen snapshot. Partition
+  // itself only reads the (immutable) options_, so running it off-thread is
+  // safe.
+  auto order =
+      std::make_shared<const std::vector<graph::NodeId>>(
+          ResolveNodeOrder(context));
+  auto snapshot = std::make_shared<const graph::TransactionGraph>(graph_);
+  return std::make_unique<ClosureRebalanceTask>(
+      [this, snapshot, order]() -> Result<alloc::Allocation> {
+        return Partition(*snapshot, *order, params_.num_shards);
+      },
+      [this](const Result<alloc::Allocation>& result) -> Status {
+        if (!result.ok()) return result.status();
+        last_ = *result;
+        return Status::OK();
+      });
+}
+
 alloc::Allocation LouvainStrategy::CurrentAllocation() const { return last_; }
 
 // ---------------------------------------------------------------------------
@@ -285,6 +395,21 @@ void ShardSchedulerStrategy::ApplyBlock(const chain::Block& block) {
 
 Result<alloc::Allocation> ShardSchedulerStrategy::Rebalance() {
   return CurrentAllocation();
+}
+
+std::unique_ptr<RebalanceTask> ShardSchedulerStrategy::BeginRebalance() {
+  // The scheduler already maintains the mapping; freeze it by copying the
+  // scheduler so the snapshot extraction runs off-thread while the live one
+  // keeps streaming transactions.
+  const size_t domain =
+      registry_ != nullptr ? std::max(registry_->size(), num_accounts_seen_)
+                           : num_accounts_seen_;
+  auto frozen = std::make_shared<const baselines::ShardScheduler>(scheduler_);
+  return std::make_unique<ClosureRebalanceTask>(
+      [frozen, domain]() -> Result<alloc::Allocation> {
+        return frozen->SnapshotAllocation(domain);
+      },
+      nullptr);
 }
 
 alloc::Allocation ShardSchedulerStrategy::CurrentAllocation() const {
@@ -337,6 +462,34 @@ Result<alloc::Allocation> BrokerOverlay::Rebalance() {
   brokers_ =
       baselines::SelectBrokersByActivity(graph_, options_.num_brokers);
   return online->Rebalance();
+}
+
+std::unique_ptr<RebalanceTask> BrokerOverlay::BeginRebalance() {
+  OnlineAllocator* online = inner_->AsOnline();
+  if (online == nullptr) return nullptr;
+  builder_.Finish();
+  auto snapshot = std::make_shared<const graph::TransactionGraph>(graph_);
+  // Composition: the inner strategy contributes its own frozen task; the
+  // overlay adds broker re-selection over its frozen traffic graph.
+  std::shared_ptr<RebalanceTask> inner_task = online->BeginRebalance();
+  if (inner_task == nullptr) return nullptr;
+  auto brokers = std::make_shared<std::vector<chain::AccountId>>();
+  return std::make_unique<ClosureRebalanceTask>(
+      [snapshot, inner_task, brokers,
+       n = options_.num_brokers]() -> Result<alloc::Allocation> {
+        *brokers = baselines::SelectBrokersByActivity(*snapshot, n);
+        return inner_task->Run();
+      },
+      [this, inner_task, brokers](
+          const Result<alloc::Allocation>& result) -> Status {
+        // On failure/abandonment the inner task must NOT commit (its
+        // mapping is discarded, not folded in); it releases its own
+        // bookkeeping when its last reference dies with these closures.
+        if (!result.ok()) return result.status();
+        TXALLO_RETURN_NOT_OK(inner_task->Commit());
+        brokers_ = std::move(*brokers);
+        return Status::OK();
+      });
 }
 
 alloc::Allocation BrokerOverlay::CurrentAllocation() const {

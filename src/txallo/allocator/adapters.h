@@ -43,14 +43,25 @@ class TxAlloAllocator : public OnlineAllocator {
   Result<alloc::Allocation> Allocate(const AllocationContext& context) override;
   void ApplyBlock(const chain::Block& block) override;
   Result<alloc::Allocation> Rebalance() override;
+  std::unique_ptr<RebalanceTask> BeginRebalance() override;
   alloc::Allocation CurrentAllocation() const override;
 
   const core::TxAlloController& controller() const { return controller_; }
 
  private:
+  // The hybrid schedule's global-vs-adaptive decision for rebalance number
+  // `rebalances_` (already incremented).
+  bool GlobalNow() const;
+
   core::TxAlloController controller_;
   uint32_t global_every_;
   uint64_t rebalances_ = 0;
+  // Double-buffer bookkeeping while a RebalanceTask is outstanding: the
+  // task steps a clone of the controller, and blocks applied meanwhile are
+  // buffered here so Commit() can replay them into the stepped clone before
+  // swapping it in (yielding the exact state the synchronous path reaches).
+  bool task_outstanding_ = false;
+  std::vector<chain::Block> pending_blocks_;
 };
 
 /// SHA256(address) mod k (Chainspace/Monoxide/OmniLedger/RapidChain,
@@ -65,6 +76,7 @@ class HashStrategy : public OnlineAllocator {
   Result<alloc::Allocation> Allocate(const AllocationContext& context) override;
   void ApplyBlock(const chain::Block& block) override;
   Result<alloc::Allocation> Rebalance() override;
+  std::unique_ptr<RebalanceTask> BeginRebalance() override;
   alloc::Allocation CurrentAllocation() const override;
 
  private:
@@ -83,6 +95,7 @@ class MetisStrategy : public OnlineAllocator {
   Result<alloc::Allocation> Allocate(const AllocationContext& context) override;
   void ApplyBlock(const chain::Block& block) override;
   Result<alloc::Allocation> Rebalance() override;
+  std::unique_ptr<RebalanceTask> BeginRebalance() override;
   alloc::Allocation CurrentAllocation() const override;
 
  private:
@@ -106,6 +119,7 @@ class LouvainStrategy : public OnlineAllocator {
   Result<alloc::Allocation> Allocate(const AllocationContext& context) override;
   void ApplyBlock(const chain::Block& block) override;
   Result<alloc::Allocation> Rebalance() override;
+  std::unique_ptr<RebalanceTask> BeginRebalance() override;
   alloc::Allocation CurrentAllocation() const override;
 
  private:
@@ -135,6 +149,7 @@ class ShardSchedulerStrategy : public OnlineAllocator {
   Result<alloc::Allocation> Allocate(const AllocationContext& context) override;
   void ApplyBlock(const chain::Block& block) override;
   Result<alloc::Allocation> Rebalance() override;
+  std::unique_ptr<RebalanceTask> BeginRebalance() override;
   alloc::Allocation CurrentAllocation() const override;
 
  private:
@@ -163,6 +178,7 @@ class BrokerOverlay : public OnlineAllocator {
   Result<alloc::Allocation> Allocate(const AllocationContext& context) override;
   void ApplyBlock(const chain::Block& block) override;
   Result<alloc::Allocation> Rebalance() override;
+  std::unique_ptr<RebalanceTask> BeginRebalance() override;
   alloc::Allocation CurrentAllocation() const override;
 
   Result<alloc::EvaluationReport> Evaluate(

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -97,6 +99,98 @@ class Allocator {
   std::string name_;
 };
 
+/// A frozen rebalance computation, detached from its parent allocator so
+/// the expensive part can run on a background thread while the parent keeps
+/// absorbing blocks. Lifecycle (enforced by the engine pipeline and the
+/// conformance suite):
+///
+///   1. `BeginRebalance()` on the thread that owns the allocator snapshots
+///      everything absorbed so far (double-buffering: graph copies, frozen
+///      domain sizes, controller clones) into the task.
+///   2. `Run()` — once, on any thread — computes the refreshed mapping from
+///      the snapshot only. It is safe to call `ApplyBlock()` on the parent
+///      concurrently; blocks applied after the snapshot are not seen by
+///      this task (they roll into the next rebalance).
+///   3. `Commit()` — once, back on the owning thread, after Run() returned —
+///      folds the result into the parent so `CurrentAllocation()` and later
+///      `Rebalance()`/`BeginRebalance()` calls continue exactly as if the
+///      synchronous `Rebalance()` had run at the snapshot point.
+///
+/// At most one task may be outstanding per allocator, and the parent must
+/// outlive the task. Destroying a task without Commit() *abandons* it: the
+/// parent's outstanding-task bookkeeping is released and the mapping is
+/// discarded (never folded in). Abandonment runs on the destroying thread,
+/// which must be the owning thread — the engine's BackgroundAllocator
+/// guarantees this by joining its worker before dropping an uncollected
+/// task.
+class RebalanceTask {
+ public:
+  virtual ~RebalanceTask() = default;
+
+  RebalanceTask(const RebalanceTask&) = delete;
+  RebalanceTask& operator=(const RebalanceTask&) = delete;
+
+  /// Computes the refreshed mapping from the frozen snapshot. Called once;
+  /// any thread.
+  virtual Result<alloc::Allocation> Run() = 0;
+
+  /// Folds the completed computation back into the parent allocator. Called
+  /// once, after Run(), on the thread that owns the parent. Must be called
+  /// even when Run() failed (it clears the parent's outstanding-task
+  /// bookkeeping); it returns Run()'s error in that case.
+  virtual Status Commit() = 0;
+
+ protected:
+  RebalanceTask() = default;
+};
+
+/// The common RebalanceTask shape: a pure `run` closure over state captured
+/// at BeginRebalance() time, and an optional owner-thread `commit` closure
+/// receiving Run()'s outcome (also on failure, for bookkeeping cleanup).
+class ClosureRebalanceTask : public RebalanceTask {
+ public:
+  using RunFn = std::function<Result<alloc::Allocation>()>;
+  using CommitFn = std::function<Status(const Result<alloc::Allocation>&)>;
+
+  ClosureRebalanceTask(RunFn run, CommitFn commit)
+      : run_(std::move(run)), commit_(std::move(commit)) {}
+
+  /// Abandonment: a task destroyed before Commit() still runs the commit
+  /// closure, but with an error outcome — parents release their
+  /// outstanding-task bookkeeping (TxAllo's pending-block buffer, etc.)
+  /// without ever folding the abandoned mapping in.
+  ~ClosureRebalanceTask() override {
+    if (committed_ || !commit_) return;
+    (void)commit_(Result<alloc::Allocation>(
+        Status::FailedPrecondition("rebalance task abandoned before "
+                                   "Commit()")));
+  }
+
+  Result<alloc::Allocation> Run() override {
+    result_ = run_();
+    ran_ = true;
+    return result_;
+  }
+
+  Status Commit() override {
+    if (!ran_) {
+      return Status::FailedPrecondition(
+          "RebalanceTask::Commit() before Run()");
+    }
+    committed_ = true;
+    if (commit_) return commit_(result_);
+    return result_.status();
+  }
+
+ private:
+  RunFn run_;
+  CommitFn commit_;
+  bool ran_ = false;
+  bool committed_ = false;
+  Result<alloc::Allocation> result_ =
+      Status::FailedPrecondition("RebalanceTask::Run() never ran");
+};
+
 /// A strategy that can run live: absorb committed blocks as they arrive and
 /// refresh the full mapping at epoch boundaries. This is the interface
 /// engine::RunReallocatedStream drives, so every online method — not just
@@ -116,6 +210,16 @@ class OnlineAllocator : public Allocator {
   /// assigned; ids that exist only as domain padding (never seen in a
   /// transaction) may read as unassigned — engines hash-route those.
   virtual Result<alloc::Allocation> Rebalance() = 0;
+
+  /// Snapshot/accumulate split of Rebalance(): freezes the absorbed state
+  /// into a task whose Run() may execute on another thread while this
+  /// allocator keeps accumulating blocks (see RebalanceTask for the full
+  /// contract). Must be equivalent to Rebalance() at equal inputs — the
+  /// conformance suite enforces both the equivalence and that every
+  /// registered strategy supports the split. Returns nullptr when the
+  /// strategy cannot snapshot; callers then fall back to the synchronous
+  /// Rebalance() (the engine pipeline does this automatically).
+  virtual std::unique_ptr<RebalanceTask> BeginRebalance() { return nullptr; }
 
   /// The mapping currently in force, before/without a Rebalance. The
   /// default — an empty all-unassigned mapping over k shards — is valid

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "txallo/allocator/adapters.h"
+#include "txallo/allocator/contrib.h"
 
 namespace txallo::allocator {
 
@@ -154,10 +155,77 @@ Result<std::unique_ptr<Allocator>> MakeShardScheduler(
 Result<std::unique_ptr<Allocator>> MakeBroker(const std::string& name,
                                               const AllocatorOptions& options);
 
+Result<std::unique_ptr<Allocator>> MakeContrib(
+    const std::string& name, const AllocatorOptions& options) {
+  TXALLO_RETURN_NOT_OK(ExpectOnly(name, options.extra,
+                                  {"imbalance", "stress-weight"}));
+  ContribOptions contrib_options;
+  TXALLO_RETURN_NOT_OK(
+      ReadDouble(options.extra, "imbalance", &contrib_options.imbalance));
+  TXALLO_RETURN_NOT_OK(ReadDouble(options.extra, "stress-weight",
+                                  &contrib_options.stress_weight));
+  if (contrib_options.imbalance < 1.0) {
+    return Status::InvalidArgument(
+        "option 'imbalance' must be >= 1.0 for allocator '" + name + "'");
+  }
+  if (contrib_options.stress_weight < 0.0) {
+    return Status::InvalidArgument(
+        "option 'stress-weight' must be >= 0 for allocator '" + name + "'");
+  }
+  return std::unique_ptr<Allocator>(new ContribStrategy(
+      name, options.registry, options.params, contrib_options));
+}
+
+// Per-option self-description literal; kEntries points at static arrays of
+// these, and DescribeAllocators()/AllocatorUsageText() render them.
+struct OptionDocLit {
+  const char* key;
+  const char* type;
+  const char* default_value;
+  const char* range;
+  const char* help;
+};
+
+constexpr OptionDocLit kBrokerOptionDocs[] = {
+    {"inner", "string", "metis", "any registered name except broker",
+     "backbone allocator whose mapping the overlay publishes"},
+    {"brokers", "uint", "16", ">= 0",
+     "how many of the most active accounts become brokers"},
+    {"cross-cost", "double", "1.2", ">= 0",
+     "per-shard workload of one brokered cross-shard sub-transaction"},
+};
+constexpr OptionDocLit kContribOptionDocs[] = {
+    {"imbalance", "double", "1.1", ">= 1.0",
+     "per-shard contribution capacity slack (capacity = imbalance*total/k)"},
+    {"stress-weight", "double", "1.0", ">= 0",
+     "overload penalty weight once a shard exceeds its capacity"},
+};
+constexpr OptionDocLit kLouvainOptionDocs[] = {
+    {"resolution", "double", "1.0", "> 0",
+     "modularity resolution (1.0 = classic modularity)"},
+};
+constexpr OptionDocLit kMetisOptionDocs[] = {
+    {"imbalance", "double", "1.03", ">= 1.0",
+     "vertex-weight balance tolerance (1.03 = METIS default)"},
+};
+constexpr OptionDocLit kShardSchedulerOptionDocs[] = {
+    {"buffer-ratio", "double", "1.0", "any",
+     "shards accept placements while load <= ratio * average"},
+    {"migration-benefit", "double", "1.5", "any",
+     "minimum interaction-weight gain factor before an account migrates"},
+};
+constexpr OptionDocLit kTxAlloHybridOptionDocs[] = {
+    {"global-every", "uint", "0", ">= 0",
+     "G-TxAllo every N rebalances (0 = adaptive-only after the global "
+     "bootstrap)"},
+};
+
 struct Entry {
   const char* name;
   const char* summary;
   Factory factory;
+  const OptionDocLit* options = nullptr;
+  size_t num_options = 0;
 };
 
 // Sorted by name (RegisteredNames() relies on it).
@@ -166,7 +234,12 @@ constexpr Entry kEntries[] = {
      "BrokerChain-style overlay over any inner allocator (inner=NAME, "
      "brokers=N, cross-cost=C): replicated broker accounts absorb "
      "cross-shard traffic at evaluation time",
-     MakeBroker},
+     MakeBroker, kBrokerOptionDocs, std::size(kBrokerOptionDocs)},
+    {"contrib",
+     "ContribChain-style contribution/stress-weighted greedy placement: "
+     "high-contribution accounts anchor shards, stress discounts overloaded "
+     "ones (imbalance=F, stress-weight=W)",
+     MakeContrib, kContribOptionDocs, std::size(kContribOptionDocs)},
     {"hash",
      "SHA256(address) mod k — the history-oblivious scheme of "
      "Chainspace/Monoxide/OmniLedger/RapidChain",
@@ -174,15 +247,16 @@ constexpr Entry kEntries[] = {
     {"louvain",
      "deterministic Louvain communities packed whole into k shards "
      "(resolution=R)",
-     MakeLouvain},
+     MakeLouvain, kLouvainOptionDocs, std::size(kLouvainOptionDocs)},
     {"metis",
      "from-scratch METIS-style multilevel k-way partitioner "
      "(imbalance=F >= 1.0)",
-     MakeMetis},
+     MakeMetis, kMetisOptionDocs, std::size(kMetisOptionDocs)},
     {"shard-scheduler",
      "Shard Scheduler (AFT'21): per-transaction streaming placement and "
      "migration (buffer-ratio=R, migration-benefit=B)",
-     MakeShardScheduler},
+     MakeShardScheduler, kShardSchedulerOptionDocs,
+     std::size(kShardSchedulerOptionDocs)},
     {"txallo-global",
      "G-TxAllo (Algorithm 1) on the full graph; online Rebalance re-runs "
      "it from scratch (the paper's Global Method)",
@@ -190,7 +264,8 @@ constexpr Entry kEntries[] = {
     {"txallo-hybrid",
      "TxAllo hybrid schedule (§V-A): A-TxAllo per Rebalance with periodic "
      "G-TxAllo refreshes (global-every=N, 0 = adaptive after bootstrap)",
-     MakeTxAlloHybrid},
+     MakeTxAlloHybrid, kTxAlloHybridOptionDocs,
+     std::size(kTxAlloHybridOptionDocs)},
 };
 
 Result<std::unique_ptr<Allocator>> MakeBroker(const std::string& name,
@@ -278,6 +353,45 @@ std::string DescribeAllocator(const std::string& name) {
     if (name == entry.name) return entry.summary;
   }
   return "";
+}
+
+std::vector<AllocatorDoc> DescribeAllocators() {
+  std::vector<AllocatorDoc> docs;
+  docs.reserve(std::size(kEntries));
+  for (const Entry& entry : kEntries) {
+    AllocatorDoc doc;
+    doc.name = entry.name;
+    doc.summary = entry.summary;
+    doc.options.reserve(entry.num_options);
+    for (size_t i = 0; i < entry.num_options; ++i) {
+      const OptionDocLit& option = entry.options[i];
+      doc.options.push_back(AllocatorOptionDoc{option.key, option.type,
+                                               option.default_value,
+                                               option.range, option.help});
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+std::string AllocatorUsageText() {
+  std::string out =
+      "Allocator specs: NAME or NAME:key=value[,key=value...]\n\n";
+  for (const AllocatorDoc& doc : DescribeAllocators()) {
+    out += doc.name + "\n    " + doc.summary + "\n";
+    if (doc.options.empty()) {
+      out += "    (no options)\n";
+    }
+    for (const AllocatorOptionDoc& option : doc.options) {
+      out += "    " + option.key + "=<" + option.type + ">  default " +
+             option.default_value + ", " + option.range + " — " +
+             option.help + "\n";
+    }
+  }
+  out +=
+      "\nExamples: --allocator=txallo-hybrid:global-every=4\n"
+      "          --allocator=\"broker:inner=contrib,brokers=8\"\n";
+  return out;
 }
 
 Result<std::unique_ptr<Allocator>> MakeAllocator(

@@ -63,6 +63,31 @@ std::vector<std::string> RegisteredNames();
 /// empty for unknown names.
 std::string DescribeAllocator(const std::string& name);
 
+/// Self-description of one strategy-specific option: everything a generated
+/// usage table needs (type, default, accepted range, one-line help).
+struct AllocatorOptionDoc {
+  std::string key;
+  std::string type;           // "uint", "double", "string".
+  std::string default_value;  // Rendered default.
+  std::string range;          // Human-readable constraint, e.g. ">= 1.0".
+  std::string help;
+};
+
+/// Full self-description of one registered strategy.
+struct AllocatorDoc {
+  std::string name;
+  std::string summary;
+  std::vector<AllocatorOptionDoc> options;
+};
+
+/// Self-description of every registered strategy, sorted by name. The
+/// source of truth for `--allocator=help` and the README's option table.
+std::vector<AllocatorDoc> DescribeAllocators();
+
+/// Generated usage table over DescribeAllocators() — what
+/// `--allocator=help` prints.
+std::string AllocatorUsageText();
+
 /// Instantiates the strategy registered under `name` with
 /// `options` (options.extra carries the strategy-specific keys).
 Result<std::unique_ptr<Allocator>> MakeAllocator(

@@ -1,0 +1,84 @@
+#include "txallo/engine/background_allocator.h"
+
+#include <utility>
+
+#include "txallo/common/stopwatch.h"
+
+namespace txallo::engine {
+
+BackgroundAllocator::BackgroundAllocator()
+    : worker_(&BackgroundAllocator::WorkerMain, this) {}
+
+BackgroundAllocator::~BackgroundAllocator() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    cv_worker_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+}
+
+void BackgroundAllocator::WorkerMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_worker_.wait(lock, [&] {
+      return stopping_ || (in_flight_ && !run_done_);
+    });
+    if (stopping_) return;
+    allocator::RebalanceTask* task = task_.get();
+    lock.unlock();
+    Stopwatch watch;
+    Result<alloc::Allocation> result = task->Run();
+    const double seconds = watch.ElapsedSeconds();
+    lock.lock();
+    run_result_.emplace(std::move(result));
+    run_seconds_ = seconds;
+    run_done_ = true;
+    cv_owner_.notify_all();
+  }
+}
+
+Status BackgroundAllocator::Launch(
+    std::unique_ptr<allocator::RebalanceTask> task) {
+  if (task == nullptr) {
+    return Status::InvalidArgument("BackgroundAllocator::Launch(null task)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_) {
+    return Status::FailedPrecondition(
+        "BackgroundAllocator already has a task in flight; Collect() first");
+  }
+  task_ = std::move(task);
+  in_flight_ = true;
+  run_done_ = false;
+  run_result_.reset();
+  run_seconds_ = 0.0;
+  cv_worker_.notify_all();
+  return Status::OK();
+}
+
+bool BackgroundAllocator::busy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+Result<BackgroundAllocator::Outcome> BackgroundAllocator::Collect() {
+  Stopwatch wait_watch;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!in_flight_) {
+    return Status::FailedPrecondition(
+        "BackgroundAllocator::Collect() with no task in flight");
+  }
+  cv_owner_.wait(lock, [&] { return run_done_; });
+  Outcome outcome;
+  outcome.task = std::move(task_);
+  outcome.mapping = std::move(*run_result_);
+  outcome.run_seconds = run_seconds_;
+  outcome.wait_seconds = wait_watch.ElapsedSeconds();
+  run_result_.reset();
+  in_flight_ = false;
+  run_done_ = false;
+  return outcome;
+}
+
+}  // namespace txallo::engine

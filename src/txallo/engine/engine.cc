@@ -132,6 +132,11 @@ void ParallelEngine::ExecuteBlock(ShardLane& lane, uint64_t block) {
 
 Status ParallelEngine::SubmitBlock(
     const std::vector<chain::Transaction>& transactions) {
+  return SubmitTransactions(transactions.data(), transactions.size());
+}
+
+Status ParallelEngine::SubmitTransactions(
+    const chain::Transaction* transactions, size_t count) {
   std::shared_ptr<const alloc::Allocation> routing;
   {
     std::lock_guard<std::mutex> lock(routing_mu_);
@@ -146,11 +151,15 @@ Status ParallelEngine::SubmitBlock(
   const sim::UnassignedPolicy policy =
       config_.hash_route_unassigned ? sim::UnassignedPolicy::kHashFallback
                                     : sim::UnassignedPolicy::kReject;
-  for (const chain::Transaction& tx : transactions) {
-    TXALLO_RETURN_NOT_OK(
-        sim::RouteTransaction(tx, *routing, policy, &route_scratch_));
-    if (route_scratch_.empty()) continue;
-    for (alloc::ShardId s : route_scratch_) {
+  const uint64_t arrival_block = now_.load(std::memory_order_relaxed);
+  // Per-call scratch keeps this path producer-thread-safe (the old member
+  // buffer was the last driver-only piece of ingest).
+  std::vector<alloc::ShardId> shards;
+  for (size_t i = 0; i < count; ++i) {
+    const chain::Transaction& tx = transactions[i];
+    TXALLO_RETURN_NOT_OK(sim::RouteTransaction(tx, *routing, policy, &shards));
+    if (shards.empty()) continue;
+    for (alloc::ShardId s : shards) {
       if (s >= config_.num_shards) {
         return Status::FailedPrecondition(
             "allocation snapshot routed account to shard " +
@@ -158,11 +167,11 @@ Status ParallelEngine::SubmitBlock(
             std::to_string(config_.num_shards) + " shards");
       }
     }
-    const bool cross = route_scratch_.size() > 1;
+    const bool cross = shards.size() > 1;
     const uint64_t tx_index = coordinator_.Register(
-        now_, static_cast<uint32_t>(route_scratch_.size()), cross);
+        arrival_block, static_cast<uint32_t>(shards.size()), cross);
     const double work = config_.work.PartWork(cross);
-    for (alloc::ShardId s : route_scratch_) {
+    for (alloc::ShardId s : shards) {
       lanes_[s]->inbox.Push(WorkItem{tx_index, work});
     }
   }
@@ -195,7 +204,7 @@ std::shared_ptr<const alloc::Allocation> ParallelEngine::allocation_snapshot()
 }
 
 void ParallelEngine::Tick() {
-  ++now_;
+  now_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(mu_);
   ++tick_generation_;
   cv_workers_.notify_all();
@@ -207,7 +216,7 @@ void ParallelEngine::Tick() {
   });
   lock.unlock();
   // Workers have barriered; only the driver touches the coordinator now.
-  coordinator_.FlushDelayed(now_);
+  coordinator_.FlushDelayed(now_.load(std::memory_order_relaxed));
 }
 
 void ParallelEngine::QuiesceLocked(std::unique_lock<std::mutex>& lock) {
@@ -235,13 +244,14 @@ EngineReport ParallelEngine::Snapshot() {
   // publishes another tick/service generation.
   report.num_workers = static_cast<uint32_t>(workers_.size());
   const CommitStats stats = coordinator_.stats();
+  const uint64_t now = now_.load(std::memory_order_relaxed);
   report.sim.submitted = stats.submitted;
   report.sim.committed = stats.committed;
   report.sim.cross_shard_submitted = stats.cross_shard_submitted;
-  report.sim.blocks_elapsed = now_;
-  if (now_ > 0) {
+  report.sim.blocks_elapsed = now;
+  if (now > 0) {
     report.sim.throughput_per_block =
-        static_cast<double>(stats.committed) / static_cast<double>(now_);
+        static_cast<double>(stats.committed) / static_cast<double>(now);
   }
   if (stats.committed > 0) {
     report.sim.avg_latency_blocks =
@@ -255,9 +265,9 @@ EngineReport ParallelEngine::Snapshot() {
   double residual = 0.0;
   report.max_queue_depth.reserve(lanes_.size());
   for (const auto& lane : lanes_) {
-    if (now_ > 0) {
+    if (now > 0) {
       utilization += lane->processed_work / (config_.work.capacity_per_block *
-                                             static_cast<double>(now_));
+                                             static_cast<double>(now));
     }
     for (const WorkItem& item : lane->fifo) residual += item.work_remaining;
     lane->inbox.ForEach(

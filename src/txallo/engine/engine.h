@@ -27,10 +27,17 @@
 // serial simulator's (the parity tests assert this within tolerance; only
 // floating-point summation order differs).
 //
-// Threading contract: SubmitBlock/Tick/Snapshot/DrainAndReport are driver
-// API — one thread at a time. InstallAllocation is safe from any thread.
+// Threading contract (relaxed since the ingest router): ingest is
+// multi-producer — SubmitBlock/SubmitTransactions may be called from any
+// number of threads concurrently (the per-shard MPSC queues and the 2PC
+// registry are shared-state safe; engine/ingest_router.h is the fan-out
+// driver). Tick/Snapshot/DrainAndReport remain driver API — one thread at a
+// time, and they must not overlap in-flight submissions (the logical clock
+// advances between ingest phases, exactly like a block boundary).
+// InstallAllocation is safe from any thread at any time.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -108,7 +115,18 @@ class ParallelEngine {
 
   /// Routes one block of transactions by the current allocation snapshot
   /// into the shard queues. Blocks for backpressure when a queue is full.
+  /// Safe from multiple producer threads concurrently (see the threading
+  /// contract above); equivalent to SubmitTransactions over the whole span.
   Status SubmitBlock(const std::vector<chain::Transaction>& transactions);
+
+  /// Multi-producer ingest primitive: routes `count` transactions starting
+  /// at `transactions` by the current allocation snapshot. Any number of
+  /// producers may call this concurrently — per-transaction routing reads
+  /// one copy-on-write snapshot, the 2PC registry is mutex-guarded, and the
+  /// per-shard inboxes are MPSC. Must not overlap Tick()/Snapshot()/
+  /// DrainAndReport() (driver API).
+  Status SubmitTransactions(const chain::Transaction* transactions,
+                            size_t count);
 
   /// Publishes a new allocation snapshot; takes effect from the next
   /// SubmitBlock(). Safe from any thread, never stops the workers. Fails if
@@ -126,7 +144,9 @@ class ParallelEngine {
   /// Report without draining. Quiesces in-flight ingest drains first.
   EngineReport Snapshot();
 
-  uint64_t current_block() const { return now_; }
+  uint64_t current_block() const {
+    return now_.load(std::memory_order_relaxed);
+  }
   const EngineConfig& config() const { return config_; }
   uint32_t num_workers() const {
     return static_cast<uint32_t>(workers_.size());
@@ -188,9 +208,10 @@ class ParallelEngine {
   bool stopping_ = false;            // Guarded by mu_.
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  // Driver-thread state.
-  uint64_t now_ = 0;
-  std::vector<alloc::ShardId> route_scratch_;
+  // Logical clock. Written by the driver in Tick(); read (relaxed) by
+  // concurrent producers in SubmitTransactions — stable there because
+  // submissions never overlap ticks (threading contract).
+  std::atomic<uint64_t> now_{0};
 };
 
 }  // namespace txallo::engine

@@ -1,0 +1,75 @@
+#include "txallo/engine/ingest_router.h"
+
+#include <algorithm>
+
+namespace txallo::engine {
+
+IngestRouter::IngestRouter(ParallelEngine* engine, uint32_t num_producers)
+    : engine_(engine) {
+  const uint32_t n = std::max(1u, num_producers);
+  done_generation_.assign(n, 0);
+  statuses_.assign(n, Status::OK());
+  threads_.reserve(n);
+  for (uint32_t p = 0; p < n; ++p) {
+    threads_.emplace_back(&IngestRouter::ProducerMain, this, p);
+  }
+}
+
+IngestRouter::~IngestRouter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    cv_producers_.notify_all();
+  }
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void IngestRouter::ProducerMain(uint32_t producer_index) {
+  const size_t n = done_generation_.size();
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_producers_.wait(lock, [&] {
+      return stopping_ || generation_ > done_generation_[producer_index];
+    });
+    if (stopping_) return;
+    const uint64_t target = generation_;
+    // Contiguous slice [begin, end) of the current block.
+    const size_t begin = block_size_ * producer_index / n;
+    const size_t end = block_size_ * (producer_index + 1) / n;
+    const chain::Transaction* base = block_;
+    lock.unlock();
+    Status status = Status::OK();
+    if (end > begin) {
+      status = engine_->SubmitTransactions(base + begin, end - begin);
+    }
+    lock.lock();
+    statuses_[producer_index] = std::move(status);
+    done_generation_[producer_index] = target;
+    cv_driver_.notify_all();
+  }
+}
+
+Status IngestRouter::SubmitBlock(
+    const std::vector<chain::Transaction>& transactions) {
+  std::unique_lock<std::mutex> lock(mu_);
+  block_ = transactions.data();
+  block_size_ = transactions.size();
+  const uint64_t target = ++generation_;
+  cv_producers_.notify_all();
+  cv_driver_.wait(lock, [&] {
+    for (uint64_t done : done_generation_) {
+      if (done != target) return false;
+    }
+    return true;
+  });
+  block_ = nullptr;
+  block_size_ = 0;
+  for (const Status& status : statuses_) {
+    TXALLO_RETURN_NOT_OK(status);
+  }
+  return Status::OK();
+}
+
+}  // namespace txallo::engine

@@ -1,0 +1,72 @@
+// Sharded ingest router: N producer threads routing one block of
+// transactions into the engine's per-shard MPSC queues in parallel.
+//
+// ParallelEngine::SubmitTransactions is multi-producer safe (routing reads
+// one copy-on-write allocation snapshot, the 2PC registry is mutex-guarded,
+// the inboxes are MPSC) — the router is the fan-out driver on top of it: a
+// persistent pool of producer threads, each taking one contiguous slice of
+// the submitted block. The ingest phase is still bracketed by the engine's
+// logical clock: SubmitBlock() returns only when every producer has drained
+// its slice, so Tick() never overlaps in-flight submissions (the same
+// driver contract SubmitBlock always had, with the parallelism inside).
+//
+// Metric note: slice interleaving changes the arrival order *within* a
+// block, so per-lane FIFO order — and therefore which transactions fit in a
+// tight λ budget first — is not deterministic across runs. Totals
+// (submitted/committed/cross-shard) always match the single-driver path;
+// with λ large enough that every block drains within its tick, the whole
+// report does. The router stress tests pin both properties.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "txallo/chain/transaction.h"
+#include "txallo/common/status.h"
+#include "txallo/engine/engine.h"
+
+namespace txallo::engine {
+
+class IngestRouter {
+ public:
+  /// Starts `num_producers` (clamped to >= 1) producer threads submitting
+  /// into `engine`, which must outlive the router.
+  IngestRouter(ParallelEngine* engine, uint32_t num_producers);
+
+  /// Joins the producers. Any in-flight SubmitBlock must have returned.
+  ~IngestRouter();
+
+  IngestRouter(const IngestRouter&) = delete;
+  IngestRouter& operator=(const IngestRouter&) = delete;
+
+  /// Splits `transactions` into contiguous slices, one per producer, and
+  /// blocks until every slice is routed. One caller at a time (the driver);
+  /// must not overlap the engine's Tick/Snapshot/DrainAndReport.
+  Status SubmitBlock(const std::vector<chain::Transaction>& transactions);
+
+  uint32_t num_producers() const {
+    return static_cast<uint32_t>(threads_.size());
+  }
+
+ private:
+  void ProducerMain(uint32_t producer_index);
+
+  ParallelEngine* engine_;
+
+  std::mutex mu_;
+  std::condition_variable cv_producers_;
+  std::condition_variable cv_driver_;
+  // One submission = one generation; producers chase it and report back.
+  uint64_t generation_ = 0;                 // Guarded by mu_.
+  bool stopping_ = false;                   // Guarded by mu_.
+  const chain::Transaction* block_ = nullptr;  // Guarded by mu_.
+  size_t block_size_ = 0;                   // Guarded by mu_.
+  std::vector<uint64_t> done_generation_;   // Guarded by mu_.
+  std::vector<Status> statuses_;            // Guarded by mu_.
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace txallo::engine

@@ -1,13 +1,37 @@
 #include "txallo/engine/pipeline.h"
 
+#include <algorithm>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "txallo/common/stopwatch.h"
+#include "txallo/engine/background_allocator.h"
+#include "txallo/engine/ingest_router.h"
 #include "txallo/sim/reconfig.h"
 #include "txallo/workload/stream.h"
 
 namespace txallo::engine {
+
+Result<AllocatorMode> ParseAllocatorMode(const std::string& name) {
+  if (name == "sync") return AllocatorMode::kDriverSync;
+  if (name == "deferred") return AllocatorMode::kDriverDeferred;
+  if (name == "background") return AllocatorMode::kBackground;
+  return Status::InvalidArgument("unknown allocator mode '" + name +
+                                 "' (expected sync, deferred or background)");
+}
+
+const char* AllocatorModeName(AllocatorMode mode) {
+  switch (mode) {
+    case AllocatorMode::kDriverSync:
+      return "sync";
+    case AllocatorMode::kDriverDeferred:
+      return "deferred";
+    case AllocatorMode::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
 
 Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
                                             allocator::OnlineAllocator* alloc,
@@ -34,36 +58,171 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
         alloc->CurrentAllocation());
     TXALLO_RETURN_NOT_OK(engine->InstallAllocation(current));
   }
+
+  // Pipeline stages: optional parallel-ingest fan-out and optional
+  // background allocation worker.
+  std::optional<IngestRouter> router;
+  if (config.ingest_producers >= 2) {
+    router.emplace(engine, config.ingest_producers);
+  }
+  std::optional<BackgroundAllocator> background;
+  if (config.allocator_mode == AllocatorMode::kBackground) {
+    background.emplace();
+  }
+
+  // Publishes `next` and charges the account-migration delta.
+  auto install =
+      [&](std::shared_ptr<const alloc::Allocation> next) -> Status {
+    result.accounts_moved +=
+        sim::CompareAllocations(*current, *next).accounts_moved;
+    TXALLO_RETURN_NOT_OK(engine->InstallAllocation(next));
+    current = std::move(next);
+    return Status::OK();
+  };
+
+  // Mapping computed at the previous boundary, awaiting its deferred
+  // install (kDriverDeferred, and kBackground's fallback when the strategy
+  // cannot snapshot).
+  std::shared_ptr<const alloc::Allocation> held;
+  // The shared compute-on-the-driver-and-hold step of both deferred
+  // schedules: one implementation so their timelines cannot drift apart.
+  auto compute_and_hold = [&](StepMetrics& metrics) -> Status {
+    Stopwatch watch;
+    Result<alloc::Allocation> rebalanced = alloc->Rebalance();
+    if (!rebalanced.ok()) return rebalanced.status();
+    const double seconds = watch.ElapsedSeconds();
+    metrics.alloc_seconds += seconds;
+    metrics.alloc_wait_seconds += seconds;
+    held = std::make_shared<const alloc::Allocation>(
+        std::move(rebalanced.value()));
+    return Status::OK();
+  };
+
+  EngineReport prev = engine->Snapshot();
   workload::BlockWindowStream epochs(&ledger, config.blocks_per_epoch);
+  uint64_t step = 0;
   while (!epochs.Done()) {
     const workload::BlockWindowStream::Window window = epochs.Next();
     for (size_t b = window.first_block_index; b < window.last_block_index;
          ++b) {
       const chain::Block& block = ledger.blocks()[b];
-      TXALLO_RETURN_NOT_OK(engine->SubmitBlock(block.transactions()));
+      if (router) {
+        TXALLO_RETURN_NOT_OK(router->SubmitBlock(block.transactions()));
+      } else {
+        TXALLO_RETURN_NOT_OK(engine->SubmitBlock(block.transactions()));
+      }
       engine->Tick();
       alloc->ApplyBlock(block);
     }
-    // Ledger exhausted: skip the trailing update — there is no traffic
-    // left for a new mapping to route, and its alloc_seconds /
-    // accounts_moved would overstate the run's real cost. The allocator
-    // has still absorbed the final window, so a caller continuing the
-    // stream can rebalance it immediately.
-    if (epochs.Done()) break;
-    // Epoch boundary: refresh the mapping and publish it without stopping
-    // the workers.
-    ++result.epochs;
-    Stopwatch alloc_watch;
-    Result<alloc::Allocation> rebalanced = alloc->Rebalance();
-    if (!rebalanced.ok()) return rebalanced.status();
-    result.alloc_seconds += alloc_watch.ElapsedSeconds();
-    std::shared_ptr<const alloc::Allocation> next =
-        std::make_shared<const alloc::Allocation>(
-            std::move(rebalanced.value()));
-    result.accounts_moved +=
-        sim::CompareAllocations(*current, *next).accounts_moved;
-    TXALLO_RETURN_NOT_OK(engine->InstallAllocation(next));
-    current = std::move(next);
+
+    StepMetrics metrics;
+    metrics.step = step;
+    metrics.first_block = window.first_block_index;
+    metrics.last_block = window.last_block_index;
+    {
+      const EngineReport snap = engine->Snapshot();
+      metrics.submitted = snap.sim.submitted - prev.sim.submitted;
+      metrics.committed = snap.sim.committed - prev.sim.committed;
+      metrics.cross_shard_submitted =
+          snap.sim.cross_shard_submitted - prev.sim.cross_shard_submitted;
+      const uint64_t blocks =
+          window.last_block_index - window.first_block_index;
+      if (blocks > 0) {
+        metrics.throughput_per_block =
+            static_cast<double>(metrics.committed) /
+            static_cast<double>(blocks);
+      }
+      if (metrics.submitted > 0) {
+        metrics.cross_shard_ratio =
+            static_cast<double>(metrics.cross_shard_submitted) /
+            static_cast<double>(metrics.submitted);
+      }
+      prev = snap;
+    }
+
+    if (!epochs.Done()) {
+      // Epoch boundary. The trailing window never reaches here — it gets
+      // no update (nothing left for a new mapping to route).
+      switch (config.allocator_mode) {
+        case AllocatorMode::kDriverSync: {
+          ++result.epochs;
+          Stopwatch watch;
+          Result<alloc::Allocation> rebalanced = alloc->Rebalance();
+          if (!rebalanced.ok()) return rebalanced.status();
+          const double seconds = watch.ElapsedSeconds();
+          metrics.alloc_seconds = seconds;
+          metrics.alloc_wait_seconds = seconds;
+          TXALLO_RETURN_NOT_OK(
+              install(std::make_shared<const alloc::Allocation>(
+                  std::move(rebalanced.value()))));
+          metrics.installed = true;
+          break;
+        }
+        case AllocatorMode::kDriverDeferred: {
+          if (held != nullptr) {
+            TXALLO_RETURN_NOT_OK(install(std::move(held)));
+            held = nullptr;
+            metrics.installed = true;
+          }
+          ++result.epochs;
+          TXALLO_RETURN_NOT_OK(compute_and_hold(metrics));
+          break;
+        }
+        case AllocatorMode::kBackground: {
+          if (background->busy()) {
+            Result<BackgroundAllocator::Outcome> outcome =
+                background->Collect();
+            if (!outcome.ok()) return outcome.status();
+            TXALLO_RETURN_NOT_OK(outcome->task->Commit());
+            if (!outcome->mapping.ok()) return outcome->mapping.status();
+            metrics.alloc_seconds = outcome->run_seconds;
+            metrics.alloc_wait_seconds = outcome->wait_seconds;
+            TXALLO_RETURN_NOT_OK(
+                install(std::make_shared<const alloc::Allocation>(
+                    std::move(outcome->mapping.value()))));
+            metrics.installed = true;
+          } else if (held != nullptr) {
+            TXALLO_RETURN_NOT_OK(install(std::move(held)));
+            held = nullptr;
+            metrics.installed = true;
+          }
+          ++result.epochs;
+          std::unique_ptr<allocator::RebalanceTask> task =
+              alloc->BeginRebalance();
+          if (task != nullptr) {
+            TXALLO_RETURN_NOT_OK(background->Launch(std::move(task)));
+          } else {
+            // Strategy cannot snapshot: compute synchronously here, keep
+            // the deferred install schedule so the logical timeline stays
+            // identical (overlap just stays at zero for this strategy).
+            TXALLO_RETURN_NOT_OK(compute_and_hold(metrics));
+          }
+          break;
+        }
+      }
+    } else if (background.has_value() && background->busy()) {
+      // Ledger exhausted with a rebalance still in flight: finish and
+      // commit it so the allocator ends in the same state as the driver
+      // schedules (a caller continuing the stream can build on it), but
+      // skip the install — there is no traffic left for it to route.
+      Result<BackgroundAllocator::Outcome> outcome = background->Collect();
+      if (!outcome.ok()) return outcome.status();
+      TXALLO_RETURN_NOT_OK(outcome->task->Commit());
+      if (!outcome->mapping.ok()) return outcome->mapping.status();
+      metrics.alloc_seconds = outcome->run_seconds;
+      metrics.alloc_wait_seconds = outcome->wait_seconds;
+    }
+    // (kDriverDeferred's final held mapping is dropped for the same
+    // trailing-skip reason; its compute time was charged when it ran.)
+
+    result.alloc_seconds += metrics.alloc_seconds;
+    result.alloc_wait_seconds += metrics.alloc_wait_seconds;
+    result.steps.push_back(metrics);
+    ++step;
+  }
+  if (result.alloc_seconds > 0.0) {
+    result.alloc_overlap_ratio = std::clamp(
+        1.0 - result.alloc_wait_seconds / result.alloc_seconds, 0.0, 1.0);
   }
   result.report = engine->DrainAndReport();
   return result;

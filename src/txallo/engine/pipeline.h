@@ -1,22 +1,40 @@
 // Epoch-based online reallocation: any allocator::OnlineAllocator driving
-// the parallel engine.
+// the parallel engine, as a three-stage pipeline (ingest ∥ execution ∥
+// allocation).
 //
 // The allocator absorbs committed blocks (ApplyBlock); every
-// `blocks_per_epoch` blocks its Rebalance() refreshes the mapping and the
-// result is published to the engine as a fresh copy-on-write snapshot via
-// InstallAllocation(). For TxAllo the allocator is the hybrid §V-A schedule
-// (allocator "txallo-hybrid"); the same loop runs hash, METIS, Louvain and
-// Shard Scheduler live — the engine-backed version of the paper's Fig. 9/10
-// method comparison. The *swap* is pause-free — a shared_ptr exchange whose
-// cost the engine reports as `realloc_pause_seconds`, never a worker stop —
-// but this single-driver loop computes the allocation between ticks, so
-// shards sit idle for `alloc_seconds` at each epoch boundary. Moving the
-// allocator onto a background thread (publishing via the same thread-safe
-// InstallAllocation) is the ROADMAP follow-on that would overlap it with
-// execution.
+// `blocks_per_epoch` blocks its mapping refreshes and the result is
+// published to the engine as a fresh copy-on-write snapshot via
+// InstallAllocation() (a pause-free shared_ptr swap; the engine reports the
+// cost as `realloc_pause_seconds`). Three allocator schedules:
+//
+//   * kDriverSync      — the classic loop: Rebalance() on the driver at the
+//                        boundary, install immediately. Shards idle for
+//                        `alloc_seconds` each epoch.
+//   * kDriverDeferred  — Rebalance() on the driver at the boundary, install
+//                        at the NEXT boundary. Same stall, but the exact
+//                        logical schedule of kBackground — its determinism
+//                        baseline.
+//   * kBackground      — BeginRebalance() snapshots at the boundary
+//                        (double-buffering: the allocator keeps absorbing
+//                        blocks), Run() executes on a BackgroundAllocator
+//                        worker while the next epoch streams, and the
+//                        result commits + installs at the next boundary.
+//                        Allocation latency is overlapped with execution;
+//                        `alloc_overlap_ratio` reports how much. Install
+//                        points are pinned to logical block boundaries, so
+//                        per-step metrics are deterministic and identical
+//                        to kDriverDeferred at equal inputs (the parity
+//                        tests assert bit-equality).
+//
+// Ingest can fan out too: `ingest_producers >= 2` routes every block
+// through an IngestRouter (N producer threads into the per-shard MPSC
+// queues) instead of the driver thread.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "txallo/allocator/allocator.h"
 #include "txallo/chain/ledger.h"
@@ -25,37 +43,91 @@
 
 namespace txallo::engine {
 
+/// When and where epoch rebalances run (see file header).
+enum class AllocatorMode {
+  kDriverSync,
+  kDriverDeferred,
+  kBackground,
+};
+
+/// "sync" | "deferred" | "background" -> AllocatorMode (bench flags).
+Result<AllocatorMode> ParseAllocatorMode(const std::string& name);
+const char* AllocatorModeName(AllocatorMode mode);
+
 struct PipelineConfig {
   /// Reallocation cadence in blocks (the paper's τ1 update window). The
   /// global-refresh cadence (τ2) is the allocator's own business — e.g.
   /// "txallo-hybrid:global-every=4".
   uint32_t blocks_per_epoch = 50;
+  /// Allocation schedule (see file header). kDriverSync reproduces the
+  /// historical single-driver loop.
+  AllocatorMode allocator_mode = AllocatorMode::kDriverSync;
+  /// Ingest fan-out: >= 2 routes blocks through an IngestRouter with this
+  /// many producer threads; 0/1 submits from the driver.
+  uint32_t ingest_producers = 0;
+};
+
+/// Block-level metrics of one pipeline step (= one epoch window): the
+/// timeline *series* Fig. 9/10-style benches plot, rather than end-of-run
+/// aggregates. Counter fields are deltas within the window.
+struct StepMetrics {
+  uint64_t step = 0;
+  /// Ledger block index range [first_block, last_block) of the window.
+  uint64_t first_block = 0;
+  uint64_t last_block = 0;
+  uint64_t submitted = 0;
+  uint64_t committed = 0;
+  uint64_t cross_shard_submitted = 0;
+  /// committed / blocks-in-window.
+  double throughput_per_block = 0.0;
+  /// cross_shard_submitted / submitted (0 when nothing was submitted).
+  double cross_shard_ratio = 0.0;
+  /// Allocation wall time charged to this step's boundary update (the
+  /// task's Run time in kBackground; the driver's Rebalance time
+  /// otherwise). 0 for the trailing window.
+  double alloc_seconds = 0.0;
+  /// How long the driver actually stalled for that update (== alloc_seconds
+  /// in the driver modes; the non-overlapped share in kBackground).
+  double alloc_wait_seconds = 0.0;
+  /// A refreshed mapping was published at the end of this window.
+  bool installed = false;
 };
 
 struct PipelineResult {
   EngineReport report;
   uint64_t epochs = 0;
-  /// Wall-clock seconds spent computing allocation updates. In this
-  /// single-driver loop the shards are idle during these — engine dead time
-  /// at epoch boundaries, distinct from the (near-zero) snapshot-swap
-  /// pause.
+  /// Wall-clock seconds spent computing allocation updates (the sum of
+  /// every rebalance's run time, wherever it ran).
   double alloc_seconds = 0.0;
-  /// Accounts whose shard changed across all reallocations (the practical
-  /// state-migration cost; sim::CompareAllocations per epoch).
+  /// Seconds of alloc_seconds the driver actually stalled for. In the
+  /// driver modes this equals alloc_seconds; in kBackground it is the
+  /// residue the next epoch's execution could not cover.
+  double alloc_wait_seconds = 0.0;
+  /// 1 - alloc_wait_seconds / alloc_seconds: the fraction of allocation
+  /// latency hidden behind execution. 0 in the driver modes.
+  double alloc_overlap_ratio = 0.0;
+  /// Accounts whose shard changed across all *installed* reallocations
+  /// (the practical state-migration cost; sim::CompareAllocations).
   uint64_t accounts_moved = 0;
+  /// Per-step timeline series, one entry per epoch window.
+  std::vector<StepMetrics> steps;
 };
 
 /// Streams `ledger` through `engine` (one Tick per block) while `alloc`
-/// learns the workload and republishes the mapping each epoch. The engine
-/// MUST be configured with hash_route_unassigned = true — accounts born
-/// since the last epoch still have to route, and the allocator's mapping
-/// only takes them over at the next epoch boundary; a config without it is
-/// rejected with InvalidArgument (this used to be a silent header-comment
-/// contract). If the engine has no snapshot yet, the allocator's
-/// CurrentAllocation() is installed first. The final window gets no
-/// trailing update (nothing left to route); the allocator still absorbs its
-/// blocks, so `epochs` is one less than the window count when the ledger
-/// divides evenly.
+/// learns the workload and republishes the mapping each epoch under the
+/// configured schedule. The engine MUST be configured with
+/// hash_route_unassigned = true — accounts born since the last epoch still
+/// have to route, and the allocator's mapping only takes them over at the
+/// next epoch boundary; a config without it is rejected with
+/// InvalidArgument. If the engine has no snapshot yet, the allocator's
+/// CurrentAllocation() is installed first.
+///
+/// Epoch accounting: with W windows there are W-1 boundary rebalances
+/// (`epochs` == W-1) in every mode; the trailing window never gets an
+/// update (nothing left to route). The deferred/background schedules
+/// install each mapping one boundary later, so their last computed mapping
+/// is committed to the allocator but not published (`report.reallocations`
+/// is one lower than kDriverSync's).
 Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
                                             allocator::OnlineAllocator* alloc,
                                             ParallelEngine* engine,

@@ -131,6 +131,83 @@ TEST_P(AllocatorConformance, OnlineRebalanceMatchesContract) {
   EXPECT_TRUE(online1->CurrentAllocation() == *r1);
 }
 
+TEST_P(AllocatorConformance, BeginRebalanceSplitIsSupportedAndEquivalent) {
+  // The snapshot/accumulate contract every registered strategy must honor
+  // so the engine's background allocator can rebalance it concurrently:
+  // (a) BeginRebalance() is supported (non-null task);
+  // (b) the task computes the same mapping the synchronous Rebalance()
+  //     produces at equal inputs, even when more blocks are absorbed
+  //     between the snapshot and Commit();
+  // (c) after Commit(), the allocator continues exactly like the
+  //     synchronous instance (the NEXT rebalance also agrees).
+  const Workload& w = SharedWorkload();
+  const AllocatorOptions options = OptionsForWorkload(w);
+  auto split = MakeAllocator(GetParam(), options);
+  auto sync = MakeAllocator(GetParam(), options);
+  ASSERT_TRUE(split.ok() && sync.ok());
+  OnlineAllocator* online_split = (*split)->AsOnline();
+  OnlineAllocator* online_sync = (*sync)->AsOnline();
+  if (online_split == nullptr) {
+    GTEST_SKIP() << GetParam() << " is one-shot only";
+  }
+  ASSERT_NE(online_sync, nullptr);
+
+  const auto& blocks = w.ledger.blocks();
+  const size_t half = blocks.size() / 2;
+  for (size_t b = 0; b < half; ++b) {
+    online_split->ApplyBlock(blocks[b]);
+    online_sync->ApplyBlock(blocks[b]);
+  }
+  // (a) the split path snapshots here...
+  std::unique_ptr<RebalanceTask> task = online_split->BeginRebalance();
+  ASSERT_NE(task, nullptr)
+      << GetParam() << " must support the snapshot/accumulate split";
+  // ...while the rest of the ledger keeps streaming into the allocator.
+  for (size_t b = half; b < blocks.size(); ++b) {
+    online_split->ApplyBlock(blocks[b]);
+  }
+  Result<alloc::Allocation> task_mapping = task->Run();
+  ASSERT_TRUE(task_mapping.ok()) << task_mapping.status().ToString();
+  ASSERT_TRUE(task->Commit().ok());
+  // (b) the synchronous instance rebalanced at the same point...
+  Result<alloc::Allocation> sync_mapping = online_sync->Rebalance();
+  ASSERT_TRUE(sync_mapping.ok()) << sync_mapping.status().ToString();
+  EXPECT_TRUE(*task_mapping == *sync_mapping)
+      << "background task mapping diverged from synchronous Rebalance";
+  // ...and absorbs the same tail afterwards.
+  for (size_t b = half; b < blocks.size(); ++b) {
+    online_sync->ApplyBlock(blocks[b]);
+  }
+  // (c) both instances continue identically.
+  Result<alloc::Allocation> next_split = online_split->Rebalance();
+  Result<alloc::Allocation> next_sync = online_sync->Rebalance();
+  ASSERT_TRUE(next_split.ok() && next_sync.ok());
+  EXPECT_TRUE(*next_split == *next_sync)
+      << "state after Commit() diverged from the synchronous path";
+}
+
+TEST_P(AllocatorConformance, BeginRebalanceTaskMatchesCurrentAllocation) {
+  // After Commit(), CurrentAllocation() must reflect the task's mapping
+  // (the same promise Rebalance() makes).
+  const Workload& w = SharedWorkload();
+  const AllocatorOptions options = OptionsForWorkload(w);
+  auto made = MakeAllocator(GetParam(), options);
+  ASSERT_TRUE(made.ok());
+  OnlineAllocator* online = (*made)->AsOnline();
+  if (online == nullptr) {
+    GTEST_SKIP() << GetParam() << " is one-shot only";
+  }
+  for (const chain::Block& block : w.ledger.blocks()) {
+    online->ApplyBlock(block);
+  }
+  std::unique_ptr<RebalanceTask> task = online->BeginRebalance();
+  ASSERT_NE(task, nullptr);
+  Result<alloc::Allocation> mapping = task->Run();
+  ASSERT_TRUE(mapping.ok()) << mapping.status().ToString();
+  ASSERT_TRUE(task->Commit().ok());
+  EXPECT_TRUE(online->CurrentAllocation() == *mapping);
+}
+
 std::string SanitizeName(
     const ::testing::TestParamInfo<std::string>& info) {
   std::string name = info.param;

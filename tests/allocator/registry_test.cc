@@ -147,6 +147,60 @@ TEST(RegistryTest, BrokerRejectsUnknownAndSelfInner) {
       MakeAllocatorFromSpec("broker:inner=broker", BaseOptions()).ok());
 }
 
+TEST(RegistryTest, ContribIsRegisteredWithRangeChecks) {
+  chain::AccountRegistry registry;
+  auto made = MakeAllocatorFromSpec("contrib:imbalance=1.5,stress-weight=2",
+                                    BaseOptions(&registry));
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  EXPECT_FALSE(
+      MakeAllocatorFromSpec("contrib:imbalance=0.9", BaseOptions()).ok());
+  EXPECT_FALSE(
+      MakeAllocatorFromSpec("contrib:stress-weight=-1", BaseOptions()).ok());
+}
+
+TEST(RegistryTest, DescribeAllocatorsCoversEveryRegisteredName) {
+  const std::vector<AllocatorDoc> docs = DescribeAllocators();
+  const std::vector<std::string> names = RegisteredNames();
+  ASSERT_EQ(docs.size(), names.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(docs[i].name, names[i]);
+    EXPECT_FALSE(docs[i].summary.empty()) << docs[i].name;
+    for (const AllocatorOptionDoc& option : docs[i].options) {
+      EXPECT_FALSE(option.key.empty()) << docs[i].name;
+      EXPECT_FALSE(option.type.empty()) << docs[i].name;
+      EXPECT_FALSE(option.default_value.empty()) << docs[i].name;
+      EXPECT_FALSE(option.help.empty())
+          << docs[i].name << ":" << option.key;
+    }
+  }
+}
+
+TEST(RegistryTest, DocumentedDefaultsAreAcceptedByTheFactory) {
+  // The metadata cannot drift from the factories: every documented option,
+  // set to its documented default, must construct.
+  chain::AccountRegistry registry;
+  registry.Intern("0xa");
+  for (const AllocatorDoc& doc : DescribeAllocators()) {
+    AllocatorOptions options = BaseOptions(&registry);
+    for (const AllocatorOptionDoc& option : doc.options) {
+      options.extra[option.key] = option.default_value;
+    }
+    auto made = MakeAllocator(doc.name, options);
+    EXPECT_TRUE(made.ok()) << doc.name << ": " << made.status().ToString();
+  }
+}
+
+TEST(RegistryTest, UsageTextMentionsEveryNameAndOptionKey) {
+  const std::string usage = AllocatorUsageText();
+  for (const AllocatorDoc& doc : DescribeAllocators()) {
+    EXPECT_NE(usage.find(doc.name), std::string::npos) << doc.name;
+    for (const AllocatorOptionDoc& option : doc.options) {
+      EXPECT_NE(usage.find(option.key + "=<"), std::string::npos)
+          << doc.name << ":" << option.key;
+    }
+  }
+}
+
 TEST(RegistryTest, SpecOptionsOverrideBaseExtra) {
   chain::AccountRegistry registry;
   AllocatorOptions options = BaseOptions(&registry);

@@ -1,0 +1,284 @@
+// The background allocation stage: RebalanceTask::Run() on the
+// BackgroundAllocator worker racing live ingest/ticks, and the pipeline's
+// determinism guarantee — kBackground's per-step block-level metrics are
+// bit-identical to kDriverDeferred's (same logical install schedule, the
+// allocation latency just hides behind execution). Runs under TSan via the
+// "engine" label.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "txallo/allocator/registry.h"
+#include "txallo/engine/background_allocator.h"
+#include "txallo/engine/engine.h"
+#include "txallo/engine/pipeline.h"
+#include "txallo/workload/ethereum_like.h"
+
+namespace txallo {
+namespace {
+
+struct PipelineFixture {
+  workload::EthereumLikeConfig config;
+  std::unique_ptr<workload::EthereumLikeGenerator> generator;
+  chain::Ledger ledger;
+};
+
+PipelineFixture MakeFixture(uint64_t blocks = 48, uint64_t seed = 29) {
+  PipelineFixture f;
+  f.config.num_blocks = blocks;
+  f.config.txs_per_block = 50;
+  f.config.num_accounts = 1'500;
+  f.config.num_communities = 16;
+  f.config.seed = seed;
+  f.config.drift_interval_blocks = blocks / 3;
+  f.generator = std::make_unique<workload::EthereumLikeGenerator>(f.config);
+  f.ledger = f.generator->GenerateLedger(f.config.num_blocks);
+  return f;
+}
+
+Result<engine::PipelineResult> RunMode(const PipelineFixture& f,
+                                       const std::string& spec,
+                                       engine::AllocatorMode mode,
+                                       uint32_t producers = 0,
+                                       uint32_t epoch_blocks = 8) {
+  const uint32_t k = 4;
+  allocator::AllocatorOptions options;
+  options.params = alloc::AllocationParams::ForExperiment(
+      f.ledger.num_transactions(), k, 2.0);
+  options.registry = &f.generator->registry();
+  auto made = allocator::MakeAllocatorFromSpec(spec, options);
+  if (!made.ok()) return made.status();
+  allocator::OnlineAllocator* online = (*made)->AsOnline();
+  if (online == nullptr) {
+    return Status::InvalidArgument(spec + " is one-shot only");
+  }
+  engine::EngineConfig config;
+  config.num_shards = k;
+  config.num_threads = 2;
+  config.work.capacity_per_block =
+      2.0 * static_cast<double>(f.config.txs_per_block) / k;
+  config.hash_route_unassigned = true;
+  engine::ParallelEngine engine(config, nullptr);
+  engine::PipelineConfig pipeline;
+  pipeline.blocks_per_epoch = epoch_blocks;
+  pipeline.allocator_mode = mode;
+  pipeline.ingest_producers = producers;
+  return engine::RunReallocatedStream(f.ledger, online, &engine, pipeline);
+}
+
+void ExpectStepsIdentical(const engine::PipelineResult& a,
+                          const engine::PipelineResult& b) {
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    SCOPED_TRACE("step " + std::to_string(i));
+    EXPECT_EQ(a.steps[i].first_block, b.steps[i].first_block);
+    EXPECT_EQ(a.steps[i].last_block, b.steps[i].last_block);
+    EXPECT_EQ(a.steps[i].submitted, b.steps[i].submitted);
+    EXPECT_EQ(a.steps[i].committed, b.steps[i].committed);
+    EXPECT_EQ(a.steps[i].cross_shard_submitted,
+              b.steps[i].cross_shard_submitted);
+    EXPECT_DOUBLE_EQ(a.steps[i].throughput_per_block,
+                     b.steps[i].throughput_per_block);
+    EXPECT_DOUBLE_EQ(a.steps[i].cross_shard_ratio,
+                     b.steps[i].cross_shard_ratio);
+    EXPECT_EQ(a.steps[i].installed, b.steps[i].installed);
+  }
+}
+
+TEST(BackgroundAllocatorTest, RunsTaskOffThreadAndReportsTimings) {
+  const PipelineFixture f = MakeFixture(12);
+  allocator::AllocatorOptions options;
+  options.params = alloc::AllocationParams::ForExperiment(
+      f.ledger.num_transactions(), 4, 2.0);
+  options.registry = &f.generator->registry();
+  auto made = allocator::MakeAllocator("metis", options);
+  ASSERT_TRUE(made.ok());
+  allocator::OnlineAllocator* online = (*made)->AsOnline();
+  ASSERT_NE(online, nullptr);
+  for (const chain::Block& block : f.ledger.blocks()) {
+    online->ApplyBlock(block);
+  }
+
+  engine::BackgroundAllocator background;
+  EXPECT_FALSE(background.busy());
+  EXPECT_FALSE(background.Collect().ok());  // Nothing in flight.
+  EXPECT_FALSE(background.Launch(nullptr).ok());
+
+  std::unique_ptr<allocator::RebalanceTask> task = online->BeginRebalance();
+  ASSERT_NE(task, nullptr);
+  ASSERT_TRUE(background.Launch(std::move(task)).ok());
+  EXPECT_TRUE(background.busy());
+  // Double-launch while busy is rejected.
+  EXPECT_FALSE(background.Launch(online->BeginRebalance()).ok());
+  auto outcome = background.Collect();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(background.busy());
+  ASSERT_TRUE(outcome->mapping.ok());
+  ASSERT_TRUE(outcome->task->Commit().ok());
+  EXPECT_GE(outcome->run_seconds, 0.0);
+  EXPECT_GE(outcome->wait_seconds, 0.0);
+  EXPECT_TRUE(online->CurrentAllocation() == *outcome->mapping);
+  // The worker is reusable for the next epoch.
+  std::unique_ptr<allocator::RebalanceTask> again = online->BeginRebalance();
+  ASSERT_NE(again, nullptr);
+  ASSERT_TRUE(background.Launch(std::move(again)).ok());
+  auto second = background.Collect();
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->task->Commit().ok());
+}
+
+TEST(BackgroundAllocatorTest, DroppedUncollectedTaskDoesNotWedgeAllocator) {
+  // The pipeline's error paths destroy the BackgroundAllocator with a task
+  // still in flight; abandonment (destruction without Commit) must release
+  // the strategy's outstanding-task bookkeeping — a TxAllo allocator used
+  // to stay wedged (BeginRebalance() == nullptr forever) and buffer every
+  // subsequent block unboundedly.
+  const PipelineFixture f = MakeFixture(16);
+  for (const std::string spec :
+       {"txallo-hybrid:global-every=3", "broker:inner=txallo-hybrid"}) {
+    SCOPED_TRACE(spec);
+    allocator::AllocatorOptions options;
+    options.params = alloc::AllocationParams::ForExperiment(
+        f.ledger.num_transactions(), 4, 2.0);
+    options.registry = &f.generator->registry();
+    auto made = allocator::MakeAllocatorFromSpec(spec, options);
+    ASSERT_TRUE(made.ok());
+    allocator::OnlineAllocator* online = (*made)->AsOnline();
+    ASSERT_NE(online, nullptr);
+    for (const chain::Block& block : f.ledger.blocks()) {
+      online->ApplyBlock(block);
+    }
+    {
+      engine::BackgroundAllocator background;
+      ASSERT_TRUE(background.Launch(online->BeginRebalance()).ok());
+      // Destroyed uncollected: Run may or may not have started; either
+      // way the task is dropped without Commit().
+    }
+    online->ApplyBlock(f.ledger.blocks().front());
+    std::unique_ptr<allocator::RebalanceTask> task = online->BeginRebalance();
+    ASSERT_NE(task, nullptr) << "allocator wedged by the abandoned task";
+    ASSERT_TRUE(task->Run().ok());
+    ASSERT_TRUE(task->Commit().ok());
+  }
+}
+
+TEST(BackgroundAllocatorTest, AbandonedTaskMappingIsNeverFoldedIn) {
+  // Dropping a task must not apply its mapping: CurrentAllocation() stays
+  // whatever the last committed rebalance produced.
+  const PipelineFixture f = MakeFixture(16);
+  allocator::AllocatorOptions options;
+  options.params = alloc::AllocationParams::ForExperiment(
+      f.ledger.num_transactions(), 4, 2.0);
+  options.registry = &f.generator->registry();
+  auto made = allocator::MakeAllocator("metis", options);
+  ASSERT_TRUE(made.ok());
+  allocator::OnlineAllocator* online = (*made)->AsOnline();
+  const size_t half = f.ledger.blocks().size() / 2;
+  for (size_t b = 0; b < half; ++b) online->ApplyBlock(f.ledger.blocks()[b]);
+  auto committed = online->Rebalance();
+  ASSERT_TRUE(committed.ok());
+  for (size_t b = half; b < f.ledger.blocks().size(); ++b) {
+    online->ApplyBlock(f.ledger.blocks()[b]);
+  }
+  {
+    std::unique_ptr<allocator::RebalanceTask> task = online->BeginRebalance();
+    ASSERT_NE(task, nullptr);
+    ASSERT_TRUE(task->Run().ok());
+    // Dropped without Commit().
+  }
+  EXPECT_TRUE(online->CurrentAllocation() == *committed);
+}
+
+TEST(BackgroundPipelineTest, BackgroundMatchesDeferredStepForStep) {
+  // The acceptance bar: background allocation must not change any logical
+  // block-level number — only where the allocation latency is spent.
+  const PipelineFixture f = MakeFixture();
+  for (const std::string spec :
+       {"txallo-hybrid:global-every=3", "metis", "contrib"}) {
+    SCOPED_TRACE(spec);
+    auto deferred =
+        RunMode(f, spec, engine::AllocatorMode::kDriverDeferred);
+    auto background = RunMode(f, spec, engine::AllocatorMode::kBackground);
+    ASSERT_TRUE(deferred.ok()) << deferred.status().ToString();
+    ASSERT_TRUE(background.ok()) << background.status().ToString();
+    ExpectStepsIdentical(*deferred, *background);
+    EXPECT_EQ(background->epochs, deferred->epochs);
+    EXPECT_EQ(background->accounts_moved, deferred->accounts_moved);
+    EXPECT_EQ(background->report.sim.submitted,
+              deferred->report.sim.submitted);
+    EXPECT_EQ(background->report.sim.committed,
+              deferred->report.sim.committed);
+    EXPECT_EQ(background->report.sim.cross_shard_submitted,
+              deferred->report.sim.cross_shard_submitted);
+    EXPECT_EQ(background->report.sim.blocks_elapsed,
+              deferred->report.sim.blocks_elapsed);
+    EXPECT_DOUBLE_EQ(background->report.sim.avg_latency_blocks,
+                     deferred->report.sim.avg_latency_blocks);
+    EXPECT_EQ(background->report.reallocations,
+              deferred->report.reallocations);
+    // The deferred driver stalls for every rebalance; background hides the
+    // latency (wait <= compute, never more).
+    EXPECT_DOUBLE_EQ(deferred->alloc_overlap_ratio, 0.0);
+    EXPECT_GE(background->alloc_overlap_ratio, 0.0);
+    EXPECT_LE(background->alloc_overlap_ratio, 1.0);
+  }
+}
+
+TEST(BackgroundPipelineTest, ReportsPositiveOverlapOnMultiEpochRun) {
+  // alloc_overlap_ratio > 0: at least part of the allocation latency hides
+  // behind execution. Submitting/ticking an epoch takes strictly positive
+  // wall time, so a cheap strategy's Run() always beats the driver to the
+  // next boundary.
+  const PipelineFixture f = MakeFixture(60, 31);
+  auto result = RunMode(f, "hash", engine::AllocatorMode::kBackground,
+                        /*producers=*/0, /*epoch_blocks=*/6);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->epochs, 5u);
+  EXPECT_GT(result->alloc_seconds, 0.0);
+  EXPECT_GT(result->alloc_overlap_ratio, 0.0);
+}
+
+TEST(BackgroundPipelineTest, BackgroundRebalanceDuringParallelIngest) {
+  // The full pipeline: N ingest producers ∥ shard execution ∥ background
+  // rebalances, across every strategy shape (controller clone, graph
+  // double-buffer, scheduler copy, decorator). TSan covers the handoffs.
+  const PipelineFixture f = MakeFixture();
+  for (const std::string spec :
+       {"txallo-hybrid:global-every=3", "shard-scheduler",
+        "broker:inner=contrib"}) {
+    SCOPED_TRACE(spec);
+    auto result = RunMode(f, spec, engine::AllocatorMode::kBackground,
+                          /*producers=*/3);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->report.sim.submitted, f.ledger.num_transactions());
+    EXPECT_EQ(result->report.sim.committed, f.ledger.num_transactions());
+    EXPECT_EQ(result->epochs, 5u);  // 6 windows of 8 blocks.
+    // Initial install + one deferred install per boundary except the first.
+    EXPECT_EQ(result->report.reallocations, 5u);
+  }
+}
+
+TEST(BackgroundPipelineTest, DeferredInstallScheduleIsOneBoundaryLate) {
+  const PipelineFixture f = MakeFixture();
+  auto sync = RunMode(f, "metis", engine::AllocatorMode::kDriverSync);
+  auto deferred = RunMode(f, "metis", engine::AllocatorMode::kDriverDeferred);
+  ASSERT_TRUE(sync.ok() && deferred.ok());
+  // 6 windows: 5 boundary rebalances in both schedules.
+  EXPECT_EQ(sync->epochs, 5u);
+  EXPECT_EQ(deferred->epochs, 5u);
+  // Sync installs at every boundary (plus the initial snapshot); deferred
+  // publishes one boundary later, so its last mapping never installs.
+  EXPECT_EQ(sync->report.reallocations, 6u);
+  EXPECT_EQ(deferred->report.reallocations, 5u);
+  ASSERT_EQ(sync->steps.size(), 6u);
+  EXPECT_TRUE(sync->steps[0].installed);
+  EXPECT_FALSE(deferred->steps[0].installed);  // Nothing held yet.
+  EXPECT_TRUE(deferred->steps[1].installed);
+  EXPECT_FALSE(sync->steps[5].installed);      // Trailing window: no update.
+  EXPECT_FALSE(deferred->steps[5].installed);
+}
+
+}  // namespace
+}  // namespace txallo
