@@ -218,6 +218,13 @@ std::string ResolveCacheDir(const Flags& flags) {
                          flags.GetString("csv-dir", "bench_out") + "/cache");
 }
 
+TraceFlags ResolveTraceFlags(const Flags& flags) {
+  TraceFlags trace;
+  trace.record_path = flags.GetString("record", "");
+  trace.replay_path = flags.GetString("replay", "");
+  return trace;
+}
+
 void EnsureDirs(const std::string& path) {
   std::string prefix;
   size_t start = 0;

@@ -14,6 +14,10 @@
 //                       ./bench_out)
 //   --cache-dir=DIR     where the sweep cache lives (default
 //                       <csv-dir>/cache)
+//   --record=PATH       engine benches: record the run's deterministic
+//                       trace (engine/replay.h) to PATH
+//   --replay=PATH       engine benches: re-execute the trace at PATH and
+//                       verify bit-identity instead of running live
 #pragma once
 
 #include <cstdint>
@@ -163,6 +167,15 @@ class SweepCache {
 
 /// The sweep-cache directory: --cache-dir, defaulting to <csv-dir>/cache.
 std::string ResolveCacheDir(const Flags& flags);
+
+/// --record=PATH / --replay=PATH: deterministic trace record/replay for
+/// the engine-backed benches (see engine/replay.h). Empty paths mean off;
+/// both set at once is rejected by the benches.
+struct TraceFlags {
+  std::string record_path;
+  std::string replay_path;
+};
+TraceFlags ResolveTraceFlags(const Flags& flags);
 
 /// mkdir -p: creates `path` and any missing parents (best-effort; callers
 /// surface failures through the file writes that follow).

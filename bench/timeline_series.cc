@@ -10,9 +10,17 @@
 // deterministic software-pipelining schedule); sync/deferred run it on the
 // driver. --producers=N fans ingest out through the IngestRouter.
 //
+// Record/replay (engine/replay.h): --record=PATH saves the first method's
+// run as a deterministic trace; --replay=PATH re-executes a saved trace on
+// the same generated workload (pass identical workload flags) and verifies
+// bit-identity — threads/producers/alloc-mode may differ from the recorded
+// run. The CI smoke records and replays a tiny trace this way to catch
+// trace-format or determinism drift.
+//
 //   ./build/bench/timeline_series [--methods=a;b] [--k=8] [--eta=2]
 //       [--blocks=96] [--txs-per-block=120] [--epoch-blocks=12]
 //       [--alloc-mode=background|deferred|sync] [--producers=N]
+//       [--record=PATH | --replay=PATH]
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -20,6 +28,7 @@
 
 #include "common/bench_common.h"
 #include "txallo/engine/pipeline.h"
+#include "txallo/engine/replay.h"
 
 int main(int argc, char** argv) {
   using namespace txallo;
@@ -43,8 +52,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::vector<std::string> specs = bench::ResolveMethodSpecs(
+  const bench::TraceFlags trace = bench::ResolveTraceFlags(flags);
+  if (!trace.record_path.empty() && !trace.replay_path.empty()) {
+    std::fprintf(stderr, "--record and --replay are mutually exclusive\n");
+    return 1;
+  }
+
+  std::vector<std::string> specs = bench::ResolveMethodSpecs(
       flags, {"txallo-hybrid:global-every=4", "metis", "hash"});
+  if (!trace.record_path.empty() && specs.size() > 1) {
+    // One trace file = one run; record the first requested method.
+    specs.resize(1);
+    std::printf("--record: tracing the first method only (%s)\n",
+                specs[0].c_str());
+  }
 
   // One shared drifting ledger: every method streams identical traffic.
   workload::EthereumLikeConfig workload_config;
@@ -78,6 +99,57 @@ int main(int argc, char** argv) {
       {"allocator", "committed", "tput/blk", "cross%", "epochs", "moved",
        "alloc-s", "wait-s", "overlap%"});
 
+  const auto add_series_rows = [&](const std::string& label,
+                                   const engine::PipelineResult& result) {
+    for (const engine::StepMetrics& step : result.steps) {
+      series.AddRow(
+          {label, std::to_string(step.step),
+           std::to_string(step.last_block - step.first_block),
+           bench::Fmt(step.throughput_per_block, 1),
+           bench::Fmt(100.0 * step.cross_shard_ratio, 1),
+           bench::Fmt(step.alloc_seconds, 4),
+           bench::Fmt(step.alloc_wait_seconds, 4),
+           step.installed ? "yes" : "no"});
+    }
+  };
+
+  if (!trace.replay_path.empty()) {
+    // Replay mode: the saved trace stands in for the allocator; the
+    // workload flags must regenerate the recorded stream (the trace's
+    // ledger fingerprint is verified) while threads/producers are free to
+    // differ — that is the point of the drift check.
+    auto loaded = engine::LoadReplayLog(trace.replay_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--replay: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    engine::EngineConfig engine_config = bench::MakeEngineConfig(
+        scale, k, eta, 1.3 * static_cast<double>(txs_per_block) / k);
+    engine_config.hash_route_unassigned = true;
+    engine::ParallelEngine engine(engine_config, nullptr);
+    engine::PipelineConfig pipeline;
+    pipeline.ingest_producers = producers;
+    auto result =
+        engine::ReplayRecordedStream(ledger, *loaded, &engine, pipeline);
+    if (!result.ok()) {
+      std::fprintf(stderr, "--replay: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    add_series_rows("replay", *result);
+    series.Print();
+    const std::string csv_dir = flags.GetString("csv-dir", "bench_out");
+    series.WriteCsv(csv_dir, "timeline_series.csv");
+    std::printf(
+        "\nreplay of '%s': bit-identical (%zu prepares, %zu commits, %zu "
+        "installs, %zu steps)\n",
+        trace.replay_path.c_str(), loaded->prepares.size(),
+        loaded->commits.size(), loaded->installs.size(),
+        loaded->steps.size());
+    return 0;
+  }
+
   for (const std::string& spec : specs) {
     allocator::AllocatorOptions options;
     options.params = alloc::AllocationParams::ForExperiment(
@@ -101,10 +173,12 @@ int main(int argc, char** argv) {
         scale, k, eta, 1.3 * static_cast<double>(txs_per_block) / k);
     engine_config.hash_route_unassigned = true;
     engine::ParallelEngine engine(engine_config, nullptr);
+    engine::ReplayLog log;
     engine::PipelineConfig pipeline;
     pipeline.blocks_per_epoch = epoch_blocks;
     pipeline.allocator_mode = *mode;
     pipeline.ingest_producers = producers;
+    if (!trace.record_path.empty()) pipeline.record = &log;
     auto result =
         engine::RunReallocatedStream(ledger, online, &engine, pipeline);
     if (!result.ok()) {
@@ -112,17 +186,20 @@ int main(int argc, char** argv) {
                    result.status().ToString().c_str());
       return 1;
     }
-
-    for (const engine::StepMetrics& step : result->steps) {
-      series.AddRow(
-          {spec, std::to_string(step.step),
-           std::to_string(step.last_block - step.first_block),
-           bench::Fmt(step.throughput_per_block, 1),
-           bench::Fmt(100.0 * step.cross_shard_ratio, 1),
-           bench::Fmt(step.alloc_seconds, 4),
-           bench::Fmt(step.alloc_wait_seconds, 4),
-           step.installed ? "yes" : "no"});
+    if (!trace.record_path.empty()) {
+      Status saved = engine::SaveReplayLog(log, trace.record_path);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "--record: %s\n", saved.ToString().c_str());
+        return 1;
+      }
+      std::printf("recorded trace of '%s' to %s (%zu prepares, %zu commits, "
+                  "%zu installs, %zu steps)\n",
+                  spec.c_str(), trace.record_path.c_str(),
+                  log.prepares.size(), log.commits.size(),
+                  log.installs.size(), log.steps.size());
     }
+
+    add_series_rows(spec, *result);
     const double cross_pct =
         result->report.sim.submitted == 0
             ? 0.0

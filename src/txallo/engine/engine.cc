@@ -101,8 +101,8 @@ void ParallelEngine::WorkerMain(uint32_t worker_index) {
     lock.unlock();
     for (uint32_t s = worker_index; s < config_.num_shards; s += stride) {
       ShardLane& lane = *lanes_[s];
-      lane.inbox.DrainTo(lane.fifo);
-      if (run_tick) ExecuteBlock(lane, tick_target);
+      lane.inbox.DrainTo(lane.staging);
+      if (run_tick) ExecuteBlock(s, lane, tick_target);
     }
     lock.lock();
     me.services_done = std::max(me.services_done, service_target);
@@ -111,7 +111,22 @@ void ParallelEngine::WorkerMain(uint32_t worker_index) {
   }
 }
 
-void ParallelEngine::ExecuteBlock(ShardLane& lane, uint64_t block) {
+void ParallelEngine::ExecuteBlock(uint32_t shard, ShardLane& lane,
+                                  uint64_t block) {
+  // Stable merge: all submissions of the phase have returned (the tick
+  // barrier follows the driver contract), so staging holds the complete
+  // arrival set — appending it in sequence order makes the lane FIFO
+  // independent of producer interleaving. Tags are unique per lane, so a
+  // plain sort is canonical.
+  if (!lane.staging.empty()) {
+    std::sort(lane.staging.begin(), lane.staging.end(),
+              [](const WorkItem& a, const WorkItem& b) {
+                return a.seq < b.seq;
+              });
+    lane.fifo.insert(lane.fifo.end(), lane.staging.begin(),
+                     lane.staging.end());
+    lane.staging.clear();
+  }
   double budget = config_.work.capacity_per_block;
   while (budget > 0.0 && !lane.fifo.empty()) {
     WorkItem& item = lane.fifo.front();
@@ -124,6 +139,9 @@ void ParallelEngine::ExecuteBlock(ShardLane& lane, uint64_t block) {
     lane.processed_work += consumed;
     if (item.work_remaining <= 1e-12) {
       const uint64_t tx_index = item.tx_index;
+      if (record_trace_) {
+        lane.prepare_log.push_back(PrepareEvent{block, shard, item.seq});
+      }
       lane.fifo.pop_front();
       coordinator_.PartPrepared(tx_index, block);
     }
@@ -137,6 +155,13 @@ Status ParallelEngine::SubmitBlock(
 
 Status ParallelEngine::SubmitTransactions(
     const chain::Transaction* transactions, size_t count) {
+  return SubmitTransactions(transactions, count,
+                            ReserveSequenceRange(count));
+}
+
+Status ParallelEngine::SubmitTransactions(
+    const chain::Transaction* transactions, size_t count,
+    uint64_t first_seq) {
   std::shared_ptr<const alloc::Allocation> routing;
   {
     std::lock_guard<std::mutex> lock(routing_mu_);
@@ -168,11 +193,12 @@ Status ParallelEngine::SubmitTransactions(
       }
     }
     const bool cross = shards.size() > 1;
+    const uint64_t seq = first_seq + i;
     const uint64_t tx_index = coordinator_.Register(
-        arrival_block, static_cast<uint32_t>(shards.size()), cross);
+        arrival_block, static_cast<uint32_t>(shards.size()), cross, seq);
     const double work = config_.work.PartWork(cross);
     for (alloc::ShardId s : shards) {
-      lanes_[s]->inbox.Push(WorkItem{tx_index, work});
+      lanes_[s]->inbox.Push(WorkItem{tx_index, seq, work});
     }
   }
   return Status::OK();
@@ -270,6 +296,7 @@ EngineReport ParallelEngine::Snapshot() {
                                              static_cast<double>(now));
     }
     for (const WorkItem& item : lane->fifo) residual += item.work_remaining;
+    for (const WorkItem& item : lane->staging) residual += item.work_remaining;
     lane->inbox.ForEach(
         [&](const WorkItem& item) { residual += item.work_remaining; });
     report.max_queue_depth.push_back(lane->inbox.high_water());
@@ -283,6 +310,33 @@ EngineReport ParallelEngine::Snapshot() {
     report.realloc_pause_seconds = realloc_pause_seconds_;
   }
   return report;
+}
+
+void ParallelEngine::EnableTraceRecording() {
+  std::lock_guard<std::mutex> lock(mu_);
+  record_trace_ = true;
+  coordinator_.EnableEventRecording();
+}
+
+ParallelEngine::Trace ParallelEngine::ExtractTrace() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    QuiesceLocked(lock);
+  }
+  Trace trace;
+  // Lanes are concatenated in shard order, each already in execution order
+  // with non-decreasing blocks; the stable sort interleaves them into the
+  // canonical (block, shard, lane-position) stream.
+  for (const auto& lane : lanes_) {
+    trace.prepares.insert(trace.prepares.end(), lane->prepare_log.begin(),
+                          lane->prepare_log.end());
+  }
+  std::stable_sort(trace.prepares.begin(), trace.prepares.end(),
+                   [](const PrepareEvent& a, const PrepareEvent& b) {
+                     return a.block < b.block;
+                   });
+  trace.commits = coordinator_.CanonicalCommitEvents();
+  return trace;
 }
 
 EngineReport ParallelEngine::DrainAndReport(uint64_t max_extra_blocks) {

@@ -27,6 +27,18 @@
 // serial simulator's (the parity tests assert this within tolerance; only
 // floating-point summation order differs).
 //
+// Determinism: every submitted transaction carries an ingest *sequence tag*
+// (a position in a per-engine reservation counter; see
+// ReserveSequenceRange). Producers may push into a shard's inbox in any
+// interleaving — the lane stages arrivals and merges them into its FIFO in
+// sequence order at the next tick, after all in-flight submissions have
+// returned (the driver contract). Per-lane execution order is therefore a
+// pure function of the submitted blocks and installed snapshots,
+// independent of worker threads, producer count and λ; with trace recording
+// on (EnableTraceRecording), ExtractTrace() returns the canonical per-tick,
+// per-shard prepare order and 2PC outcome stream that engine/replay.h
+// serializes and replays bit-identically.
+//
 // Threading contract (relaxed since the ingest router): ingest is
 // multi-producer — SubmitBlock/SubmitTransactions may be called from any
 // number of threads concurrently (the per-shard MPSC queues and the 2PC
@@ -79,6 +91,19 @@ struct EngineConfig {
   uint64_t spin_iterations_per_unit = 0;
 };
 
+/// One executed transaction part: the PREPARED vote a shard cast at a tick,
+/// keyed by the transaction's ingest sequence tag. The per-lane event order
+/// is the lane's execution order; ExtractTrace() returns the global stream
+/// in canonical (block, shard, lane-position) order.
+struct PrepareEvent {
+  /// Tick at which the part finished executing (the vote's block).
+  uint64_t block = 0;
+  uint32_t shard = 0;
+  /// Ingest sequence tag of the transaction.
+  uint64_t seq = 0;
+  bool operator==(const PrepareEvent&) const = default;
+};
+
 /// SimReport plus engine-only observability.
 struct EngineReport {
   /// Same fields/semantics as the serial simulator's report.
@@ -124,9 +149,42 @@ class ParallelEngine {
   /// producers may call this concurrently — per-transaction routing reads
   /// one copy-on-write snapshot, the 2PC registry is mutex-guarded, and the
   /// per-shard inboxes are MPSC. Must not overlap Tick()/Snapshot()/
-  /// DrainAndReport() (driver API).
+  /// DrainAndReport() (driver API). Reserves this call's sequence range
+  /// internally, so tags across *concurrent* callers follow reservation
+  /// interleaving; coordinate with ReserveSequenceRange + the three-arg
+  /// overload when deterministic order matters.
   Status SubmitTransactions(const chain::Transaction* transactions,
                             size_t count);
+
+  /// Deterministic multi-producer ingest: transaction i carries sequence
+  /// tag `first_seq + i`. Callers reserve tags up front (one
+  /// ReserveSequenceRange per logical block, driver-side) and may then
+  /// submit disjoint slices from any number of threads in any interleaving
+  /// — per-lane execution order depends only on the tags, not the
+  /// schedule. This is what IngestRouter does.
+  Status SubmitTransactions(const chain::Transaction* transactions,
+                            size_t count, uint64_t first_seq);
+
+  /// Reserves `count` consecutive ingest sequence tags and returns the
+  /// first. Safe from any thread; call once per logical block from the
+  /// driver so sliced submissions stay deterministic.
+  uint64_t ReserveSequenceRange(size_t count) {
+    return ingest_seq_.fetch_add(count, std::memory_order_relaxed);
+  }
+
+  /// Starts recording the deterministic execution trace (per-lane prepare
+  /// events and 2PC commit events). Driver-side, before the first
+  /// submission or tick; recording cannot be turned off again.
+  void EnableTraceRecording();
+
+  /// The canonical recorded trace so far: prepares in (block, shard,
+  /// lane-position) order, commits in (block, seq) order. Driver-side;
+  /// quiesces workers first. Empty unless EnableTraceRecording() ran.
+  struct Trace {
+    std::vector<PrepareEvent> prepares;
+    std::vector<CommitEvent> commits;
+  };
+  Trace ExtractTrace();
 
   /// Publishes a new allocation snapshot; takes effect from the next
   /// SubmitBlock(). Safe from any thread, never stops the workers. Fails if
@@ -158,6 +216,7 @@ class ParallelEngine {
  private:
   struct WorkItem {
     uint64_t tx_index;
+    uint64_t seq;
     double work_remaining;
   };
   // Per-shard execution state. The inbox is shared (producers push, owner
@@ -166,8 +225,15 @@ class ParallelEngine {
   struct ShardLane {
     explicit ShardLane(size_t queue_capacity) : inbox(queue_capacity) {}
     MpscQueue<WorkItem> inbox;
+    // Arrivals drained from the inbox in push (interleaving-dependent)
+    // order; merged into the FIFO in sequence order at the next tick, once
+    // every in-flight submission has returned. This staging step is what
+    // makes per-lane order producer-schedule independent.
+    std::vector<WorkItem> staging;
     std::deque<WorkItem> fifo;
     double processed_work = 0.0;
+    // Prepare votes in execution order (only when recording; owner-written).
+    std::vector<PrepareEvent> prepare_log;
   };
   struct Worker {
     std::thread thread;
@@ -178,7 +244,7 @@ class ParallelEngine {
   };
 
   void WorkerMain(uint32_t worker_index);
-  void ExecuteBlock(ShardLane& lane, uint64_t block);
+  void ExecuteBlock(uint32_t shard, ShardLane& lane, uint64_t block);
   // Wakes workers to drain their inboxes (called by full queues' handler).
   void RequestService();
   // Driver-side: waits until every worker has observed the latest service
@@ -206,12 +272,17 @@ class ParallelEngine {
   uint64_t tick_generation_ = 0;     // Guarded by mu_.
   uint64_t service_generation_ = 0;  // Guarded by mu_.
   bool stopping_ = false;            // Guarded by mu_.
+  // Set under mu_ before the first tick; workers read it only inside
+  // ExecuteBlock, whose tick handshake orders the read after the write.
+  bool record_trace_ = false;
   std::vector<std::unique_ptr<Worker>> workers_;
 
   // Logical clock. Written by the driver in Tick(); read (relaxed) by
   // concurrent producers in SubmitTransactions — stable there because
   // submissions never overlap ticks (threading contract).
   std::atomic<uint64_t> now_{0};
+  // Ingest sequence-tag reservation counter (ReserveSequenceRange).
+  std::atomic<uint64_t> ingest_seq_{0};
 };
 
 }  // namespace txallo::engine

@@ -35,14 +35,17 @@ void IngestRouter::ProducerMain(uint32_t producer_index) {
     });
     if (stopping_) return;
     const uint64_t target = generation_;
-    // Contiguous slice [begin, end) of the current block.
+    // Contiguous slice [begin, end) of the current block; the slice's
+    // sequence tags are its global positions offset by the block's base.
     const size_t begin = block_size_ * producer_index / n;
     const size_t end = block_size_ * (producer_index + 1) / n;
     const chain::Transaction* base = block_;
+    const uint64_t seq_base = block_seq_base_;
     lock.unlock();
     Status status = Status::OK();
     if (end > begin) {
-      status = engine_->SubmitTransactions(base + begin, end - begin);
+      status = engine_->SubmitTransactions(base + begin, end - begin,
+                                           seq_base + begin);
     }
     lock.lock();
     statuses_[producer_index] = std::move(status);
@@ -56,6 +59,7 @@ Status IngestRouter::SubmitBlock(
   std::unique_lock<std::mutex> lock(mu_);
   block_ = transactions.data();
   block_size_ = transactions.size();
+  block_seq_base_ = engine_->ReserveSequenceRange(transactions.size());
   const uint64_t target = ++generation_;
   cv_producers_.notify_all();
   cv_driver_.wait(lock, [&] {

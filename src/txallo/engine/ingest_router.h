@@ -10,12 +10,15 @@
 // its slice, so Tick() never overlaps in-flight submissions (the same
 // driver contract SubmitBlock always had, with the parallelism inside).
 //
-// Metric note: slice interleaving changes the arrival order *within* a
-// block, so per-lane FIFO order — and therefore which transactions fit in a
-// tight λ budget first — is not deterministic across runs. Totals
-// (submitted/committed/cross-shard) always match the single-driver path;
-// with λ large enough that every block drains within its tick, the whole
-// report does. The router stress tests pin both properties.
+// Determinism: SubmitBlock reserves the block's ingest sequence range once
+// on the driver (engine::ParallelEngine::ReserveSequenceRange), and every
+// producer submits its slice with explicit tags — transaction i of the
+// block always carries tag base + i, whatever the producer interleaving.
+// Combined with the engine's lane-side stable merge, per-lane FIFO order —
+// and therefore which transactions fit a tight λ budget first — is
+// byte-identical to the single-driver path, so the whole report matches
+// exactly at any λ and producer count (the router stress and the
+// ingest-order property tests pin this).
 #pragma once
 
 #include <condition_variable>
@@ -64,6 +67,7 @@ class IngestRouter {
   bool stopping_ = false;                   // Guarded by mu_.
   const chain::Transaction* block_ = nullptr;  // Guarded by mu_.
   size_t block_size_ = 0;                   // Guarded by mu_.
+  uint64_t block_seq_base_ = 0;             // Guarded by mu_.
   std::vector<uint64_t> done_generation_;   // Guarded by mu_.
   std::vector<Status> statuses_;            // Guarded by mu_.
   std::vector<std::thread> threads_;

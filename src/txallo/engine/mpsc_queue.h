@@ -55,9 +55,10 @@ class MpscQueue {
     return true;
   }
 
-  /// Consumer side: moves everything queued to the back of `out`. Returns
-  /// the number of items moved.
-  size_t DrainTo(std::deque<T>& out) {
+  /// Consumer side: moves everything queued to the back of `out` (any
+  /// container with push_back). Returns the number of items moved.
+  template <typename Container>
+  size_t DrainTo(Container& out) {
     std::lock_guard<std::mutex> lock(mu_);
     const size_t n = items_.size();
     while (!items_.empty()) {

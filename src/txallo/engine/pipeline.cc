@@ -8,6 +8,7 @@
 #include "txallo/common/stopwatch.h"
 #include "txallo/engine/background_allocator.h"
 #include "txallo/engine/ingest_router.h"
+#include "txallo/engine/replay.h"
 #include "txallo/sim/reconfig.h"
 #include "txallo/workload/stream.h"
 
@@ -37,10 +38,15 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
                                             allocator::OnlineAllocator* alloc,
                                             ParallelEngine* engine,
                                             const PipelineConfig& config) {
-  if (config.blocks_per_epoch == 0) {
+  const ReplayLog* replay = config.replay;
+  const bool recording = config.record != nullptr || replay != nullptr;
+  const uint32_t blocks_per_epoch =
+      replay != nullptr ? replay->meta.blocks_per_epoch
+                        : config.blocks_per_epoch;
+  if (blocks_per_epoch == 0) {
     return Status::InvalidArgument("blocks_per_epoch must be positive");
   }
-  if (alloc == nullptr || engine == nullptr) {
+  if (engine == nullptr || (alloc == nullptr && replay == nullptr)) {
     return Status::InvalidArgument(
         "RunReallocatedStream needs a non-null allocator and engine");
   }
@@ -50,35 +56,118 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
         "accounts created since the last epoch have no shard in the "
         "allocator's snapshot and must hash-route until the next Rebalance");
   }
+  if (recording) {
+    // A trace covers a run from block 0 with no traffic before it; ingested
+    // transactions that predate recording would leave phantom events (or,
+    // on replay, divergent streams) that only surface as a late Internal
+    // error instead of this loud one.
+    if (engine->current_block() != 0 ||
+        engine->Snapshot().sim.submitted != 0) {
+      return Status::InvalidArgument(
+          "record/replay needs a fresh engine: the trace must cover the run "
+          "from block 0 with no prior submissions");
+    }
+  }
+  // One full-ledger hash per run, shared by the replay guard below and the
+  // recorded meta at the end.
+  const uint64_t ledger_fingerprint =
+      recording ? FingerprintLedger(ledger) : 0;
+  if (replay != nullptr) {
+    const EngineConfig& ec = engine->config();
+    if (replay->meta.num_shards != ec.num_shards ||
+        replay->meta.eta != ec.work.eta ||
+        replay->meta.capacity_per_block != ec.work.capacity_per_block ||
+        replay->meta.cross_shard_commit_rounds !=
+            ec.work.cross_shard_commit_rounds) {
+      return Status::InvalidArgument(
+          "replay trace was recorded under a different engine configuration "
+          "(shard count or work model)");
+    }
+    if (replay->meta.ledger_blocks != ledger.num_blocks() ||
+        replay->meta.ledger_transactions != ledger.num_transactions() ||
+        replay->meta.ledger_fingerprint != ledger_fingerprint) {
+      return Status::InvalidArgument(
+          "replay trace was recorded over a different transaction stream "
+          "(ledger fingerprint mismatch)");
+    }
+    if (engine->allocation_snapshot() != nullptr) {
+      // The trace provides the initial mapping; a pre-installed snapshot
+      // would skew the accounts_moved accounting of the first install.
+      return Status::InvalidArgument(
+          "replay needs an engine without a pre-installed allocation "
+          "snapshot: the trace's install stream provides the initial "
+          "mapping");
+    }
+  }
+  if (recording) engine->EnableTraceRecording();
+
   PipelineResult result;
+  ReplayLog observed;  // Built along the run when recording.
   std::shared_ptr<const alloc::Allocation> current =
       engine->allocation_snapshot();
-  if (current == nullptr) {
-    current = std::make_shared<const alloc::Allocation>(
-        alloc->CurrentAllocation());
-    TXALLO_RETURN_NOT_OK(engine->InstallAllocation(current));
-  }
 
   // Pipeline stages: optional parallel-ingest fan-out and optional
-  // background allocation worker.
+  // background allocation worker (never needed on replay — the recorded
+  // install stream stands in for the allocator entirely).
   std::optional<IngestRouter> router;
   if (config.ingest_producers >= 2) {
     router.emplace(engine, config.ingest_producers);
   }
   std::optional<BackgroundAllocator> background;
-  if (config.allocator_mode == AllocatorMode::kBackground) {
+  if (replay == nullptr &&
+      config.allocator_mode == AllocatorMode::kBackground) {
     background.emplace();
   }
 
-  // Publishes `next` and charges the account-migration delta.
+  // Publishes `next` and charges the account-migration delta (the very
+  // first snapshot has no predecessor to migrate from).
   auto install =
       [&](std::shared_ptr<const alloc::Allocation> next) -> Status {
-    result.accounts_moved +=
-        sim::CompareAllocations(*current, *next).accounts_moved;
+    if (current != nullptr) {
+      result.accounts_moved +=
+          sim::CompareAllocations(*current, *next).accounts_moved;
+    }
+    if (recording) {
+      observed.installs.push_back(
+          InstallEvent{engine->current_block(), *next});
+    }
     TXALLO_RETURN_NOT_OK(engine->InstallAllocation(next));
     current = std::move(next);
     return Status::OK();
   };
+
+  // Replay-side install source: applies every recorded snapshot whose
+  // block has been reached (block 0 before the first submission, epoch
+  // boundaries after their window's last tick). Returns how many applied.
+  size_t install_cursor = 0;
+  auto apply_due_installs = [&](uint64_t* applied) -> Status {
+    if (applied != nullptr) *applied = 0;
+    if (replay == nullptr) return Status::OK();
+    while (install_cursor < replay->installs.size() &&
+           replay->installs[install_cursor].block <=
+               engine->current_block()) {
+      TXALLO_RETURN_NOT_OK(install(std::make_shared<const alloc::Allocation>(
+          replay->installs[install_cursor].allocation)));
+      ++install_cursor;
+      if (applied != nullptr) ++(*applied);
+    }
+    return Status::OK();
+  };
+
+  if (replay != nullptr) {
+    TXALLO_RETURN_NOT_OK(apply_due_installs(nullptr));
+  } else {
+    if (current == nullptr) {
+      current = std::make_shared<const alloc::Allocation>(
+          alloc->CurrentAllocation());
+      TXALLO_RETURN_NOT_OK(engine->InstallAllocation(current));
+    }
+    if (recording) {
+      // The mapping in force from block 0 — whether just bootstrapped or
+      // pre-installed by the caller — leads the install stream.
+      observed.installs.push_back(InstallEvent{0, *current});
+    }
+  }
 
   // Mapping computed at the previous boundary, awaiting its deferred
   // install (kDriverDeferred, and kBackground's fallback when the strategy
@@ -99,7 +188,7 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
   };
 
   EngineReport prev = engine->Snapshot();
-  workload::BlockWindowStream epochs(&ledger, config.blocks_per_epoch);
+  workload::BlockWindowStream epochs(&ledger, blocks_per_epoch);
   uint64_t step = 0;
   while (!epochs.Done()) {
     const workload::BlockWindowStream::Window window = epochs.Next();
@@ -112,7 +201,7 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
         TXALLO_RETURN_NOT_OK(engine->SubmitBlock(block.transactions()));
       }
       engine->Tick();
-      alloc->ApplyBlock(block);
+      if (replay == nullptr) alloc->ApplyBlock(block);
     }
 
     StepMetrics metrics;
@@ -140,7 +229,19 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
       prev = snap;
     }
 
-    if (!epochs.Done()) {
+    if (replay != nullptr) {
+      // The recorded install stream stands in for the allocator: apply
+      // every snapshot due at this boundary, and carry the recorded run's
+      // wall-clock observations through verbatim (they are not
+      // reproducible; the logical schedule is).
+      uint64_t applied = 0;
+      TXALLO_RETURN_NOT_OK(apply_due_installs(&applied));
+      metrics.installed = applied > 0;
+      if (step < replay->steps.size()) {
+        metrics.alloc_seconds = replay->steps[step].alloc_seconds;
+        metrics.alloc_wait_seconds = replay->steps[step].alloc_wait_seconds;
+      }
+    } else if (!epochs.Done()) {
       // Epoch boundary. The trailing window never reaches here — it gets
       // no update (nothing left for a new mapping to route).
       switch (config.allocator_mode) {
@@ -224,7 +325,69 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
     result.alloc_overlap_ratio = std::clamp(
         1.0 - result.alloc_wait_seconds / result.alloc_seconds, 0.0, 1.0);
   }
+  // Drain the engine, and close the series with a final partial step when
+  // draining ticked extra blocks (pending commit rounds or residual λ
+  // backlog): commits landing after the last ledger block would otherwise
+  // belong to no step, so the per-step series would silently undercount
+  // the run total (a blocks_per_epoch larger than the stream made the
+  // whole tail vanish into a single short window).
+  const uint64_t stream_end_block = engine->current_block();
   result.report = engine->DrainAndReport();
+  if (result.report.sim.blocks_elapsed > stream_end_block) {
+    StepMetrics tail;
+    tail.step = step;
+    tail.first_block = stream_end_block;
+    tail.last_block = result.report.sim.blocks_elapsed;
+    tail.submitted = result.report.sim.submitted - prev.sim.submitted;
+    tail.committed = result.report.sim.committed - prev.sim.committed;
+    tail.cross_shard_submitted = result.report.sim.cross_shard_submitted -
+                                 prev.sim.cross_shard_submitted;
+    tail.throughput_per_block =
+        static_cast<double>(tail.committed) /
+        static_cast<double>(tail.last_block - tail.first_block);
+    if (tail.submitted > 0) {
+      tail.cross_shard_ratio = static_cast<double>(tail.cross_shard_submitted) /
+                               static_cast<double>(tail.submitted);
+    }
+    result.steps.push_back(tail);
+  }
+
+  if (replay != nullptr) {
+    // Boundary-rebalance count and wall-clock aggregates come from the
+    // recorded run (no allocator ran here; the per-step copies above
+    // re-accumulated its alloc/wait sums bit-identically already).
+    result.epochs = replay->epochs;
+  }
+  if (recording) {
+    const EngineConfig& ec = engine->config();
+    observed.meta.num_shards = ec.num_shards;
+    observed.meta.eta = ec.work.eta;
+    observed.meta.capacity_per_block = ec.work.capacity_per_block;
+    observed.meta.cross_shard_commit_rounds =
+        ec.work.cross_shard_commit_rounds;
+    observed.meta.blocks_per_epoch = blocks_per_epoch;
+    observed.meta.ledger_blocks = ledger.num_blocks();
+    observed.meta.ledger_transactions = ledger.num_transactions();
+    observed.meta.ledger_fingerprint = ledger_fingerprint;
+    observed.steps = result.steps;
+    observed.alloc_seconds = result.alloc_seconds;
+    observed.alloc_wait_seconds = result.alloc_wait_seconds;
+    observed.alloc_overlap_ratio = result.alloc_overlap_ratio;
+    observed.epochs = result.epochs;
+    observed.accounts_moved = result.accounts_moved;
+    ParallelEngine::Trace trace = engine->ExtractTrace();
+    observed.prepares = std::move(trace.prepares);
+    observed.commits = std::move(trace.commits);
+    if (replay != nullptr) {
+      const std::string divergence =
+          DescribeTraceDivergence(*replay, observed);
+      if (!divergence.empty()) {
+        return Status::Internal("replay diverged from the recorded trace: " +
+                                divergence);
+      }
+    }
+    if (config.record != nullptr) *config.record = std::move(observed);
+  }
   return result;
 }
 

@@ -30,6 +30,13 @@
 // Ingest can fan out too: `ingest_producers >= 2` routes every block
 // through an IngestRouter (N producer threads into the per-shard MPSC
 // queues) instead of the driver thread.
+//
+// Record/replay: PipelineConfig::record captures the run's deterministic
+// trace (per-tick, per-shard prepare order, 2PC outcome stream, install
+// boundaries, step series) into a ReplayLog; PipelineConfig::replay
+// re-executes a recorded trace — installs land on the recorded block
+// boundaries instead of consulting the allocator, and the run is verified
+// bit-identical to the log. See engine/replay.h.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +49,8 @@
 #include "txallo/engine/engine.h"
 
 namespace txallo::engine {
+
+class ReplayLog;  // engine/replay.h
 
 /// When and where epoch rebalances run (see file header).
 enum class AllocatorMode {
@@ -65,14 +74,28 @@ struct PipelineConfig {
   /// Ingest fan-out: >= 2 routes blocks through an IngestRouter with this
   /// many producer threads; 0/1 submits from the driver.
   uint32_t ingest_producers = 0;
+  /// When set, the run records its deterministic trace here (the engine
+  /// must be fresh — no prior submissions or ticks).
+  ReplayLog* record = nullptr;
+  /// When set, re-executes the recorded trace instead of running the
+  /// allocator: `alloc` may be null, blocks_per_epoch and allocator_mode
+  /// come from the log, and threads/ingest_producers are free to differ —
+  /// the run is verified bit-identical to the log (prepare order, 2PC
+  /// outcomes, step series) and diverging returns an Internal error.
+  const ReplayLog* replay = nullptr;
 };
 
 /// Block-level metrics of one pipeline step (= one epoch window): the
 /// timeline *series* Fig. 9/10-style benches plot, rather than end-of-run
-/// aggregates. Counter fields are deltas within the window.
+/// aggregates. Counter fields are deltas within the window. The series ends
+/// with a final partial step covering the post-stream drain whenever
+/// draining ticks extra blocks (commit rounds or residual backlog), so
+/// per-step `committed` always sums to the run total.
 struct StepMetrics {
   uint64_t step = 0;
-  /// Ledger block index range [first_block, last_block) of the window.
+  /// Logical block range [first_block, last_block) of the window. One Tick
+  /// per ledger block, so these are ledger block indices for stream steps;
+  /// the trailing drain step extends past the ledger.
   uint64_t first_block = 0;
   uint64_t last_block = 0;
   uint64_t submitted = 0;
@@ -91,6 +114,8 @@ struct StepMetrics {
   double alloc_wait_seconds = 0.0;
   /// A refreshed mapping was published at the end of this window.
   bool installed = false;
+
+  bool operator==(const StepMetrics&) const = default;
 };
 
 struct PipelineResult {

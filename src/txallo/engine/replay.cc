@@ -1,0 +1,420 @@
+#include "txallo/engine/replay.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "txallo/common/sha256.h"
+
+namespace txallo::engine {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'X', 'T', 'R', 'A', 'C', 'E', '1'};
+
+// Fixed-width little-endian primitives. Explicit byte shuffling (not
+// memcpy of host representation) so traces recorded on any platform load
+// on any other.
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+// Cursor over a loaded byte buffer; every read is bounds-checked and a
+// short buffer latches the failure flag instead of reading past the end.
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (!Need(1)) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (!Need(4)) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (!Need(8)) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool ReadF64(double* v) {
+    uint64_t bits = 0;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  bool failed() const { return failed_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Need(size_t n) {
+    if (failed_ || data_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+void HashU64(Sha256* hasher, uint64_t v) {
+  uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = (v >> (8 * i)) & 0xff;
+  hasher->Update(bytes, sizeof(bytes));
+}
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+uint64_t FingerprintLedger(const chain::Ledger& ledger) {
+  Sha256 hasher;
+  HashU64(&hasher, ledger.num_blocks());
+  for (const chain::Block& block : ledger.blocks()) {
+    HashU64(&hasher, block.size());
+    for (const chain::Transaction& tx : block.transactions()) {
+      HashU64(&hasher, tx.inputs().size());
+      for (chain::AccountId a : tx.inputs()) HashU64(&hasher, a);
+      HashU64(&hasher, tx.outputs().size());
+      for (chain::AccountId a : tx.outputs()) HashU64(&hasher, a);
+    }
+  }
+  const Sha256Digest digest = hasher.Finish();
+  uint64_t fingerprint = 0;
+  for (int i = 0; i < 8; ++i) {
+    fingerprint = (fingerprint << 8) | digest[static_cast<size_t>(i)];
+  }
+  return fingerprint;
+}
+
+std::string DescribeTraceDivergence(const ReplayLog& recorded,
+                                    const ReplayLog& replayed) {
+  if (!(recorded.meta == replayed.meta)) {
+    return "trace meta differs (shards/work model/epoch cadence/ledger "
+           "fingerprint)";
+  }
+  if (recorded.prepares.size() != replayed.prepares.size()) {
+    return "prepare stream length: recorded " + U64(recorded.prepares.size()) +
+           " vs replayed " + U64(replayed.prepares.size());
+  }
+  for (size_t i = 0; i < recorded.prepares.size(); ++i) {
+    const PrepareEvent& a = recorded.prepares[i];
+    const PrepareEvent& b = replayed.prepares[i];
+    if (!(a == b)) {
+      return "prepare[" + U64(i) + "]: recorded (block=" + U64(a.block) +
+             ", shard=" + U64(a.shard) + ", seq=" + U64(a.seq) +
+             ") vs replayed (block=" + U64(b.block) + ", shard=" +
+             U64(b.shard) + ", seq=" + U64(b.seq) + ")";
+    }
+  }
+  if (recorded.commits.size() != replayed.commits.size()) {
+    return "commit stream length: recorded " + U64(recorded.commits.size()) +
+           " vs replayed " + U64(replayed.commits.size());
+  }
+  for (size_t i = 0; i < recorded.commits.size(); ++i) {
+    const CommitEvent& a = recorded.commits[i];
+    const CommitEvent& b = replayed.commits[i];
+    if (!(a == b)) {
+      return "commit[" + U64(i) + "]: recorded (block=" + U64(a.block) +
+             ", seq=" + U64(a.seq) + ", cross=" + U64(a.cross_shard) +
+             ") vs replayed (block=" + U64(b.block) + ", seq=" + U64(b.seq) +
+             ", cross=" + U64(b.cross_shard) + ")";
+    }
+  }
+  if (recorded.installs.size() != replayed.installs.size()) {
+    return "install count: recorded " + U64(recorded.installs.size()) +
+           " vs replayed " + U64(replayed.installs.size());
+  }
+  for (size_t i = 0; i < recorded.installs.size(); ++i) {
+    if (!(recorded.installs[i] == replayed.installs[i])) {
+      return "install[" + U64(i) + "] at block " +
+             U64(recorded.installs[i].block) +
+             ": mapping or block differs";
+    }
+  }
+  if (recorded.steps.size() != replayed.steps.size()) {
+    return "step count: recorded " + U64(recorded.steps.size()) +
+           " vs replayed " + U64(replayed.steps.size());
+  }
+  for (size_t i = 0; i < recorded.steps.size(); ++i) {
+    // Wall-clock fields are not reproducible; compare logical content only.
+    StepMetrics a = recorded.steps[i];
+    StepMetrics b = replayed.steps[i];
+    a.alloc_seconds = b.alloc_seconds = 0.0;
+    a.alloc_wait_seconds = b.alloc_wait_seconds = 0.0;
+    if (!(a == b)) {
+      return "step[" + U64(i) + "]: recorded (submitted=" + U64(a.submitted) +
+             ", committed=" + U64(a.committed) + ", cross=" +
+             U64(a.cross_shard_submitted) + ", installed=" +
+             U64(a.installed) + ") vs replayed (submitted=" +
+             U64(b.submitted) + ", committed=" + U64(b.committed) +
+             ", cross=" + U64(b.cross_shard_submitted) + ", installed=" +
+             U64(b.installed) + ")";
+    }
+  }
+  if (recorded.accounts_moved != replayed.accounts_moved) {
+    return "accounts_moved: recorded " + U64(recorded.accounts_moved) +
+           " vs replayed " + U64(replayed.accounts_moved);
+  }
+  return "";
+}
+
+Result<PipelineResult> ReplayRecordedStream(const chain::Ledger& ledger,
+                                            const ReplayLog& log,
+                                            ParallelEngine* engine,
+                                            const PipelineConfig& config) {
+  PipelineConfig replay_config = config;
+  replay_config.replay = &log;
+  return RunReallocatedStream(ledger, nullptr, engine, replay_config);
+}
+
+Status SaveReplayLog(const ReplayLog& log, const std::string& path) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(&out, log.meta.num_shards);
+  PutF64(&out, log.meta.eta);
+  PutF64(&out, log.meta.capacity_per_block);
+  PutU32(&out, log.meta.cross_shard_commit_rounds);
+  PutU32(&out, log.meta.blocks_per_epoch);
+  PutU64(&out, log.meta.ledger_blocks);
+  PutU64(&out, log.meta.ledger_transactions);
+  PutU64(&out, log.meta.ledger_fingerprint);
+  PutF64(&out, log.alloc_seconds);
+  PutF64(&out, log.alloc_wait_seconds);
+  PutF64(&out, log.alloc_overlap_ratio);
+  PutU64(&out, log.epochs);
+  PutU64(&out, log.accounts_moved);
+  PutU64(&out, log.prepares.size());
+  for (const PrepareEvent& event : log.prepares) {
+    PutU64(&out, event.block);
+    PutU32(&out, event.shard);
+    PutU64(&out, event.seq);
+  }
+  PutU64(&out, log.commits.size());
+  for (const CommitEvent& event : log.commits) {
+    PutU64(&out, event.block);
+    PutU64(&out, event.seq);
+    PutU8(&out, event.cross_shard ? 1 : 0);
+  }
+  PutU64(&out, log.installs.size());
+  for (const InstallEvent& event : log.installs) {
+    PutU64(&out, event.block);
+    PutU64(&out, event.allocation.num_accounts());
+    PutU32(&out, event.allocation.num_shards());
+    for (alloc::ShardId shard : event.allocation.raw()) PutU32(&out, shard);
+  }
+  PutU64(&out, log.steps.size());
+  for (const StepMetrics& step : log.steps) {
+    PutU64(&out, step.step);
+    PutU64(&out, step.first_block);
+    PutU64(&out, step.last_block);
+    PutU64(&out, step.submitted);
+    PutU64(&out, step.committed);
+    PutU64(&out, step.cross_shard_submitted);
+    PutF64(&out, step.throughput_per_block);
+    PutF64(&out, step.cross_shard_ratio);
+    PutF64(&out, step.alloc_seconds);
+    PutF64(&out, step.alloc_wait_seconds);
+    PutU8(&out, step.installed ? 1 : 0);
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  file.flush();
+  if (!file.good()) {
+    return Status::IOError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<ReplayLog> LoadReplayLog(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open trace '" + path + "'");
+  }
+  std::string data((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  if (data.size() < sizeof(kMagic) ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("'" + path +
+                              "' is not a TXTRACE1 replay trace");
+  }
+  const std::string body = data.substr(sizeof(kMagic));
+  Reader reader(body);
+  ReplayLog log;
+  uint8_t flag = 0;
+  bool ok = reader.ReadU32(&log.meta.num_shards) &&
+            reader.ReadF64(&log.meta.eta) &&
+            reader.ReadF64(&log.meta.capacity_per_block) &&
+            reader.ReadU32(&log.meta.cross_shard_commit_rounds) &&
+            reader.ReadU32(&log.meta.blocks_per_epoch) &&
+            reader.ReadU64(&log.meta.ledger_blocks) &&
+            reader.ReadU64(&log.meta.ledger_transactions) &&
+            reader.ReadU64(&log.meta.ledger_fingerprint) &&
+            reader.ReadF64(&log.alloc_seconds) &&
+            reader.ReadF64(&log.alloc_wait_seconds) &&
+            reader.ReadF64(&log.alloc_overlap_ratio) &&
+            reader.ReadU64(&log.epochs) &&
+            reader.ReadU64(&log.accounts_moved);
+  uint64_t count = 0;
+  ok = ok && reader.ReadU64(&count);
+  // 20 bytes per prepare: reject counts the remaining bytes cannot hold
+  // before reserving (a corrupt length cannot balloon the allocation).
+  if (ok && count > reader.remaining() / 20) ok = false;
+  if (ok) {
+    log.prepares.resize(count);
+    for (PrepareEvent& event : log.prepares) {
+      ok = ok && reader.ReadU64(&event.block) && reader.ReadU32(&event.shard) &&
+           reader.ReadU64(&event.seq);
+    }
+  }
+  ok = ok && reader.ReadU64(&count);
+  if (ok && count > reader.remaining() / 17) ok = false;
+  if (ok) {
+    log.commits.resize(count);
+    for (CommitEvent& event : log.commits) {
+      ok = ok && reader.ReadU64(&event.block) && reader.ReadU64(&event.seq) &&
+           reader.ReadU8(&flag);
+      event.cross_shard = flag != 0;
+    }
+  }
+  ok = ok && reader.ReadU64(&count);
+  if (ok && count > reader.remaining() / 20) ok = false;
+  if (ok) {
+    log.installs.resize(count);
+    for (InstallEvent& event : log.installs) {
+      uint64_t num_accounts = 0;
+      uint32_t num_shards = 0;
+      ok = ok && reader.ReadU64(&event.block) &&
+           reader.ReadU64(&num_accounts) && reader.ReadU32(&num_shards);
+      if (ok && num_accounts > reader.remaining() / 4) ok = false;
+      if (!ok) break;
+      event.allocation = alloc::Allocation(num_accounts, num_shards);
+      for (uint64_t a = 0; a < num_accounts; ++a) {
+        uint32_t shard = 0;
+        ok = ok && reader.ReadU32(&shard);
+        if (!ok) break;
+        if (shard != alloc::kUnassignedShard) {
+          if (shard >= num_shards) {
+            ok = false;
+            break;
+          }
+          event.allocation.Assign(static_cast<chain::AccountId>(a), shard);
+        }
+      }
+    }
+  }
+  ok = ok && reader.ReadU64(&count);
+  // 81 bytes per step: 6 u64 counters + 4 f64 metrics + the installed flag.
+  if (ok && count > reader.remaining() / 81) ok = false;
+  if (ok) {
+    log.steps.resize(count);
+    for (StepMetrics& step : log.steps) {
+      ok = ok && reader.ReadU64(&step.step) &&
+           reader.ReadU64(&step.first_block) &&
+           reader.ReadU64(&step.last_block) &&
+           reader.ReadU64(&step.submitted) &&
+           reader.ReadU64(&step.committed) &&
+           reader.ReadU64(&step.cross_shard_submitted) &&
+           reader.ReadF64(&step.throughput_per_block) &&
+           reader.ReadF64(&step.cross_shard_ratio) &&
+           reader.ReadF64(&step.alloc_seconds) &&
+           reader.ReadF64(&step.alloc_wait_seconds) && reader.ReadU8(&flag);
+      step.installed = flag != 0;
+    }
+  }
+  if (!ok || reader.failed() || !reader.AtEnd()) {
+    return Status::Corruption("trace '" + path +
+                              "' is truncated or corrupt");
+  }
+  return log;
+}
+
+Status DumpReplayLogCsv(const ReplayLog& log, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  file << "kind,a,b,c,d,e,f,g,h,i\n";
+  file << "meta,num_shards," << log.meta.num_shards << "\n";
+  file << "meta,eta," << log.meta.eta << "\n";
+  file << "meta,capacity_per_block," << log.meta.capacity_per_block << "\n";
+  file << "meta,cross_shard_commit_rounds,"
+       << log.meta.cross_shard_commit_rounds << "\n";
+  file << "meta,blocks_per_epoch," << log.meta.blocks_per_epoch << "\n";
+  file << "meta,ledger_blocks," << log.meta.ledger_blocks << "\n";
+  file << "meta,ledger_transactions," << log.meta.ledger_transactions << "\n";
+  file << "meta,ledger_fingerprint," << log.meta.ledger_fingerprint << "\n";
+  file << "meta,epochs," << log.epochs << "\n";
+  file << "meta,accounts_moved," << log.accounts_moved << "\n";
+  for (const StepMetrics& step : log.steps) {
+    file << "step," << step.step << ',' << step.first_block << ','
+         << step.last_block << ',' << step.submitted << ',' << step.committed
+         << ',' << step.cross_shard_submitted << ','
+         << step.throughput_per_block << ',' << step.cross_shard_ratio << ','
+         << (step.installed ? 1 : 0) << "\n";
+  }
+  for (const InstallEvent& event : log.installs) {
+    // The mapping itself is summarized (size + content hash); the binary
+    // trace is the machine-readable artifact.
+    Sha256 hasher;
+    for (alloc::ShardId shard : event.allocation.raw()) {
+      HashU64(&hasher, shard);
+    }
+    file << "install," << event.block << ','
+         << event.allocation.num_accounts() << ','
+         << event.allocation.num_shards() << ','
+         << DigestToHex(hasher.Finish()).substr(0, 16) << "\n";
+  }
+  for (const PrepareEvent& event : log.prepares) {
+    file << "prepare," << event.block << ',' << event.shard << ','
+         << event.seq << "\n";
+  }
+  for (const CommitEvent& event : log.commits) {
+    file << "commit," << event.block << ',' << event.seq << ','
+         << (event.cross_shard ? 1 : 0) << "\n";
+  }
+  file.flush();
+  if (!file.good()) {
+    return Status::IOError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace txallo::engine

@@ -1,0 +1,123 @@
+// Deterministic record/replay for the parallel engine.
+//
+// A ReplayLog is the full deterministic trace of one
+// engine::RunReallocatedStream run:
+//
+//   * the canonical per-tick, per-shard prepare order (PrepareEvent stream)
+//     and the 2PC outcome stream (CommitEvent, (block, seq)-sorted), both
+//     keyed by ingest sequence tags so they survive thread/producer-count
+//     changes;
+//   * every installed allocation snapshot with the logical block it took
+//     effect at (InstallEvent) — replay re-installs these instead of
+//     running an allocator, which is why a trace recorded under
+//     `background` replays identically under `sync` or no allocator at all;
+//   * the per-step StepMetrics series and the run's wall-clock allocation
+//     observations (alloc_seconds & co. are preserved verbatim on replay:
+//     wall time is not reproducible, the logical schedule is);
+//   * workload/config fingerprints (shard count, work model, ledger hash)
+//     so a replay against the wrong input fails loudly instead of
+//     diverging quietly.
+//
+// Record with PipelineConfig::record, replay with PipelineConfig::replay
+// (or ReplayRecordedStream below). Serialization: a compact little-endian
+// binary format (Save/LoadReplayLog) for fixtures and bug reports, plus a
+// one-way CSV dump (DumpReplayLogCsv) for eyeballing a trace in a
+// spreadsheet. `bench/timeline_series --record/--replay` and
+// `examples/replay_debug` drive both ends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "txallo/alloc/allocation.h"
+#include "txallo/chain/ledger.h"
+#include "txallo/common/status.h"
+#include "txallo/engine/engine.h"
+#include "txallo/engine/pipeline.h"
+
+namespace txallo::engine {
+
+/// An allocation snapshot publication: `allocation` took effect once the
+/// engine's logical clock reached `block` (before the next block's ingest).
+struct InstallEvent {
+  uint64_t block = 0;
+  alloc::Allocation allocation;
+  bool operator==(const InstallEvent&) const = default;
+};
+
+/// The recorded trace of one pipelined engine run. Plain data — build one
+/// by passing it as PipelineConfig::record.
+class ReplayLog {
+ public:
+  struct Meta {
+    uint32_t num_shards = 0;
+    /// Work-model fingerprint (must match the replaying engine's exactly).
+    double eta = 0.0;
+    double capacity_per_block = 0.0;
+    uint32_t cross_shard_commit_rounds = 0;
+    /// Epoch cadence of the recorded run; replay re-uses it.
+    uint32_t blocks_per_epoch = 0;
+    /// Input-stream fingerprint (FingerprintLedger).
+    uint64_t ledger_blocks = 0;
+    uint64_t ledger_transactions = 0;
+    uint64_t ledger_fingerprint = 0;
+    bool operator==(const Meta&) const = default;
+  };
+
+  Meta meta;
+  /// Canonical (block, shard, lane-position) prepare stream.
+  std::vector<PrepareEvent> prepares;
+  /// Canonical (block, seq) commit stream.
+  std::vector<CommitEvent> commits;
+  /// Installed snapshots in block order (the first is the initial mapping).
+  std::vector<InstallEvent> installs;
+  /// Per-step series, including the trailing drain step when one occurred.
+  std::vector<StepMetrics> steps;
+
+  // Wall-clock observations of the recorded run (preserved, not
+  // re-measured, on replay).
+  double alloc_seconds = 0.0;
+  double alloc_wait_seconds = 0.0;
+  double alloc_overlap_ratio = 0.0;
+  uint64_t epochs = 0;
+  uint64_t accounts_moved = 0;
+};
+
+/// Order- and content-sensitive hash of a ledger's transaction stream
+/// (SHA-256 over block/account structure, truncated to 64 bits). Two
+/// ledgers with the same fingerprint replay a trace identically.
+uint64_t FingerprintLedger(const chain::Ledger& ledger);
+
+/// First difference between two logs' *deterministic* content — meta,
+/// prepare/commit/install streams, steps' logical fields and
+/// accounts_moved — or "" when bit-identical. Wall-clock fields
+/// (alloc_seconds & co.) are not compared.
+std::string DescribeTraceDivergence(const ReplayLog& recorded,
+                                    const ReplayLog& replayed);
+
+/// Re-executes `log` on `engine` against `ledger`: same windows, recorded
+/// installs at their recorded blocks, no allocator. `config` contributes
+/// the execution shape only (ingest_producers; blocks_per_epoch /
+/// allocator_mode / replay are ignored, record is honoured). The engine
+/// must be fresh and configured compatibly (shard count, work model,
+/// hash_route_unassigned). Returns the re-executed run's PipelineResult;
+/// fails with Internal if any deterministic field diverged from the log.
+Result<PipelineResult> ReplayRecordedStream(const chain::Ledger& ledger,
+                                            const ReplayLog& log,
+                                            ParallelEngine* engine,
+                                            const PipelineConfig& config);
+
+/// Writes `log` in the compact binary trace format (magic "TXTRACE1",
+/// fixed-width little-endian fields).
+Status SaveReplayLog(const ReplayLog& log, const std::string& path);
+
+/// Reads a trace written by SaveReplayLog. Corruption and version drift
+/// surface as Corruption errors.
+Result<ReplayLog> LoadReplayLog(const std::string& path);
+
+/// One-way human-readable dump: one CSV row per meta field / install /
+/// step / prepare / commit, tagged by a leading `kind` column.
+Status DumpReplayLogCsv(const ReplayLog& log, const std::string& path);
+
+}  // namespace txallo::engine

@@ -6,10 +6,10 @@ namespace txallo::engine {
 
 uint64_t TwoPhaseCoordinator::Register(uint64_t arrival_block,
                                        uint32_t participants,
-                                       bool cross_shard) {
+                                       bool cross_shard, uint64_t seq) {
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t tx_index = txs_.size();
-  txs_.push_back(TxEntry{arrival_block, participants, cross_shard});
+  txs_.push_back(TxEntry{arrival_block, seq, participants, cross_shard});
   ++stats_.submitted;
   if (cross_shard) ++stats_.cross_shard_submitted;
   ++stats_.in_flight;
@@ -25,6 +25,29 @@ void TwoPhaseCoordinator::CommitLocked(uint64_t tx_index,
       static_cast<double>(commit_block - tx.arrival_block);
   stats_.latency_sum_blocks += latency;
   stats_.latency_max_blocks = std::max(stats_.latency_max_blocks, latency);
+  if (record_events_) {
+    events_.push_back(CommitEvent{commit_block, tx.seq, tx.cross_shard});
+  }
+}
+
+void TwoPhaseCoordinator::EnableEventRecording() {
+  std::lock_guard<std::mutex> lock(mu_);
+  record_events_ = true;
+}
+
+std::vector<CommitEvent> TwoPhaseCoordinator::CanonicalCommitEvents() const {
+  std::vector<CommitEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+  }
+  // Decisions of one block land in PartPrepared/FlushDelayed interleaving
+  // order; the sequence tag is the canonical tiebreak.
+  std::sort(events.begin(), events.end(),
+            [](const CommitEvent& a, const CommitEvent& b) {
+              return a.block != b.block ? a.block < b.block : a.seq < b.seq;
+            });
+  return events;
 }
 
 void TwoPhaseCoordinator::PartPrepared(uint64_t tx_index, uint64_t block) {

@@ -23,6 +23,20 @@
 
 namespace txallo::engine {
 
+/// One commit decision, keyed by the transaction's ingest sequence tag (the
+/// stable identity that survives producer-count changes; the runtime
+/// tx_index handle does not). Recorded by the coordinator when event
+/// recording is on — the "2PC outcome stream" of a replay trace
+/// (engine/replay.h).
+struct CommitEvent {
+  /// Block at which the commit decision landed.
+  uint64_t block = 0;
+  /// Ingest sequence tag of the committed transaction.
+  uint64_t seq = 0;
+  bool cross_shard = false;
+  bool operator==(const CommitEvent&) const = default;
+};
+
 /// Aggregate commit-protocol counters (a superset of what SimReport needs).
 struct CommitStats {
   uint64_t submitted = 0;
@@ -44,10 +58,20 @@ class TwoPhaseCoordinator {
   explicit TwoPhaseCoordinator(sim::WorkModel model) : model_(model) {}
 
   /// Registers a transaction entering execution at `arrival_block` with
-  /// `participants` distinct shards. Returns its transaction index (the
-  /// handle shard workers vote with).
+  /// `participants` distinct shards. `seq` is the transaction's ingest
+  /// sequence tag, carried into recorded CommitEvents. Returns its
+  /// transaction index (the handle shard workers vote with).
   uint64_t Register(uint64_t arrival_block, uint32_t participants,
-                    bool cross_shard);
+                    bool cross_shard, uint64_t seq);
+
+  /// Starts recording one CommitEvent per commit decision. Driver-side,
+  /// before any registration.
+  void EnableEventRecording();
+
+  /// The recorded commit stream in canonical order: (block, seq) ascending
+  /// — registration and voting interleavings across producer/worker threads
+  /// do not change it. Driver-side, workers quiesced.
+  std::vector<CommitEvent> CanonicalCommitEvents() const;
 
   /// One participant's PREPARED vote, cast at block `block`. When it is the
   /// last vote: an intra-shard transaction commits at `block`; a cross-shard
@@ -66,6 +90,7 @@ class TwoPhaseCoordinator {
  private:
   struct TxEntry {
     uint64_t arrival_block;
+    uint64_t seq;
     uint32_t parts_remaining;
     bool cross_shard;
   };
@@ -80,6 +105,8 @@ class TwoPhaseCoordinator {
   // non-decreasing front to back and flushing pops from the front.
   std::deque<std::pair<uint64_t, uint64_t>> delayed_;
   CommitStats stats_;
+  bool record_events_ = false;
+  std::vector<CommitEvent> events_;
 };
 
 }  // namespace txallo::engine

@@ -1,0 +1,117 @@
+// Regression: the StepMetrics series must account for every committed
+// transaction. Two historical gaps: a blocks_per_epoch larger than the
+// stream collapsed the run into one short window whose trailing commits
+// (cross-shard commit rounds, residual λ backlog) landed during the final
+// drain and belonged to no step; and even epoch-aligned runs dropped the
+// drain-tail commits. The pipeline now emits a final partial step covering
+// the drain, so sum(step.committed) == report.sim.committed always.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "txallo/allocator/registry.h"
+#include "txallo/engine/engine.h"
+#include "txallo/engine/pipeline.h"
+#include "txallo/workload/ethereum_like.h"
+
+namespace txallo {
+namespace {
+
+chain::Ledger SmallLedger(uint64_t blocks, uint64_t seed = 7) {
+  workload::EthereumLikeConfig config;
+  config.num_blocks = blocks;
+  config.txs_per_block = 20;
+  config.num_accounts = 300;
+  config.num_communities = 8;
+  config.seed = seed;
+  workload::EthereumLikeGenerator generator(config);
+  return generator.GenerateLedger(blocks);
+}
+
+Result<engine::PipelineResult> RunPipeline(const chain::Ledger& ledger,
+                                   uint32_t blocks_per_epoch,
+                                   double capacity) {
+  const uint32_t k = 4;
+  allocator::AllocatorOptions options;
+  options.params = alloc::AllocationParams::ForExperiment(
+      ledger.num_transactions(), k, 2.0);
+  auto made = allocator::MakeAllocatorFromSpec("hash", options);
+  if (!made.ok()) return made.status();
+  engine::EngineConfig config;
+  config.num_shards = k;
+  config.work.capacity_per_block = capacity;
+  config.hash_route_unassigned = true;
+  engine::ParallelEngine engine(config, nullptr);
+  engine::PipelineConfig pipeline;
+  pipeline.blocks_per_epoch = blocks_per_epoch;
+  return engine::RunReallocatedStream(ledger, (*made)->AsOnline(), &engine,
+                                      pipeline);
+}
+
+uint64_t SumCommitted(const engine::PipelineResult& result) {
+  uint64_t sum = 0;
+  for (const engine::StepMetrics& step : result.steps) sum += step.committed;
+  return sum;
+}
+
+TEST(PipelinePartialStepTest, OversizedEpochEmitsOnePartialWindowPlusDrain) {
+  const chain::Ledger ledger = SmallLedger(10);
+  auto result = RunPipeline(ledger, /*blocks_per_epoch=*/100, /*capacity=*/50.0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The whole ledger is one partial window; nothing is silently dropped.
+  ASSERT_GE(result->steps.size(), 1u);
+  EXPECT_EQ(result->steps[0].first_block, 0u);
+  EXPECT_EQ(result->steps[0].last_block, 10u);
+  EXPECT_EQ(result->steps[0].submitted, ledger.num_transactions());
+  EXPECT_EQ(result->epochs, 0u);  // No boundary inside a single window.
+  EXPECT_EQ(SumCommitted(*result), result->report.sim.committed);
+  EXPECT_EQ(result->report.sim.committed, ledger.num_transactions());
+}
+
+TEST(PipelinePartialStepTest, DrainTailStepCapturesCommitRoundSpill) {
+  // Ample capacity: every part executes within its block, but cross-shard
+  // commit rounds still land one block after the stream ends.
+  const chain::Ledger ledger = SmallLedger(12);
+  auto result = RunPipeline(ledger, /*blocks_per_epoch=*/4, /*capacity=*/10'000.0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GE(result->steps.size(), 3u);
+  EXPECT_EQ(SumCommitted(*result), result->report.sim.committed);
+  const engine::StepMetrics& tail = result->steps.back();
+  if (result->steps.size() > 3) {
+    // The drain step: commits only, no ingest, no install, and its block
+    // range starts exactly where the ledger ended.
+    EXPECT_EQ(tail.first_block, 12u);
+    EXPECT_EQ(tail.last_block, result->report.sim.blocks_elapsed);
+    EXPECT_EQ(tail.submitted, 0u);
+    EXPECT_GT(tail.committed, 0u);
+    EXPECT_FALSE(tail.installed);
+    EXPECT_DOUBLE_EQ(tail.alloc_seconds, 0.0);
+  }
+}
+
+TEST(PipelinePartialStepTest, TightCapacityBacklogDrainsIntoTailStep) {
+  // λ far below the offered load: most commits land after the stream, in
+  // the drain. They must all be accounted to the tail step.
+  const chain::Ledger ledger = SmallLedger(8, /*seed=*/19);
+  auto result = RunPipeline(ledger, /*blocks_per_epoch=*/8, /*capacity=*/3.0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->steps.size(), 2u);  // One ledger window + the drain.
+  EXPECT_EQ(result->report.sim.committed, ledger.num_transactions());
+  EXPECT_EQ(SumCommitted(*result), result->report.sim.committed);
+  EXPECT_GT(result->steps[1].committed, result->steps[0].committed)
+      << "the backlog should dominate under capacity 3.0";
+  EXPECT_GT(result->steps[1].last_block, result->steps[1].first_block);
+  EXPECT_GT(result->steps[1].throughput_per_block, 0.0);
+}
+
+TEST(PipelinePartialStepTest, EmptyLedgerYieldsEmptySeries) {
+  auto result = RunPipeline(chain::Ledger(), /*blocks_per_epoch=*/10,
+                    /*capacity=*/100.0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->steps.empty());
+  EXPECT_EQ(result->report.sim.committed, 0u);
+}
+
+}  // namespace
+}  // namespace txallo

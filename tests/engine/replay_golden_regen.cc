@@ -1,0 +1,33 @@
+// Regenerates the committed golden trace fixture. Not a test — the
+// `regen-golden-trace` CMake target runs it with the testdata path after
+// an intentional behaviour change:
+//
+//   cmake --build build --target regen-golden-trace
+//
+// Review the resulting fixture diff like any other golden update.
+#include <cstdio>
+
+#include "golden_trace_fixture.h"
+#include "txallo/engine/replay.h"
+
+int main(int argc, char** argv) {
+  using namespace txallo;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-trace-path>\n", argv[0]);
+    return 2;
+  }
+  auto log = testing::RecordGoldenTrace();
+  if (!log.ok()) {
+    std::fprintf(stderr, "recording the golden scenario failed: %s\n",
+                 log.status().ToString().c_str());
+    return 1;
+  }
+  if (Status saved = engine::SaveReplayLog(*log, argv[1]); !saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu prepares, %zu commits, %zu installs, %zu steps\n",
+              argv[1], log->prepares.size(), log->commits.size(),
+              log->installs.size(), log->steps.size());
+  return 0;
+}

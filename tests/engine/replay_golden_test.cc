@@ -1,0 +1,113 @@
+// Golden-trace replay: the determinism acceptance bar of the record/replay
+// subsystem. A 3-epoch background-mode run is recorded once and must
+// replay bit-identically — prepare order, 2PC outcome stream, per-step
+// metrics series, alloc_overlap_ratio — under every thread count and
+// ingest fan-out, and the committed fixture in testdata/ pins today's
+// canonical execution against silent behaviour drift (regenerate it
+// deliberately with the `regen-golden-trace` target).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "golden_trace_fixture.h"
+#include "txallo/engine/replay.h"
+#include "txallo/workload/ethereum_like.h"
+
+#ifndef TXALLO_TESTDATA_DIR
+#error "TXALLO_TESTDATA_DIR must point at tests/engine/testdata"
+#endif
+
+namespace txallo {
+namespace {
+
+chain::Ledger GoldenLedger() {
+  workload::EthereumLikeGenerator generator(testing::GoldenWorkloadConfig());
+  return generator.GenerateLedger(testing::kGoldenBlocks);
+}
+
+Result<engine::PipelineResult> Replay(const chain::Ledger& ledger,
+                                      const engine::ReplayLog& log,
+                                      uint32_t threads, uint32_t producers,
+                                      engine::ReplayLog* rerecord = nullptr) {
+  engine::ParallelEngine engine(testing::GoldenEngineConfig(threads),
+                                nullptr);
+  engine::PipelineConfig pipeline;
+  pipeline.ingest_producers = producers;
+  pipeline.record = rerecord;
+  return engine::ReplayRecordedStream(ledger, log, &engine, pipeline);
+}
+
+TEST(ReplayGoldenTest, FreshRecordingReplaysAcrossThreadsAndProducers) {
+  const chain::Ledger ledger = GoldenLedger();
+  auto recorded = testing::RecordGoldenTrace();
+  ASSERT_TRUE(recorded.ok()) << recorded.status().ToString();
+  ASSERT_EQ(recorded->epochs, 3u);  // The 3-epoch run the fixture pins.
+  ASSERT_GE(recorded->installs.size(), 2u);
+  ASSERT_FALSE(recorded->prepares.empty());
+
+  for (const uint32_t threads : {1u, 2u, 8u}) {
+    for (const uint32_t producers : {1u, 4u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " producers=" + std::to_string(producers));
+      engine::ReplayLog rerecorded;
+      auto replayed =
+          Replay(ledger, *recorded, threads, producers, &rerecorded);
+      // ReplayRecordedStream verifies bit-identity internally; ok() IS the
+      // assertion. The explicit re-compare below documents what that
+      // means: the prepare stream, 2PC outcomes and step series are equal
+      // event for event.
+      ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+      EXPECT_EQ(engine::DescribeTraceDivergence(*recorded, rerecorded), "");
+      ASSERT_EQ(replayed->steps.size(), recorded->steps.size());
+      for (size_t i = 0; i < recorded->steps.size(); ++i) {
+        EXPECT_EQ(replayed->steps[i], recorded->steps[i])
+            << "step " << i << " diverged";
+      }
+      // Wall-clock observations are preserved verbatim, so even the
+      // overlap ratio is bit-identical across replays.
+      EXPECT_EQ(replayed->alloc_overlap_ratio,
+                recorded->alloc_overlap_ratio);
+      EXPECT_EQ(replayed->alloc_seconds, recorded->alloc_seconds);
+      EXPECT_EQ(replayed->accounts_moved, recorded->accounts_moved);
+      EXPECT_EQ(replayed->epochs, recorded->epochs);
+    }
+  }
+}
+
+TEST(ReplayGoldenTest, CommittedFixtureReplaysBitIdentically) {
+  const std::string path =
+      std::string(TXALLO_TESTDATA_DIR) + "/" + testing::kGoldenTraceFile;
+  auto fixture = engine::LoadReplayLog(path);
+  ASSERT_TRUE(fixture.ok())
+      << fixture.status().ToString()
+      << " — regenerate with: cmake --build <build> --target "
+         "regen-golden-trace";
+  const chain::Ledger ledger = GoldenLedger();
+  ASSERT_EQ(fixture->meta.ledger_fingerprint,
+            engine::FingerprintLedger(ledger))
+      << "the golden workload drifted; the fixture no longer matches";
+  for (const uint32_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto replayed = Replay(ledger, *fixture, threads, /*producers=*/2);
+    ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  }
+}
+
+TEST(ReplayGoldenTest, CommittedFixtureMatchesFreshRecording) {
+  // The strongest drift guard: recording the golden scenario today must
+  // produce byte-for-byte the deterministic content committed in the
+  // fixture — engine execution, ingest order, allocator output and install
+  // schedule all pinned at once.
+  const std::string path =
+      std::string(TXALLO_TESTDATA_DIR) + "/" + testing::kGoldenTraceFile;
+  auto fixture = engine::LoadReplayLog(path);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  auto fresh = testing::RecordGoldenTrace();
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(engine::DescribeTraceDivergence(*fixture, *fresh), "")
+      << "intentional change? regenerate via the regen-golden-trace target "
+         "and review the fixture diff";
+}
+
+}  // namespace
+}  // namespace txallo

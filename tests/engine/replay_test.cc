@@ -1,0 +1,227 @@
+// ReplayLog plumbing: binary round-trip fidelity, corruption rejection,
+// CSV dump shape, ledger fingerprinting, and the replay-mode input guards
+// (wrong engine config / wrong workload / stale engine).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "txallo/allocator/registry.h"
+#include "txallo/engine/engine.h"
+#include "txallo/engine/pipeline.h"
+#include "txallo/engine/replay.h"
+#include "txallo/workload/ethereum_like.h"
+
+namespace txallo {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+chain::Ledger MakeLedger(uint64_t blocks = 16, uint64_t seed = 5) {
+  workload::EthereumLikeConfig config;
+  config.num_blocks = blocks;
+  config.txs_per_block = 25;
+  config.num_accounts = 400;
+  config.num_communities = 8;
+  config.seed = seed;
+  workload::EthereumLikeGenerator generator(config);
+  return generator.GenerateLedger(blocks);
+}
+
+engine::EngineConfig SmallEngineConfig() {
+  engine::EngineConfig config;
+  config.num_shards = 4;
+  config.work.capacity_per_block = 8.0;
+  config.hash_route_unassigned = true;
+  return config;
+}
+
+engine::ReplayLog RecordSmallRun(const chain::Ledger& ledger) {
+  allocator::AllocatorOptions options;
+  options.params = alloc::AllocationParams::ForExperiment(
+      ledger.num_transactions(), 4, 2.0);
+  auto made = allocator::MakeAllocatorFromSpec("metis", options);
+  EXPECT_TRUE(made.ok());
+  engine::ParallelEngine engine(SmallEngineConfig(), nullptr);
+  engine::ReplayLog log;
+  engine::PipelineConfig pipeline;
+  pipeline.blocks_per_epoch = 4;
+  pipeline.record = &log;
+  auto result = engine::RunReallocatedStream(ledger, (*made)->AsOnline(),
+                                             &engine, pipeline);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return log;
+}
+
+TEST(ReplayLogTest, BinaryRoundTripIsLossless) {
+  const chain::Ledger ledger = MakeLedger();
+  const engine::ReplayLog log = RecordSmallRun(ledger);
+  ASSERT_FALSE(log.prepares.empty());
+  ASSERT_FALSE(log.installs.empty());
+  const std::string path = TempPath("roundtrip.trace");
+  ASSERT_TRUE(engine::SaveReplayLog(log, path).ok());
+  auto loaded = engine::LoadReplayLog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(engine::DescribeTraceDivergence(log, *loaded), "");
+  // Wall-clock fields round-trip exactly too (f64 bit patterns).
+  EXPECT_EQ(loaded->alloc_seconds, log.alloc_seconds);
+  EXPECT_EQ(loaded->alloc_wait_seconds, log.alloc_wait_seconds);
+  EXPECT_EQ(loaded->alloc_overlap_ratio, log.alloc_overlap_ratio);
+  EXPECT_EQ(loaded->epochs, log.epochs);
+  ASSERT_EQ(loaded->steps.size(), log.steps.size());
+  for (size_t i = 0; i < log.steps.size(); ++i) {
+    EXPECT_EQ(loaded->steps[i], log.steps[i]) << "step " << i;
+  }
+  // And the loaded trace actually replays.
+  engine::ParallelEngine engine(SmallEngineConfig(), nullptr);
+  auto replayed = engine::ReplayRecordedStream(ledger, *loaded, &engine,
+                                               engine::PipelineConfig{});
+  EXPECT_TRUE(replayed.ok()) << replayed.status().ToString();
+}
+
+TEST(ReplayLogTest, RejectsMissingGarbageAndTruncatedFiles) {
+  EXPECT_EQ(engine::LoadReplayLog(TempPath("nonexistent.trace"))
+                .status()
+                .code(),
+            StatusCode::kIOError);
+
+  const std::string garbage_path = TempPath("garbage.trace");
+  {
+    std::ofstream file(garbage_path, std::ios::binary);
+    file << "definitely not a trace";
+  }
+  EXPECT_EQ(engine::LoadReplayLog(garbage_path).status().code(),
+            StatusCode::kCorruption);
+
+  // A valid trace cut short anywhere must be rejected, not misparsed.
+  const engine::ReplayLog log = RecordSmallRun(MakeLedger());
+  const std::string full_path = TempPath("full.trace");
+  ASSERT_TRUE(engine::SaveReplayLog(log, full_path).ok());
+  std::ifstream full(full_path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(full)),
+                    std::istreambuf_iterator<char>());
+  const std::string truncated_path = TempPath("truncated.trace");
+  for (const size_t keep :
+       {bytes.size() / 4, bytes.size() / 2, bytes.size() - 1}) {
+    std::ofstream out(truncated_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_EQ(engine::LoadReplayLog(truncated_path).status().code(),
+              StatusCode::kCorruption)
+        << "kept " << keep << " of " << bytes.size() << " bytes";
+  }
+  // Trailing junk is corruption too (the format is self-delimiting).
+  std::ofstream out(truncated_path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out << "junk";
+  out.close();
+  EXPECT_EQ(engine::LoadReplayLog(truncated_path).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ReplayLogTest, CsvDumpContainsEverySection) {
+  const engine::ReplayLog log = RecordSmallRun(MakeLedger());
+  const std::string path = TempPath("dump.csv");
+  ASSERT_TRUE(engine::DumpReplayLogCsv(log, path).ok());
+  std::ifstream file(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(file, line));
+  EXPECT_EQ(line.rfind("kind,", 0), 0u);
+  size_t metas = 0, steps = 0, installs = 0, prepares = 0, commits = 0;
+  while (std::getline(file, line)) {
+    if (line.rfind("meta,", 0) == 0) ++metas;
+    if (line.rfind("step,", 0) == 0) ++steps;
+    if (line.rfind("install,", 0) == 0) ++installs;
+    if (line.rfind("prepare,", 0) == 0) ++prepares;
+    if (line.rfind("commit,", 0) == 0) ++commits;
+  }
+  EXPECT_GE(metas, 8u);
+  EXPECT_EQ(steps, log.steps.size());
+  EXPECT_EQ(installs, log.installs.size());
+  EXPECT_EQ(prepares, log.prepares.size());
+  EXPECT_EQ(commits, log.commits.size());
+}
+
+TEST(ReplayLogTest, FingerprintTracksLedgerContentAndOrder) {
+  const chain::Ledger a = MakeLedger(8, /*seed=*/5);
+  const chain::Ledger b = MakeLedger(8, /*seed=*/5);
+  const chain::Ledger c = MakeLedger(8, /*seed=*/6);
+  EXPECT_EQ(engine::FingerprintLedger(a), engine::FingerprintLedger(b));
+  EXPECT_NE(engine::FingerprintLedger(a), engine::FingerprintLedger(c));
+  EXPECT_NE(engine::FingerprintLedger(a),
+            engine::FingerprintLedger(chain::Ledger()));
+}
+
+TEST(ReplayLogTest, ReplayGuardsRejectWrongConfigWorkloadAndStaleEngine) {
+  const chain::Ledger ledger = MakeLedger();
+  const engine::ReplayLog log = RecordSmallRun(ledger);
+
+  {
+    // Wrong work model.
+    engine::EngineConfig config = SmallEngineConfig();
+    config.work.capacity_per_block += 1.0;
+    engine::ParallelEngine engine(config, nullptr);
+    auto replayed = engine::ReplayRecordedStream(ledger, log, &engine,
+                                                 engine::PipelineConfig{});
+    EXPECT_EQ(replayed.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Wrong workload.
+    engine::ParallelEngine engine(SmallEngineConfig(), nullptr);
+    auto replayed = engine::ReplayRecordedStream(
+        MakeLedger(16, /*seed=*/99), log, &engine, engine::PipelineConfig{});
+    EXPECT_EQ(replayed.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Stale engine (already ticked): the trace covers block 0 onward.
+    engine::ParallelEngine engine(SmallEngineConfig(), nullptr);
+    engine.Tick();
+    auto replayed = engine::ReplayRecordedStream(ledger, log, &engine,
+                                                 engine::PipelineConfig{});
+    EXPECT_EQ(replayed.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Pre-installed snapshot: the trace's install stream provides the
+    // initial mapping, so replay refuses rather than skewing
+    // accounts_moved.
+    auto preinstalled = std::make_shared<alloc::Allocation>(400, 4u);
+    for (size_t a = 0; a < 400; ++a) {
+      preinstalled->Assign(static_cast<chain::AccountId>(a),
+                           static_cast<alloc::ShardId>(a % 4));
+    }
+    engine::ParallelEngine engine(SmallEngineConfig(), preinstalled);
+    auto replayed = engine::ReplayRecordedStream(ledger, log, &engine,
+                                                 engine::PipelineConfig{});
+    EXPECT_EQ(replayed.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Pre-submitted traffic (no tick yet, so the block clock alone cannot
+    // tell): recording such an engine would leave phantom events.
+    auto preinstalled = std::make_shared<alloc::Allocation>(400, 4u);
+    for (size_t a = 0; a < 400; ++a) {
+      preinstalled->Assign(static_cast<chain::AccountId>(a),
+                           static_cast<alloc::ShardId>(a % 4));
+    }
+    engine::ParallelEngine engine(SmallEngineConfig(), preinstalled);
+    ASSERT_TRUE(
+        engine.SubmitBlock(ledger.blocks()[0].transactions()).ok());
+    allocator::AllocatorOptions options;
+    options.params = alloc::AllocationParams::ForExperiment(
+        ledger.num_transactions(), 4, 2.0);
+    auto made = allocator::MakeAllocatorFromSpec("hash", options);
+    ASSERT_TRUE(made.ok());
+    engine::ReplayLog record;
+    engine::PipelineConfig pipeline;
+    pipeline.blocks_per_epoch = 4;
+    pipeline.record = &record;
+    auto recorded = engine::RunReallocatedStream(ledger, (*made)->AsOnline(),
+                                                 &engine, pipeline);
+    EXPECT_EQ(recorded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace txallo

@@ -17,7 +17,7 @@ sim::WorkModel Model(uint32_t commit_rounds) {
 TEST(TwoPhaseTest, IntraShardCommitsAtLastPrepare) {
   TwoPhaseCoordinator c(Model(1));
   const uint64_t tx = c.Register(/*arrival_block=*/0, /*participants=*/1,
-                                 /*cross_shard=*/false);
+                                 /*cross_shard=*/false, /*seq=*/0);
   c.PartPrepared(tx, /*block=*/3);
   const CommitStats stats = c.stats();
   EXPECT_EQ(stats.committed, 1u);
@@ -29,7 +29,8 @@ TEST(TwoPhaseTest, IntraShardCommitsAtLastPrepare) {
 
 TEST(TwoPhaseTest, CrossShardWaitsForAllVotesThenPaysExtraRound) {
   TwoPhaseCoordinator c(Model(2));
-  const uint64_t tx = c.Register(0, /*participants=*/3, /*cross_shard=*/true);
+  const uint64_t tx =
+      c.Register(0, /*participants=*/3, /*cross_shard=*/true, /*seq=*/0);
   c.PartPrepared(tx, 1);
   c.PartPrepared(tx, 1);
   EXPECT_EQ(c.stats().committed, 0u);
@@ -53,7 +54,7 @@ TEST(TwoPhaseTest, CrossShardWaitsForAllVotesThenPaysExtraRound) {
 
 TEST(TwoPhaseTest, ZeroCommitRoundsCommitsCrossShardImmediately) {
   TwoPhaseCoordinator c(Model(0));
-  const uint64_t tx = c.Register(1, 2, /*cross_shard=*/true);
+  const uint64_t tx = c.Register(1, 2, /*cross_shard=*/true, /*seq=*/0);
   c.PartPrepared(tx, 2);
   c.PartPrepared(tx, 3);
   const CommitStats stats = c.stats();
@@ -65,11 +66,39 @@ TEST(TwoPhaseTest, MatchesSerialSimulatorLatencyConvention) {
   // Commit-at-flush semantics: a delayed commit flushed at `now` is charged
   // now - arrival, exactly like ShardSimulator's delayed_commits_ path.
   TwoPhaseCoordinator c(Model(1));
-  const uint64_t tx = c.Register(2, 2, true);
+  const uint64_t tx = c.Register(2, 2, true, /*seq=*/0);
   c.PartPrepared(tx, 5);
   c.PartPrepared(tx, 5);
   c.FlushDelayed(6);
   EXPECT_DOUBLE_EQ(c.stats().latency_sum_blocks, 4.0);  // 6 - 2.
+}
+
+TEST(TwoPhaseTest, CanonicalCommitEventsSortedByBlockThenSeq) {
+  // Voting interleaving must not show in the recorded outcome stream:
+  // register/vote in scrambled seq order, expect (block, seq) canonical
+  // order out.
+  TwoPhaseCoordinator c(Model(1));
+  c.EnableEventRecording();
+  const uint64_t a = c.Register(0, 1, false, /*seq=*/7);
+  const uint64_t b = c.Register(0, 1, false, /*seq=*/3);
+  const uint64_t x = c.Register(0, 2, true, /*seq=*/5);
+  c.PartPrepared(a, 1);
+  c.PartPrepared(b, 1);
+  c.PartPrepared(x, 1);
+  c.PartPrepared(x, 1);  // Cross: decision lands at block 2.
+  c.FlushDelayed(2);
+  const std::vector<CommitEvent> events = c.CanonicalCommitEvents();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], (CommitEvent{1, 3, false}));
+  EXPECT_EQ(events[1], (CommitEvent{1, 7, false}));
+  EXPECT_EQ(events[2], (CommitEvent{2, 5, true}));
+}
+
+TEST(TwoPhaseTest, EventRecordingOffByDefault) {
+  TwoPhaseCoordinator c(Model(1));
+  const uint64_t tx = c.Register(0, 1, false, 0);
+  c.PartPrepared(tx, 1);
+  EXPECT_TRUE(c.CanonicalCommitEvents().empty());
 }
 
 TEST(TwoPhaseTest, ConcurrentVotesFromManyWorkers) {
@@ -81,7 +110,7 @@ TEST(TwoPhaseTest, ConcurrentVotesFromManyWorkers) {
   std::vector<uint64_t> txs;
   txs.reserve(kTxPerThread);
   for (int i = 0; i < kTxPerThread; ++i) {
-    txs.push_back(c.Register(0, kThreads, true));
+    txs.push_back(c.Register(0, kThreads, true, static_cast<uint64_t>(i)));
   }
   std::vector<std::thread> workers;
   for (int t = 0; t < kThreads; ++t) {
