@@ -1,0 +1,44 @@
+# The single home of every compiler-warning decision in the build. All
+# first-party targets consume the `txallo::warnings` interface target (via
+# target_link_libraries) rather than mutating global flags, so third-party
+# code (FetchContent'd googletest) stays warning-exempt and no per-preset
+# CMakeLists repeats a flag list.
+#
+# Layers:
+#   * Base: -Wall -Wextra -Wshadow -Werror everywhere (MSVC: /W4 /WX).
+#   * Clang only: -Wthread-safety — the static lock-discipline analysis the
+#     annotated primitives in src/txallo/common/sync.h exist for. A Clang
+#     build is the compile-time concurrency gate (CI job: static-analysis);
+#     GCC compiles the annotation macros to nothing.
+#   * Per-directory strict tier: txallo_strict_conversion_sources() adds
+#     -Wconversion to the trace-affecting subsystems (engine/, allocator/)
+#     where a silent narrowing could change committed counts or sequence
+#     tags. Triage outcome: both directories compile clean, so the flag is
+#     unconditional there; widen the list as more subsystems are triaged.
+
+add_library(txallo_warnings INTERFACE)
+add_library(txallo::warnings ALIAS txallo_warnings)
+
+target_compile_options(txallo_warnings INTERFACE
+  $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall -Wextra -Wshadow -Werror>
+  $<$<CXX_COMPILER_ID:MSVC>:/W4 /WX>
+  # Compile-time lock-discipline checking of the annotated sync layer
+  # (common/sync.h). Clang-only: GCC has no equivalent analysis.
+  $<$<CXX_COMPILER_ID:Clang,AppleClang>:-Wthread-safety>
+  # Two GCC warnings fire spuriously inside inlined libstdc++ internals when
+  # optimizing: -Wmaybe-uninitialized on std::variant<T, Status> (GCC bug
+  # 105562) and -Wfree-nonheap-object on std::vector destructors at -O3
+  # (GCC bug 104475). The code is ASan/UBSan-clean; keep both off rather
+  # than peppering the sources with pragmas.
+  $<$<CXX_COMPILER_ID:GNU>:-Wno-maybe-uninitialized -Wno-free-nonheap-object>)
+
+# Adds -Wconversion to the given source files (paths relative to the calling
+# CMakeLists). Source-scoped rather than a second interface target because
+# the strict tier is a subset of one library target (txallo), and CMake
+# cannot vary INTERFACE options per object within a target.
+function(txallo_strict_conversion_sources)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang|AppleClang")
+    set_property(SOURCE ${ARGV}
+      APPEND PROPERTY COMPILE_OPTIONS -Wconversion)
+  endif()
+endfunction()

@@ -1,0 +1,140 @@
+// Annotated synchronization primitives: the ONLY place in src/txallo/ that
+// may touch <mutex>/<condition_variable> directly (the determinism lint's
+// `raw-sync` rule enforces this; see tools/lint/determinism_lint.py).
+//
+// Why wrappers instead of std types: Clang's thread-safety analysis
+// (-Wthread-safety) proves lock discipline at compile time — every access
+// to a TXALLO_GUARDED_BY(mu) member must happen with `mu` held, functions
+// declare the locks they TXALLO_REQUIRES, and RAII scopes are checked for
+// balance. libstdc++'s std::mutex carries none of the capability
+// attributes, so the analysis is silent on raw std primitives; these
+// wrappers are a zero-cost (plain inline forwarding) veneer that makes the
+// whole engine's locking statically checkable. On non-Clang compilers the
+// attribute macros expand to nothing and the wrappers compile to exactly
+// the std types they hold.
+//
+// Style notes (absl-inspired, but self-contained):
+//   * `Mutex` is a capability. Prefer the scoped `MutexLock`; use explicit
+//     Lock()/Unlock() only for protocols the RAII shape cannot express
+//     (e.g. a worker loop that unlocks around its work section).
+//   * `CondVar::Wait(mu)` REQUIRES the mutex and must sit in a `while`
+//     loop re-checking its predicate — there is deliberately no
+//     predicate-lambda overload, because a capture-everything lambda hides
+//     the guarded reads from the analysis.
+//   * Annotate every guarded member with TXALLO_GUARDED_BY and every
+//     assumes-lock-held helper with TXALLO_REQUIRES. State protected by a
+//     protocol other than a lock (e.g. the engine's tick-barrier lane
+//     ownership) stays unannotated, with the protocol documented at the
+//     declaration.
+#pragma once
+
+#include <condition_variable>  // txallo-lint: allow(raw-sync)
+#include <mutex>               // txallo-lint: allow(raw-sync)
+
+// ---------------------------------------------------------------------------
+// Thread-safety annotation macros. Clang-only; no-ops elsewhere (GCC parses
+// but does not check these attributes, so they are compiled out entirely to
+// keep -Wattributes quiet and the expansion obvious).
+// ---------------------------------------------------------------------------
+#if defined(__clang__)
+#define TXALLO_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TXALLO_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define TXALLO_CAPABILITY(x) TXALLO_THREAD_ANNOTATION_(capability(x))
+/// Declares an RAII type that acquires in its ctor / releases in its dtor.
+#define TXALLO_SCOPED_CAPABILITY TXALLO_THREAD_ANNOTATION_(scoped_lockable)
+/// Member may only be read/written with the named mutex held.
+#define TXALLO_GUARDED_BY(x) TXALLO_THREAD_ANNOTATION_(guarded_by(x))
+/// Pointee may only be dereferenced with the named mutex held.
+#define TXALLO_PT_GUARDED_BY(x) TXALLO_THREAD_ANNOTATION_(pt_guarded_by(x))
+/// Function acquires the capability (held on return, not on entry).
+#define TXALLO_ACQUIRE(...) \
+  TXALLO_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry, not on return).
+#define TXALLO_RELEASE(...) \
+  TXALLO_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the first argument
+/// (e.g. TXALLO_TRY_ACQUIRE(true) on a bool TryLock()).
+#define TXALLO_TRY_ACQUIRE(...) \
+  TXALLO_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+/// Caller must hold the capability for the duration of the call.
+#define TXALLO_REQUIRES(...) \
+  TXALLO_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (would deadlock or double-acquire).
+#define TXALLO_EXCLUDES(...) \
+  TXALLO_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define TXALLO_RETURN_CAPABILITY(x) \
+  TXALLO_THREAD_ANNOTATION_(lock_returned(x))
+/// Escape hatch: function body is exempt from the analysis. Use only with a
+/// comment explaining which protocol replaces the lock.
+#define TXALLO_NO_THREAD_SAFETY_ANALYSIS \
+  TXALLO_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace txallo::common {
+
+/// A std::mutex with the `capability` attribute so Clang can check lock
+/// discipline. Non-recursive, non-timed — exactly the subset the engine
+/// uses.
+class TXALLO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TXALLO_ACQUIRE() { mu_.lock(); }
+  void Unlock() TXALLO_RELEASE() { mu_.unlock(); }
+  bool TryLock() TXALLO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // txallo-lint: allow(raw-sync)
+};
+
+/// RAII lock scope over a Mutex; the annotated replacement for
+/// std::lock_guard / std::unique_lock. Locks for its whole lifetime — the
+/// unlock/relock dance around a callback is written with explicit
+/// Mutex::Lock()/Unlock() instead, which the analysis also checks.
+class TXALLO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TXALLO_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() TXALLO_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex. Wait() releases the mutex while
+/// parked and reacquires before returning; as with std::condition_variable
+/// it may wake spuriously, so every Wait sits in a `while (!predicate)`
+/// loop. All concurrent waiters of one CondVar must pass the same Mutex.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) TXALLO_REQUIRES(mu) {
+    // Adopt the already-held std::mutex for the duration of the wait, then
+    // release the unique_lock wrapper without unlocking — the caller still
+    // holds `mu` exactly as the annotation promises.
+    std::unique_lock<std::mutex> lock(  // txallo-lint: allow(raw-sync)
+        mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // txallo-lint: allow(raw-sync)
+};
+
+}  // namespace txallo::common

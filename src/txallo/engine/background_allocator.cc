@@ -11,30 +11,36 @@ BackgroundAllocator::BackgroundAllocator()
 
 BackgroundAllocator::~BackgroundAllocator() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     stopping_ = true;
-    cv_worker_.notify_all();
+    cv_worker_.NotifyAll();
   }
   if (worker_.joinable()) worker_.join();
 }
 
 void BackgroundAllocator::WorkerMain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
-    cv_worker_.wait(lock, [&] {
-      return stopping_ || (in_flight_ && !run_done_);
-    });
-    if (stopping_) return;
+    while (!(stopping_ || (in_flight_ && !run_done_))) {
+      cv_worker_.Wait(mu_);
+    }
+    if (stopping_) {
+      mu_.Unlock();
+      return;
+    }
+    // Run() executes unlocked: the owner cannot touch task_ while
+    // in_flight_ && !run_done_ (Launch refuses a second task, Collect
+    // blocks on run_done_), so the raw pointee is worker-owned here.
     allocator::RebalanceTask* task = task_.get();
-    lock.unlock();
+    mu_.Unlock();
     Stopwatch watch;
     Result<alloc::Allocation> result = task->Run();
     const double seconds = watch.ElapsedSeconds();
-    lock.lock();
+    mu_.Lock();
     run_result_.emplace(std::move(result));
     run_seconds_ = seconds;
     run_done_ = true;
-    cv_owner_.notify_all();
+    cv_owner_.NotifyAll();
   }
 }
 
@@ -43,7 +49,7 @@ Status BackgroundAllocator::Launch(
   if (task == nullptr) {
     return Status::InvalidArgument("BackgroundAllocator::Launch(null task)");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (in_flight_) {
     return Status::FailedPrecondition(
         "BackgroundAllocator already has a task in flight; Collect() first");
@@ -53,23 +59,25 @@ Status BackgroundAllocator::Launch(
   run_done_ = false;
   run_result_.reset();
   run_seconds_ = 0.0;
-  cv_worker_.notify_all();
+  cv_worker_.NotifyAll();
   return Status::OK();
 }
 
 bool BackgroundAllocator::busy() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return in_flight_;
 }
 
 Result<BackgroundAllocator::Outcome> BackgroundAllocator::Collect() {
   Stopwatch wait_watch;
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (!in_flight_) {
     return Status::FailedPrecondition(
         "BackgroundAllocator::Collect() with no task in flight");
   }
-  cv_owner_.wait(lock, [&] { return run_done_; });
+  while (!run_done_) {
+    cv_owner_.Wait(mu_);
+  }
   Outcome outcome;
   outcome.task = std::move(task_);
   outcome.mapping = std::move(*run_result_);

@@ -15,15 +15,14 @@
 // `alloc_overlap_ratio` (run time not covered by driver waiting = overlap).
 #pragma once
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <thread>
+#include <thread>  // txallo-lint: allow(raw-thread) rebalance worker
 
 #include "txallo/alloc/allocation.h"
 #include "txallo/allocator/allocator.h"
 #include "txallo/common/status.h"
+#include "txallo/common/sync.h"
 
 namespace txallo::engine {
 
@@ -67,16 +66,20 @@ class BackgroundAllocator {
  private:
   void WorkerMain();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_worker_;
-  std::condition_variable cv_owner_;
-  bool stopping_ = false;                                // Guarded by mu_.
-  bool in_flight_ = false;                               // Guarded by mu_.
-  bool run_done_ = false;                                // Guarded by mu_.
-  std::unique_ptr<allocator::RebalanceTask> task_;       // Guarded by mu_.
-  std::optional<Result<alloc::Allocation>> run_result_;  // Guarded by mu_.
-  double run_seconds_ = 0.0;                             // Guarded by mu_.
-  std::thread worker_;
+  mutable common::Mutex mu_;
+  common::CondVar cv_worker_;
+  common::CondVar cv_owner_;
+  bool stopping_ TXALLO_GUARDED_BY(mu_) = false;
+  bool in_flight_ TXALLO_GUARDED_BY(mu_) = false;
+  bool run_done_ TXALLO_GUARDED_BY(mu_) = false;
+  // The task pointer is handed to the worker under mu_; while Run()
+  // executes (in_flight_ && !run_done_) the owner never touches it, which
+  // is what lets the worker call Run() unlocked on the raw pointee.
+  std::unique_ptr<allocator::RebalanceTask> task_ TXALLO_GUARDED_BY(mu_);
+  std::optional<Result<alloc::Allocation>> run_result_ TXALLO_GUARDED_BY(mu_);
+  double run_seconds_ TXALLO_GUARDED_BY(mu_) = 0.0;
+  // Spawned in the constructor, joined in the destructor.
+  std::thread worker_;  // txallo-lint: allow(raw-thread)
 };
 
 }  // namespace txallo::engine

@@ -23,6 +23,7 @@ void SpinWork(double units, uint64_t iterations_per_unit) {
 uint32_t ResolveWorkerCount(const EngineConfig& config) {
   uint32_t n = config.num_threads;
   if (n == 0) {
+    // txallo-lint: allow(raw-thread) capacity query, not thread creation
     n = std::max(1u, std::thread::hardware_concurrency());
   }
   return std::max(1u, std::min(n, config.num_shards));
@@ -32,7 +33,9 @@ uint32_t ResolveWorkerCount(const EngineConfig& config) {
 
 ParallelEngine::ParallelEngine(EngineConfig config,
                                std::shared_ptr<const alloc::Allocation> initial)
-    : config_(config), coordinator_(config.work) {
+    : config_(config),
+      coordinator_(config.work),
+      num_workers_(ResolveWorkerCount(config)) {
   assert(config_.num_shards > 0);
   const size_t queue_capacity = std::max<size_t>(1, config_.queue_capacity);
   lanes_.reserve(config_.num_shards);
@@ -45,6 +48,7 @@ ParallelEngine::ParallelEngine(EngineConfig config,
   // reported by the first SubmitBlock instead of silently mis-routing
   // (hash fallback would quietly fold all traffic into the snapshot's k).
   if (initial != nullptr) {
+    common::MutexLock lock(routing_mu_);
     if (initial->num_shards() == config_.num_shards) {
       routing_ = std::move(initial);
     } else {
@@ -55,64 +59,71 @@ ParallelEngine::ParallelEngine(EngineConfig config,
                         "; snapshot rejected";
     }
   }
-  const uint32_t num_workers = ResolveWorkerCount(config_);
-  workers_.reserve(num_workers);
-  for (uint32_t w = 0; w < num_workers; ++w) {
-    workers_.push_back(std::make_unique<Worker>());
+  {
+    // Size every per-worker slot before the first thread spawns: worker
+    // threads index these vectors from the moment they start.
+    common::MutexLock lock(mu_);
+    worker_ticks_done_.assign(num_workers_, 0);
+    worker_services_done_.assign(num_workers_, 0);
+    worker_stall_seconds_.assign(num_workers_, 0.0);
   }
-  // Spawn only after every Worker slot exists: threads index workers_.
-  for (uint32_t w = 0; w < num_workers; ++w) {
-    workers_[w]->thread = std::thread(&ParallelEngine::WorkerMain, this, w);
+  worker_threads_.reserve(num_workers_);
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    worker_threads_.emplace_back(&ParallelEngine::WorkerMain, this, w);
   }
 }
 
 ParallelEngine::~ParallelEngine() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     stopping_ = true;
-    cv_workers_.notify_all();
+    cv_workers_.NotifyAll();
   }
-  for (auto& worker : workers_) {
-    if (worker->thread.joinable()) worker->thread.join();
+  for (std::thread& thread : worker_threads_) {  // txallo-lint: allow(raw-thread)
+    if (thread.joinable()) thread.join();
   }
 }
 
 void ParallelEngine::RequestService() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   ++service_generation_;
-  cv_workers_.notify_all();
+  cv_workers_.NotifyAll();
 }
 
 void ParallelEngine::WorkerMain(uint32_t worker_index) {
-  Worker& me = *workers_[worker_index];
-  const uint32_t stride = static_cast<uint32_t>(workers_.size());
-  std::unique_lock<std::mutex> lock(mu_);
+  const uint32_t stride = num_workers_;
+  mu_.Lock();
   for (;;) {
     Stopwatch stall;
-    cv_workers_.wait(lock, [&] {
-      return stopping_ || tick_generation_ > me.ticks_done ||
-             service_generation_ > me.services_done;
-    });
-    me.stall_seconds += stall.ElapsedSeconds();
-    if (stopping_) return;
+    while (!(stopping_ || tick_generation_ > worker_ticks_done_[worker_index] ||
+             service_generation_ > worker_services_done_[worker_index])) {
+      cv_workers_.Wait(mu_);
+    }
+    worker_stall_seconds_[worker_index] += stall.ElapsedSeconds();
+    if (stopping_) {
+      mu_.Unlock();
+      return;
+    }
     const uint64_t tick_target = tick_generation_;
     const uint64_t service_target = service_generation_;
-    const bool run_tick = tick_target > me.ticks_done;
-    lock.unlock();
+    const bool run_tick = tick_target > worker_ticks_done_[worker_index];
+    const bool record = record_trace_;
+    mu_.Unlock();
     for (uint32_t s = worker_index; s < config_.num_shards; s += stride) {
       ShardLane& lane = *lanes_[s];
       lane.inbox.DrainTo(lane.staging);
-      if (run_tick) ExecuteBlock(s, lane, tick_target);
+      if (run_tick) ExecuteBlock(s, lane, tick_target, record);
     }
-    lock.lock();
-    me.services_done = std::max(me.services_done, service_target);
-    if (run_tick) me.ticks_done = tick_target;
-    cv_driver_.notify_all();
+    mu_.Lock();
+    worker_services_done_[worker_index] =
+        std::max(worker_services_done_[worker_index], service_target);
+    if (run_tick) worker_ticks_done_[worker_index] = tick_target;
+    cv_driver_.NotifyAll();
   }
 }
 
 void ParallelEngine::ExecuteBlock(uint32_t shard, ShardLane& lane,
-                                  uint64_t block) {
+                                  uint64_t block, bool record) {
   // Stable merge: all submissions of the phase have returned (the tick
   // barrier follows the driver contract), so staging holds the complete
   // arrival set — appending it in sequence order makes the lane FIFO
@@ -139,7 +150,7 @@ void ParallelEngine::ExecuteBlock(uint32_t shard, ShardLane& lane,
     lane.processed_work += consumed;
     if (item.work_remaining <= 1e-12) {
       const uint64_t tx_index = item.tx_index;
-      if (record_trace_) {
+      if (record) {
         lane.prepare_log.push_back(PrepareEvent{block, shard, item.seq});
       }
       lane.fifo.pop_front();
@@ -164,7 +175,7 @@ Status ParallelEngine::SubmitTransactions(
     uint64_t first_seq) {
   std::shared_ptr<const alloc::Allocation> routing;
   {
-    std::lock_guard<std::mutex> lock(routing_mu_);
+    common::MutexLock lock(routing_mu_);
     routing = routing_;
     if (routing == nullptr) {
       return Status::FailedPrecondition(
@@ -215,7 +226,7 @@ Status ParallelEngine::InstallAllocation(
         " shards, engine has " + std::to_string(config_.num_shards));
   }
   Stopwatch pause;
-  std::lock_guard<std::mutex> lock(routing_mu_);
+  common::MutexLock lock(routing_mu_);
   routing_ = std::move(next);
   snapshot_error_.clear();
   ++reallocations_;
@@ -225,50 +236,52 @@ Status ParallelEngine::InstallAllocation(
 
 std::shared_ptr<const alloc::Allocation> ParallelEngine::allocation_snapshot()
     const {
-  std::lock_guard<std::mutex> lock(routing_mu_);
+  common::MutexLock lock(routing_mu_);
   return routing_;
+}
+
+bool ParallelEngine::WorkersCaughtUpLocked(bool and_services) const {
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    if (worker_ticks_done_[w] != tick_generation_) return false;
+    if (and_services && worker_services_done_[w] != service_generation_) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void ParallelEngine::Tick() {
   now_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::mutex> lock(mu_);
-  ++tick_generation_;
-  cv_workers_.notify_all();
-  cv_driver_.wait(lock, [&] {
-    for (const auto& worker : workers_) {
-      if (worker->ticks_done != tick_generation_) return false;
+  {
+    common::MutexLock lock(mu_);
+    ++tick_generation_;
+    cv_workers_.NotifyAll();
+    while (!WorkersCaughtUpLocked(/*and_services=*/false)) {
+      cv_driver_.Wait(mu_);
     }
-    return true;
-  });
-  lock.unlock();
+  }
   // Workers have barriered; only the driver touches the coordinator now.
   coordinator_.FlushDelayed(now_.load(std::memory_order_relaxed));
 }
 
-void ParallelEngine::QuiesceLocked(std::unique_lock<std::mutex>& lock) {
-  cv_driver_.wait(lock, [&] {
-    for (const auto& worker : workers_) {
-      if (worker->ticks_done != tick_generation_ ||
-          worker->services_done != service_generation_) {
-        return false;
-      }
-    }
-    return true;
-  });
+void ParallelEngine::QuiesceLocked() {
+  while (!WorkersCaughtUpLocked(/*and_services=*/true)) {
+    cv_driver_.Wait(mu_);
+  }
 }
 
 EngineReport ParallelEngine::Snapshot() {
   EngineReport report;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    QuiesceLocked(lock);
-    for (const auto& worker : workers_) {
-      report.worker_stall_seconds += worker->stall_seconds;
+    common::MutexLock lock(mu_);
+    QuiesceLocked();
+    for (double stall : worker_stall_seconds_) {
+      report.worker_stall_seconds += stall;
     }
   }
   // After the quiesce, no worker touches lane state until the driver
   // publishes another tick/service generation.
-  report.num_workers = static_cast<uint32_t>(workers_.size());
+  report.num_workers = num_workers_;
   const CommitStats stats = coordinator_.stats();
   const uint64_t now = now_.load(std::memory_order_relaxed);
   report.sim.submitted = stats.submitted;
@@ -305,7 +318,7 @@ EngineReport ParallelEngine::Snapshot() {
       utilization / static_cast<double>(config_.num_shards);
   report.sim.residual_work = residual;
   {
-    std::lock_guard<std::mutex> lock(routing_mu_);
+    common::MutexLock lock(routing_mu_);
     report.reallocations = reallocations_;
     report.realloc_pause_seconds = realloc_pause_seconds_;
   }
@@ -313,15 +326,15 @@ EngineReport ParallelEngine::Snapshot() {
 }
 
 void ParallelEngine::EnableTraceRecording() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   record_trace_ = true;
   coordinator_.EnableEventRecording();
 }
 
 ParallelEngine::Trace ParallelEngine::ExtractTrace() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    QuiesceLocked(lock);
+    common::MutexLock lock(mu_);
+    QuiesceLocked();
   }
   Trace trace;
   // Lanes are concatenated in shard order, each already in execution order

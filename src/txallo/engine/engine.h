@@ -50,18 +50,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
+#include <thread>  // txallo-lint: allow(raw-thread) worker pool
 #include <vector>
 
 #include "txallo/alloc/allocation.h"
 #include "txallo/chain/transaction.h"
 #include "txallo/common/status.h"
+#include "txallo/common/sync.h"
 #include "txallo/engine/mpsc_queue.h"
 #include "txallo/engine/two_phase.h"
 #include "txallo/sim/shard_sim.h"
@@ -206,9 +205,7 @@ class ParallelEngine {
     return now_.load(std::memory_order_relaxed);
   }
   const EngineConfig& config() const { return config_; }
-  uint32_t num_workers() const {
-    return static_cast<uint32_t>(workers_.size());
-  }
+  uint32_t num_workers() const { return num_workers_; }
   /// The snapshot ingest currently routes by (null before the first
   /// install when constructed without one).
   std::shared_ptr<const alloc::Allocation> allocation_snapshot() const;
@@ -235,21 +232,17 @@ class ParallelEngine {
     // Prepare votes in execution order (only when recording; owner-written).
     std::vector<PrepareEvent> prepare_log;
   };
-  struct Worker {
-    std::thread thread;
-    // Guarded by mu_.
-    uint64_t ticks_done = 0;
-    uint64_t services_done = 0;
-    double stall_seconds = 0.0;
-  };
-
   void WorkerMain(uint32_t worker_index);
-  void ExecuteBlock(uint32_t shard, ShardLane& lane, uint64_t block);
+  void ExecuteBlock(uint32_t shard, ShardLane& lane, uint64_t block,
+                    bool record);
   // Wakes workers to drain their inboxes (called by full queues' handler).
   void RequestService();
-  // Driver-side: waits until every worker has observed the latest service
-  // generation, so lane state is safe to read.
-  void QuiesceLocked(std::unique_lock<std::mutex>& lock);
+  // Driver-side: waits until every worker has observed the latest tick and
+  // service generations, so lane state is safe to read.
+  void QuiesceLocked() TXALLO_REQUIRES(mu_);
+  // True when every worker has caught up with tick_generation_ (and, when
+  // `and_services`, with service_generation_ too).
+  bool WorkersCaughtUpLocked(bool and_services) const TXALLO_REQUIRES(mu_);
 
   const EngineConfig config_;
   TwoPhaseCoordinator coordinator_;
@@ -259,23 +252,32 @@ class ParallelEngine {
   // InstallAllocation is safe from any thread). snapshot_error_ remembers
   // why a constructor-supplied snapshot was rejected, so the first
   // SubmitBlock fails with the cause rather than "no snapshot".
-  mutable std::mutex routing_mu_;
-  std::shared_ptr<const alloc::Allocation> routing_;
-  std::string snapshot_error_;
-  uint64_t reallocations_ = 0;
-  double realloc_pause_seconds_ = 0.0;
+  mutable common::Mutex routing_mu_;
+  std::shared_ptr<const alloc::Allocation> routing_
+      TXALLO_GUARDED_BY(routing_mu_);
+  std::string snapshot_error_ TXALLO_GUARDED_BY(routing_mu_);
+  uint64_t reallocations_ TXALLO_GUARDED_BY(routing_mu_) = 0;
+  double realloc_pause_seconds_ TXALLO_GUARDED_BY(routing_mu_) = 0.0;
 
-  // Tick/service protocol.
-  std::mutex mu_;
-  std::condition_variable cv_workers_;
-  std::condition_variable cv_driver_;
-  uint64_t tick_generation_ = 0;     // Guarded by mu_.
-  uint64_t service_generation_ = 0;  // Guarded by mu_.
-  bool stopping_ = false;            // Guarded by mu_.
-  // Set under mu_ before the first tick; workers read it only inside
-  // ExecuteBlock, whose tick handshake orders the read after the write.
-  bool record_trace_ = false;
-  std::vector<std::unique_ptr<Worker>> workers_;
+  // Tick/service protocol. Per-worker progress lives in parallel vectors
+  // (index = worker) rather than a per-worker struct so the counters can be
+  // annotated against mu_ and the analysis sees every access.
+  mutable common::Mutex mu_;
+  common::CondVar cv_workers_;
+  common::CondVar cv_driver_;
+  uint64_t tick_generation_ TXALLO_GUARDED_BY(mu_) = 0;
+  uint64_t service_generation_ TXALLO_GUARDED_BY(mu_) = 0;
+  bool stopping_ TXALLO_GUARDED_BY(mu_) = false;
+  // Workers sample it under mu_ at the top of each loop iteration and pass
+  // the value into ExecuteBlock.
+  bool record_trace_ TXALLO_GUARDED_BY(mu_) = false;
+  std::vector<uint64_t> worker_ticks_done_ TXALLO_GUARDED_BY(mu_);
+  std::vector<uint64_t> worker_services_done_ TXALLO_GUARDED_BY(mu_);
+  std::vector<double> worker_stall_seconds_ TXALLO_GUARDED_BY(mu_);
+  // Sized before any thread spawns, then joined in the destructor; only the
+  // constructor/destructor touch the vector itself.
+  std::vector<std::thread> worker_threads_;  // txallo-lint: allow(raw-thread)
+  const uint32_t num_workers_;
 
   // Logical clock. Written by the driver in Tick(); read (relaxed) by
   // concurrent producers in SubmitTransactions — stable there because

@@ -5,35 +5,42 @@
 namespace txallo::engine {
 
 IngestRouter::IngestRouter(ParallelEngine* engine, uint32_t num_producers)
-    : engine_(engine) {
-  const uint32_t n = std::max(1u, num_producers);
-  done_generation_.assign(n, 0);
-  statuses_.assign(n, Status::OK());
-  threads_.reserve(n);
-  for (uint32_t p = 0; p < n; ++p) {
+    : engine_(engine), num_producers_(std::max(1u, num_producers)) {
+  {
+    // Size every per-producer slot before the first thread spawns: producer
+    // threads index these vectors from the moment they start.
+    common::MutexLock lock(mu_);
+    done_generation_.assign(num_producers_, 0);
+    statuses_.assign(num_producers_, Status::OK());
+  }
+  threads_.reserve(num_producers_);
+  for (uint32_t p = 0; p < num_producers_; ++p) {
     threads_.emplace_back(&IngestRouter::ProducerMain, this, p);
   }
 }
 
 IngestRouter::~IngestRouter() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     stopping_ = true;
-    cv_producers_.notify_all();
+    cv_producers_.NotifyAll();
   }
-  for (std::thread& thread : threads_) {
+  for (std::thread& thread : threads_) {  // txallo-lint: allow(raw-thread)
     if (thread.joinable()) thread.join();
   }
 }
 
 void IngestRouter::ProducerMain(uint32_t producer_index) {
-  const size_t n = done_generation_.size();
-  std::unique_lock<std::mutex> lock(mu_);
+  const size_t n = num_producers_;
+  mu_.Lock();
   for (;;) {
-    cv_producers_.wait(lock, [&] {
-      return stopping_ || generation_ > done_generation_[producer_index];
-    });
-    if (stopping_) return;
+    while (!(stopping_ || generation_ > done_generation_[producer_index])) {
+      cv_producers_.Wait(mu_);
+    }
+    if (stopping_) {
+      mu_.Unlock();
+      return;
+    }
     const uint64_t target = generation_;
     // Contiguous slice [begin, end) of the current block; the slice's
     // sequence tags are its global positions offset by the block's base.
@@ -41,33 +48,38 @@ void IngestRouter::ProducerMain(uint32_t producer_index) {
     const size_t end = block_size_ * (producer_index + 1) / n;
     const chain::Transaction* base = block_;
     const uint64_t seq_base = block_seq_base_;
-    lock.unlock();
+    mu_.Unlock();
     Status status = Status::OK();
     if (end > begin) {
       status = engine_->SubmitTransactions(base + begin, end - begin,
                                            seq_base + begin);
     }
-    lock.lock();
+    mu_.Lock();
     statuses_[producer_index] = std::move(status);
     done_generation_[producer_index] = target;
-    cv_driver_.notify_all();
+    cv_driver_.NotifyAll();
   }
 }
 
 Status IngestRouter::SubmitBlock(
     const std::vector<chain::Transaction>& transactions) {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   block_ = transactions.data();
   block_size_ = transactions.size();
   block_seq_base_ = engine_->ReserveSequenceRange(transactions.size());
   const uint64_t target = ++generation_;
-  cv_producers_.notify_all();
-  cv_driver_.wait(lock, [&] {
+  cv_producers_.NotifyAll();
+  for (;;) {
+    bool all_done = true;
     for (uint64_t done : done_generation_) {
-      if (done != target) return false;
+      if (done != target) {
+        all_done = false;
+        break;
+      }
     }
-    return true;
-  });
+    if (all_done) break;
+    cv_driver_.Wait(mu_);
+  }
   block_ = nullptr;
   block_size_ = 0;
   for (const Status& status : statuses_) {

@@ -21,14 +21,13 @@
 // ingest-order property tests pin this).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
-#include <thread>
+#include <thread>  // txallo-lint: allow(raw-thread) producer pool
 #include <vector>
 
 #include "txallo/chain/transaction.h"
 #include "txallo/common/status.h"
+#include "txallo/common/sync.h"
 #include "txallo/engine/engine.h"
 
 namespace txallo::engine {
@@ -50,27 +49,27 @@ class IngestRouter {
   /// must not overlap the engine's Tick/Snapshot/DrainAndReport.
   Status SubmitBlock(const std::vector<chain::Transaction>& transactions);
 
-  uint32_t num_producers() const {
-    return static_cast<uint32_t>(threads_.size());
-  }
+  uint32_t num_producers() const { return num_producers_; }
 
  private:
   void ProducerMain(uint32_t producer_index);
 
   ParallelEngine* engine_;
+  const uint32_t num_producers_;
 
-  std::mutex mu_;
-  std::condition_variable cv_producers_;
-  std::condition_variable cv_driver_;
+  common::Mutex mu_;
+  common::CondVar cv_producers_;
+  common::CondVar cv_driver_;
   // One submission = one generation; producers chase it and report back.
-  uint64_t generation_ = 0;                 // Guarded by mu_.
-  bool stopping_ = false;                   // Guarded by mu_.
-  const chain::Transaction* block_ = nullptr;  // Guarded by mu_.
-  size_t block_size_ = 0;                   // Guarded by mu_.
-  uint64_t block_seq_base_ = 0;             // Guarded by mu_.
-  std::vector<uint64_t> done_generation_;   // Guarded by mu_.
-  std::vector<Status> statuses_;            // Guarded by mu_.
-  std::vector<std::thread> threads_;
+  uint64_t generation_ TXALLO_GUARDED_BY(mu_) = 0;
+  bool stopping_ TXALLO_GUARDED_BY(mu_) = false;
+  const chain::Transaction* block_ TXALLO_GUARDED_BY(mu_) = nullptr;
+  size_t block_size_ TXALLO_GUARDED_BY(mu_) = 0;
+  uint64_t block_seq_base_ TXALLO_GUARDED_BY(mu_) = 0;
+  std::vector<uint64_t> done_generation_ TXALLO_GUARDED_BY(mu_);
+  std::vector<Status> statuses_ TXALLO_GUARDED_BY(mu_);
+  // Sized before any thread spawns, joined in the destructor.
+  std::vector<std::thread> threads_;  // txallo-lint: allow(raw-thread)
 };
 
 }  // namespace txallo::engine

@@ -5,14 +5,17 @@
 // backpressure semantics are what the engine actually needs. A `full
 // handler` lets the engine nudge the consumer awake before a producer parks
 // on a full queue, so bounded capacity cannot deadlock the tick protocol.
+//
+// All queue state is guarded by one annotated common::Mutex; Clang's
+// -Wthread-safety proves every access holds it (see common/sync.h).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <utility>
+
+#include "txallo/common/sync.h"
 
 namespace txallo::engine {
 
@@ -29,25 +32,28 @@ class MpscQueue {
 
   /// Blocks while the queue is at capacity; calls the full handler each
   /// time it is about to wait.
-  void Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
+  void Push(T item) TXALLO_EXCLUDES(mu_) {
+    mu_.Lock();
     while (items_.size() >= capacity_) {
       if (full_handler_) {
-        lock.unlock();
+        // The handler may need locks of its own (the engine's service
+        // protocol), so it runs unlocked.
+        mu_.Unlock();
         full_handler_();
-        lock.lock();
+        mu_.Lock();
         if (items_.size() < capacity_) break;
       }
-      cv_space_.wait(lock, [&] { return items_.size() < capacity_; });
+      cv_space_.Wait(mu_);
     }
     items_.push_back(std::move(item));
     ++total_pushed_;
     if (items_.size() > high_water_) high_water_ = items_.size();
+    mu_.Unlock();
   }
 
   /// Non-blocking push; false when full.
-  bool TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool TryPush(T item) TXALLO_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     if (items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
     ++total_pushed_;
@@ -58,50 +64,52 @@ class MpscQueue {
   /// Consumer side: moves everything queued to the back of `out` (any
   /// container with push_back). Returns the number of items moved.
   template <typename Container>
-  size_t DrainTo(Container& out) {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t DrainTo(Container& out) TXALLO_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     const size_t n = items_.size();
     while (!items_.empty()) {
       out.push_back(std::move(items_.front()));
       items_.pop_front();
     }
-    if (n > 0) cv_space_.notify_all();
+    if (n > 0) cv_space_.NotifyAll();
     return n;
   }
 
   /// Copies the queued items (metrics/diagnostics, not consumption).
   template <typename Fn>
-  void ForEach(Fn fn) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ForEach(Fn fn) const TXALLO_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     for (const T& item : items_) fn(item);
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const TXALLO_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     return items_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
   /// Largest queue depth ever observed (per-shard backpressure metric).
-  uint64_t high_water() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t high_water() const TXALLO_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     return high_water_;
   }
 
-  uint64_t total_pushed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total_pushed() const TXALLO_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     return total_pushed_;
   }
 
  private:
   const size_t capacity_;
+  // Written once before producers start (SetFullHandler contract), so not
+  // guarded: producers only ever read it.
   std::function<void()> full_handler_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_space_;
-  std::deque<T> items_;
-  uint64_t high_water_ = 0;
-  uint64_t total_pushed_ = 0;
+  mutable common::Mutex mu_;
+  common::CondVar cv_space_;
+  std::deque<T> items_ TXALLO_GUARDED_BY(mu_);
+  uint64_t high_water_ TXALLO_GUARDED_BY(mu_) = 0;
+  uint64_t total_pushed_ TXALLO_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace txallo::engine

@@ -7,7 +7,7 @@ namespace txallo::engine {
 uint64_t TwoPhaseCoordinator::Register(uint64_t arrival_block,
                                        uint32_t participants,
                                        bool cross_shard, uint64_t seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   const uint64_t tx_index = txs_.size();
   txs_.push_back(TxEntry{arrival_block, seq, participants, cross_shard});
   ++stats_.submitted;
@@ -31,14 +31,14 @@ void TwoPhaseCoordinator::CommitLocked(uint64_t tx_index,
 }
 
 void TwoPhaseCoordinator::EnableEventRecording() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   record_events_ = true;
 }
 
 std::vector<CommitEvent> TwoPhaseCoordinator::CanonicalCommitEvents() const {
   std::vector<CommitEvent> events;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     events = events_;
   }
   // Decisions of one block land in PartPrepared/FlushDelayed interleaving
@@ -51,7 +51,7 @@ std::vector<CommitEvent> TwoPhaseCoordinator::CanonicalCommitEvents() const {
 }
 
 void TwoPhaseCoordinator::PartPrepared(uint64_t tx_index, uint64_t block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   TxEntry& tx = txs_[tx_index];
   ++stats_.prepares_received;
   if (--tx.parts_remaining > 0) return;
@@ -66,7 +66,7 @@ void TwoPhaseCoordinator::PartPrepared(uint64_t tx_index, uint64_t block) {
 }
 
 void TwoPhaseCoordinator::FlushDelayed(uint64_t now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   while (!delayed_.empty() && delayed_.front().first <= now) {
     const uint64_t tx_index = delayed_.front().second;
     delayed_.pop_front();
@@ -76,12 +76,12 @@ void TwoPhaseCoordinator::FlushDelayed(uint64_t now) {
 }
 
 bool TwoPhaseCoordinator::Idle() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return stats_.in_flight == 0 && delayed_.empty();
 }
 
 CommitStats TwoPhaseCoordinator::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return stats_;
 }
 

@@ -10,15 +10,16 @@
 //
 // Thread-safety: PartPrepared() is called concurrently by shard workers
 // mid-tick; Register()/FlushDelayed()/stats() are driver-side. Everything is
-// guarded by one mutex — the coordinator is touched once per transaction
+// guarded by one annotated mutex (common/sync.h; Clang -Wthread-safety
+// checks the discipline) — the coordinator is touched once per transaction
 // part, not per work unit, so contention is bounded by routing fan-out.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "txallo/common/sync.h"
 #include "txallo/sim/work_model.h"
 
 namespace txallo::engine {
@@ -95,18 +96,19 @@ class TwoPhaseCoordinator {
     bool cross_shard;
   };
 
-  void CommitLocked(uint64_t tx_index, uint64_t commit_block);
+  void CommitLocked(uint64_t tx_index, uint64_t commit_block)
+      TXALLO_REQUIRES(mu_);
 
   const sim::WorkModel model_;
-  mutable std::mutex mu_;
-  std::vector<TxEntry> txs_;
+  mutable common::Mutex mu_;
+  std::vector<TxEntry> txs_ TXALLO_GUARDED_BY(mu_);
   // (commit_block, tx) pairs. All prepares of one tick land at the same
   // block and ticks advance monotonically, so commit blocks are
   // non-decreasing front to back and flushing pops from the front.
-  std::deque<std::pair<uint64_t, uint64_t>> delayed_;
-  CommitStats stats_;
-  bool record_events_ = false;
-  std::vector<CommitEvent> events_;
+  std::deque<std::pair<uint64_t, uint64_t>> delayed_ TXALLO_GUARDED_BY(mu_);
+  CommitStats stats_ TXALLO_GUARDED_BY(mu_);
+  bool record_events_ TXALLO_GUARDED_BY(mu_) = false;
+  std::vector<CommitEvent> events_ TXALLO_GUARDED_BY(mu_);
 };
 
 }  // namespace txallo::engine

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint/determinism_lint.py.
+
+Runs the linter as a subprocess (the exact way CI and developers invoke it)
+against the seeded fixtures under tests/tools/fixtures/txallo/ and asserts:
+  * each seeded violation is flagged with the right rule id and line,
+  * escapes (`txallo-lint: allow(...)`) silence exactly their rule/line,
+  * path scoping matches the real tree (sync.h exemption, unordered-iter
+    only in trace-affecting directories),
+  * exit codes: 1 with findings, 0 clean.
+
+Registered as a CTest (label `tools`) by tests/tools/CMakeLists.txt.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+FINDING_RE = re.compile(r"^(?P<path>.+?):(?P<line>\d+): \[(?P<rule>[\w-]+)\]")
+
+failures = []
+
+
+def check(condition, label):
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {label}")
+    if not condition:
+        failures.append(label)
+
+
+def run_lint(lint, targets):
+    proc = subprocess.run(
+        [sys.executable, str(lint), *[str(t) for t in targets]],
+        capture_output=True, text=True)
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            findings.append(
+                (Path(m.group("path")).name, int(m.group("line")),
+                 m.group("rule")))
+    return proc.returncode, findings
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--lint", required=True, type=Path)
+    parser.add_argument("--fixtures", required=True, type=Path)
+    args = parser.parse_args()
+    fixtures = args.fixtures / "txallo"
+
+    print("rule flagging:")
+    rc, found = run_lint(args.lint,
+                         [fixtures / "engine" / "raw_mutex_violation.cc"])
+    rules = [f[2] for f in found]
+    check(rc == 1, "raw_mutex fixture exits 1")
+    check(rules.count("raw-sync") == 4,
+          f"raw-sync flagged on include + 2 decls + lock_guard line "
+          f"(got {rules.count('raw-sync')})")
+    check(rules.count("raw-thread") == 1,
+          f"raw-thread flagged on the thread member (got "
+          f"{rules.count('raw-thread')})")
+
+    rc, found = run_lint(args.lint,
+                         [fixtures / "engine" / "wall_clock_violation.cc"])
+    lines = sorted(f[1] for f in found)
+    check(rc == 1, "wall_clock fixture exits 1")
+    check(all(f[2] == "wall-clock" for f in found),
+          "only wall-clock findings in the wall_clock fixture")
+    check(len(found) == 3,
+          f"system_clock + random_device + std::rand flagged, "
+          f"steady_clock/comment/string not (got {len(found)}: {lines})")
+
+    rc, found = run_lint(args.lint,
+                         [fixtures / "engine" / "unordered_iter_violation.cc"])
+    check(rc == 1, "unordered_iter fixture exits 1")
+    check([f[2] for f in found] == ["unordered-iter", "unordered-iter"],
+          f"both hash-order range-fors flagged, vector loop not "
+          f"(got {found})")
+
+    print("escapes:")
+    rc, found = run_lint(args.lint, [fixtures / "engine" / "escaped_ok.cc"])
+    check(rc == 0 and not found,
+          f"fully escaped fixture lints clean (got {found})")
+
+    rc, found = run_lint(args.lint, [fixtures / "engine" / "stale_escape.cc"])
+    check(rc == 1, "stale_escape fixture exits 1")
+    check(sorted(f[2] for f in found) == ["raw-sync", "wall-clock"],
+          f"wrong-rule and non-adjacent escapes do not leak (got {found})")
+
+    print("path scoping:")
+    rc, found = run_lint(args.lint,
+                         [fixtures / "workload" / "outside_scope_ok.cc"])
+    check(rc == 0 and not found,
+          f"unordered-iter does not apply outside engine//allocator/ "
+          f"(got {found})")
+
+    rc, found = run_lint(args.lint, [fixtures / "common" / "sync.h"])
+    check(rc == 0 and not found,
+          f"common/sync.h is exempt from raw-sync (got {found})")
+
+    print("whole fixture tree:")
+    rc, found = run_lint(args.lint, [fixtures])
+    check(rc == 1, "fixture tree exits 1")
+    by_rule = {}
+    for f in found:
+        by_rule[f[2]] = by_rule.get(f[2], 0) + 1
+    check(by_rule == {"raw-sync": 5, "raw-thread": 1, "wall-clock": 4,
+                      "unordered-iter": 2},
+          f"aggregate finding counts per rule (got {by_rule})")
+
+    if failures:
+        print(f"\n{len(failures)} check(s) FAILED", file=sys.stderr)
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

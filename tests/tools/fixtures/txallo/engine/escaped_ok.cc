@@ -1,0 +1,24 @@
+// Lint fixture: every violation carries a txallo-lint escape, so the file
+// must lint clean. Exercises same-line escapes, standalone previous-line
+// escapes, multi-rule escapes and justification text after the rule list.
+#include <thread>  // txallo-lint: allow(raw-thread) fixture worker pool
+
+namespace txallo::engine {
+
+struct EscapedLane {
+  // txallo-lint: allow(raw-thread)
+  std::thread worker;
+};
+
+inline double EscapedNow() {
+  // txallo-lint: allow(wall-clock) fixture exercises the escape parser
+  const auto wall = std::chrono::system_clock::now();
+  return static_cast<double>(wall.time_since_epoch().count());
+}
+
+inline void EscapedBoth() {
+  std::mutex mu;  // txallo-lint: allow(raw-sync,raw-thread) both rules named
+  (void)mu;
+}
+
+}  // namespace txallo::engine

@@ -1,0 +1,19 @@
+// Lint fixture: raw std synchronization primitives in an engine path.
+// Expected findings: raw-sync on the include, both declarations and the
+// lock_guard line (4); raw-thread on the thread member. Never compiled —
+// parsed by determinism_lint_test.py only.
+#include <mutex>
+
+namespace txallo::engine {
+
+struct BadLane {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread worker;
+};
+
+void BadLock(BadLane& lane) {
+  std::lock_guard<std::mutex> lock(lane.mu);
+}
+
+}  // namespace txallo::engine

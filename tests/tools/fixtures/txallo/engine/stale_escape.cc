@@ -1,0 +1,20 @@
+// Lint fixture: escapes must be per-rule and per-line — an allow() for the
+// wrong rule, or one line above a *blank-separated* use, must not leak.
+// Expected findings: raw-sync on the mutex (escape names raw-thread) and
+// wall-clock on the system_clock read (the escape line is not adjacent).
+
+namespace txallo::engine {
+
+inline void WrongRuleEscape() {
+  std::mutex mu;  // txallo-lint: allow(raw-thread) names the wrong rule
+  (void)mu;
+}
+
+inline double NonAdjacentEscape() {
+  // txallo-lint: allow(wall-clock) not adjacent to the use below
+
+  const auto wall = std::chrono::system_clock::now();
+  return static_cast<double>(wall.time_since_epoch().count());
+}
+
+}  // namespace txallo::engine

@@ -1,0 +1,35 @@
+// Lint fixture: nondeterministic hash-order iteration in a trace-affecting
+// path. Expected findings: unordered-iter on the two range-fors over the
+// unordered members (declared and inline) — none on the vector loop and
+// none on the sorted-copy loop.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace txallo::engine {
+
+struct BadCommitFold {
+  std::unordered_map<uint64_t, uint32_t> pending_moves;
+  std::vector<uint64_t> ordered;
+
+  uint64_t Sum() const {
+    uint64_t total = 0;
+    for (const auto& entry : pending_moves) {
+      total += entry.second;
+    }
+    for (uint64_t v : ordered) {
+      total += v;
+    }
+    return total;
+  }
+
+  uint64_t SumInline() const {
+    uint64_t total = 0;
+    for (const auto& entry : std::unordered_map<uint64_t, uint32_t>{}) {
+      total += entry.second;
+    }
+    return total;
+  }
+};
+
+}  // namespace txallo::engine

@@ -1,0 +1,31 @@
+// Lint fixture: wall-clock and entropy reads in an engine path. Expected
+// findings: wall-clock on the system_clock read, the random_device seed and
+// the std::rand call — none on the steady_clock line (steady_clock is what
+// common/stopwatch.h wraps and is not banned) and none inside comments or
+// strings.
+#include <chrono>
+
+namespace txallo::engine {
+
+// A comment naming std::chrono::system_clock must not be flagged.
+inline double BadNow() {
+  const auto wall = std::chrono::system_clock::now();
+  return static_cast<double>(wall.time_since_epoch().count());
+}
+
+inline unsigned BadSeed() {
+  std::random_device entropy;
+  return entropy();
+}
+
+inline int BadJitter() {
+  const char* label = "std::rand inside a string is fine";
+  (void)label;
+  return std::rand();
+}
+
+inline auto FineMonotonic() {
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace txallo::engine

@@ -1,0 +1,20 @@
+// Lint fixture: unordered-iter applies only to trace-affecting paths
+// (engine/, allocator/). This file sits in workload/, so its hash-order
+// range-for is allowed; the raw-sync/raw-thread/wall-clock rules still
+// apply tree-wide, so the steady_clock use stays unflagged and there are
+// no other tokens. Expected findings: none.
+#include <cstdint>
+#include <unordered_map>
+
+namespace txallo::workload {
+
+inline uint64_t HistogramMass(
+    const std::unordered_map<uint64_t, uint64_t>& histogram) {
+  uint64_t total = 0;
+  for (const auto& entry : histogram) {
+    total += entry.second;
+  }
+  return total;
+}
+
+}  // namespace txallo::workload
