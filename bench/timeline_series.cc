@@ -17,16 +17,30 @@
 // run. The CI smoke records and replays a tiny trace this way to catch
 // trace-format or determinism drift.
 //
+// Account-state backend (src/txallo/state/): --state=1 executes real
+// balance transfers with 2PC commit/rollback and per-tick Merkle roots;
+// --state-balance tunes the funding level (tight funding produces
+// insufficient-balance aborts), --migration-work the per-record λ charge of
+// allocation installs. --overrun=1 lets a background rebalance overrun its
+// epoch (install deferred to the next boundary it is ready for) instead of
+// stalling the driver. --json-out=PATH dumps the deterministic state-
+// relevant series (committed/aborted/migrated per step, final Merkle root)
+// as JSON — the committed BENCH_state.json snapshot comes from here.
+//
 //   ./build/bench/timeline_series [--methods=a;b] [--k=8] [--eta=2]
 //       [--blocks=96] [--txs-per-block=120] [--epoch-blocks=12]
 //       [--alloc-mode=background|deferred|sync] [--producers=N]
+//       [--state=0|1] [--state-balance=N] [--migration-work=X]
+//       [--overrun=0|1] [--json-out=PATH]
 //       [--record=PATH | --replay=PATH]
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/bench_common.h"
+#include "txallo/common/sha256.h"
 #include "txallo/engine/pipeline.h"
 #include "txallo/engine/replay.h"
 
@@ -45,6 +59,13 @@ int main(int argc, char** argv) {
       flags.GetInt("epoch-blocks", std::max(4, blocks / 8)));
   const uint32_t producers =
       static_cast<uint32_t>(std::max<int64_t>(0, flags.GetInt("producers", 0)));
+  const bool state_on = flags.GetInt("state", 0) != 0;
+  // Tight default: roughly a dozen transfers per account before funds run
+  // out, so the abort column is exercised, not identically zero.
+  const int64_t state_balance = flags.GetInt("state-balance", 48);
+  const double migration_work = flags.GetDouble("migration-work", 1.0);
+  const bool overrun = flags.GetInt("overrun", 0) != 0;
+  const std::string json_out = flags.GetString("json-out", "");
   auto mode = engine::ParseAllocatorMode(
       flags.GetString("alloc-mode", "background"));
   if (!mode.ok()) {
@@ -75,6 +96,7 @@ int main(int argc, char** argv) {
   workload_config.num_communities = static_cast<uint32_t>(
       std::max<uint64_t>(32, workload_config.num_accounts / 160));
   workload_config.seed = seed;
+  workload_config.initial_balance = state_balance;
   workload_config.drift_interval_blocks =
       std::max<uint64_t>(1, static_cast<uint64_t>(blocks) / 3);
   workload::EthereumLikeGenerator generator(workload_config);
@@ -92,12 +114,12 @@ int main(int argc, char** argv) {
 
   bench::SeriesTable series(
       "Per-step series (one row per epoch window)",
-      {"allocator", "step", "blocks", "tput/blk", "cross%", "alloc-s",
-       "wait-s", "installed"});
+      {"allocator", "step", "blocks", "tput/blk", "cross%", "aborted",
+       "migrated", "alloc-s", "wait-s", "installed"});
   bench::SeriesTable summary(
       "Summary per allocator",
-      {"allocator", "committed", "tput/blk", "cross%", "epochs", "moved",
-       "alloc-s", "wait-s", "overlap%"});
+      {"allocator", "committed", "tput/blk", "cross%", "aborted", "migrated",
+       "epochs", "skipped", "moved", "alloc-s", "wait-s", "overlap%"});
 
   const auto add_series_rows = [&](const std::string& label,
                                    const engine::PipelineResult& result) {
@@ -107,10 +129,67 @@ int main(int argc, char** argv) {
            std::to_string(step.last_block - step.first_block),
            bench::Fmt(step.throughput_per_block, 1),
            bench::Fmt(100.0 * step.cross_shard_ratio, 1),
+           std::to_string(step.aborted),
+           std::to_string(step.accounts_migrated),
            bench::Fmt(step.alloc_seconds, 4),
            bench::Fmt(step.alloc_wait_seconds, 4),
            step.installed ? "yes" : "no"});
     }
+  };
+
+  // Deterministic state-series snapshot (--json-out): per-method logical
+  // counters only — no wall-clock fields — so a committed snapshot diffs
+  // clean across machines.
+  std::string json_methods;
+  const auto add_json_method = [&](const std::string& label,
+                                   const engine::PipelineResult& result,
+                                   engine::ParallelEngine* engine) {
+    if (json_out.empty()) return;
+    std::string entry;
+    entry += "    {\n      \"allocator\": \"" + label + "\",\n";
+    entry += "      \"committed\": " +
+             std::to_string(result.report.sim.committed) + ",\n";
+    entry += "      \"aborted\": " + std::to_string(result.report.aborted) +
+             ",\n";
+    entry += "      \"accounts_migrated\": " +
+             std::to_string(result.report.accounts_migrated) + ",\n";
+    entry += "      \"accounts_moved\": " +
+             std::to_string(result.accounts_moved) + ",\n";
+    entry += "      \"epochs\": " + std::to_string(result.epochs) + ",\n";
+    entry += "      \"overrun_boundaries\": " +
+             std::to_string(result.overrun_boundaries) + ",\n";
+    entry += "      \"final_state_root\": \"";
+    if (state_on && engine != nullptr && engine->state() != nullptr) {
+      entry += DigestToHex(engine->state()->GlobalRoot());
+    }
+    entry += "\",\n      \"steps\": [";
+    for (size_t i = 0; i < result.steps.size(); ++i) {
+      const engine::StepMetrics& step = result.steps[i];
+      if (i > 0) entry += ",";
+      entry += "\n        {\"step\": " + std::to_string(step.step) +
+               ", \"committed\": " + std::to_string(step.committed) +
+               ", \"aborted\": " + std::to_string(step.aborted) +
+               ", \"accounts_migrated\": " +
+               std::to_string(step.accounts_migrated) + "}";
+    }
+    entry += "\n      ]\n    }";
+    if (!json_methods.empty()) json_methods += ",\n";
+    json_methods += entry;
+  };
+  const auto write_json = [&]() {
+    if (json_out.empty()) return;
+    std::ofstream file(json_out, std::ios::trunc);
+    file << "{\n  \"bench\": \"timeline_series\",\n";
+    file << "  \"k\": " << k << ",\n";
+    file << "  \"blocks\": " << blocks << ",\n";
+    file << "  \"txs_per_block\": " << txs_per_block << ",\n";
+    file << "  \"epoch_blocks\": " << epoch_blocks << ",\n";
+    file << "  \"seed\": " << seed << ",\n";
+    file << "  \"state_enabled\": " << (state_on ? "true" : "false") << ",\n";
+    file << "  \"initial_balance\": " << state_balance << ",\n";
+    file << "  \"migration_work_per_account\": " << migration_work << ",\n";
+    file << "  \"methods\": [\n" << json_methods << "\n  ]\n}\n";
+    std::printf("wrote state series snapshot to %s\n", json_out.c_str());
   };
 
   if (!trace.replay_path.empty()) {
@@ -127,6 +206,9 @@ int main(int argc, char** argv) {
     engine::EngineConfig engine_config = bench::MakeEngineConfig(
         scale, k, eta, 1.3 * static_cast<double>(txs_per_block) / k);
     engine_config.hash_route_unassigned = true;
+    engine_config.state.enabled = state_on;
+    engine_config.state.initial_balance = workload_config.initial_balance;
+    engine_config.state.migration_work_per_account = migration_work;
     engine::ParallelEngine engine(engine_config, nullptr);
     engine::PipelineConfig pipeline;
     pipeline.ingest_producers = producers;
@@ -138,6 +220,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     add_series_rows("replay", *result);
+    add_json_method("replay", *result, &engine);
+    write_json();
     series.Print();
     const std::string csv_dir = flags.GetString("csv-dir", "bench_out");
     series.WriteCsv(csv_dir, "timeline_series.csv");
@@ -172,12 +256,16 @@ int main(int argc, char** argv) {
     engine::EngineConfig engine_config = bench::MakeEngineConfig(
         scale, k, eta, 1.3 * static_cast<double>(txs_per_block) / k);
     engine_config.hash_route_unassigned = true;
+    engine_config.state.enabled = state_on;
+    engine_config.state.initial_balance = workload_config.initial_balance;
+    engine_config.state.migration_work_per_account = migration_work;
     engine::ParallelEngine engine(engine_config, nullptr);
     engine::ReplayLog log;
     engine::PipelineConfig pipeline;
     pipeline.blocks_per_epoch = epoch_blocks;
     pipeline.allocator_mode = *mode;
     pipeline.ingest_producers = producers;
+    pipeline.allow_epoch_overrun = overrun;
     if (!trace.record_path.empty()) pipeline.record = &log;
     auto result =
         engine::RunReallocatedStream(ledger, online, &engine, pipeline);
@@ -200,6 +288,7 @@ int main(int argc, char** argv) {
     }
 
     add_series_rows(spec, *result);
+    add_json_method(spec, *result, &engine);
     const double cross_pct =
         result->report.sim.submitted == 0
             ? 0.0
@@ -209,13 +298,17 @@ int main(int argc, char** argv) {
     summary.AddRow({spec, std::to_string(result->report.sim.committed),
                     bench::Fmt(result->report.sim.throughput_per_block, 1),
                     bench::Fmt(cross_pct, 1),
+                    std::to_string(result->report.aborted),
+                    std::to_string(result->report.accounts_migrated),
                     std::to_string(result->epochs),
+                    std::to_string(result->overrun_boundaries),
                     std::to_string(result->accounts_moved),
                     bench::Fmt(result->alloc_seconds, 4),
                     bench::Fmt(result->alloc_wait_seconds, 4),
                     bench::Fmt(100.0 * result->alloc_overlap_ratio, 1)});
   }
 
+  write_json();
   series.Print();
   summary.Print();
   const std::string csv_dir = flags.GetString("csv-dir", "bench_out");

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "txallo/common/stopwatch.h"
+#include "txallo/state/transfer_plan.h"
 
 namespace txallo::engine {
 
@@ -29,14 +31,29 @@ uint32_t ResolveWorkerCount(const EngineConfig& config) {
   return std::max(1u, std::min(n, config.num_shards));
 }
 
+// The per-account half of sim::RouteTransaction's rule: which shard one
+// account's op executes on at ingest time. Must stay in lockstep with it —
+// the part routed to shard s must carry exactly the ops of the accounts
+// that routed to s.
+alloc::ShardId RouteAccount(chain::AccountId account,
+                            const alloc::Allocation& routing) {
+  if (routing.IsAssigned(account)) return routing.shard_of(account);
+  return static_cast<alloc::ShardId>(account % routing.num_shards());
+}
+
 }  // namespace
 
 ParallelEngine::ParallelEngine(EngineConfig config,
                                std::shared_ptr<const alloc::Allocation> initial)
     : config_(config),
       coordinator_(config.work),
+      state_(config.state.enabled
+                 ? std::make_unique<state::StateDb>(config.num_shards,
+                                                    config.state)
+                 : nullptr),
       num_workers_(ResolveWorkerCount(config)) {
   assert(config_.num_shards > 0);
+  if (state_ != nullptr) coordinator_.EnableDecisionCollection();
   const size_t queue_capacity = std::max<size_t>(1, config_.queue_capacity);
   lanes_.reserve(config_.num_shards);
   for (uint32_t s = 0; s < config_.num_shards; ++s) {
@@ -139,6 +156,14 @@ void ParallelEngine::ExecuteBlock(uint32_t shard, ShardLane& lane,
     lane.staging.clear();
   }
   double budget = config_.work.capacity_per_block;
+  // Migration debt (account records this shard sent/received at the last
+  // install) is paid off the top of the budget: moving state is work the
+  // shard cannot spend on transactions.
+  if (lane.migration_debt > 0.0) {
+    const double paid = std::min(budget, lane.migration_debt);
+    lane.migration_debt -= paid;
+    budget -= paid;
+  }
   while (budget > 0.0 && !lane.fifo.empty()) {
     WorkItem& item = lane.fifo.front();
     const double consumed = std::min(budget, item.work_remaining);
@@ -149,12 +174,16 @@ void ParallelEngine::ExecuteBlock(uint32_t shard, ShardLane& lane,
     budget -= consumed;
     lane.processed_work += consumed;
     if (item.work_remaining <= 1e-12) {
-      const uint64_t tx_index = item.tx_index;
       if (record) {
         lane.prepare_log.push_back(PrepareEvent{block, shard, item.seq});
       }
+      // The vote is cast by the driver after the barrier (stage + vote in
+      // canonical lane order), not here: state mutation must not race
+      // across workers, and a migrated record may live on a lane another
+      // worker owns.
+      lane.finished.push_back(
+          FinishedPart{item.tx_index, item.seq, std::move(item.ops)});
       lane.fifo.pop_front();
-      coordinator_.PartPrepared(tx_index, block);
     }
   }
 }
@@ -208,8 +237,21 @@ Status ParallelEngine::SubmitTransactions(
     const uint64_t tx_index = coordinator_.Register(
         arrival_block, static_cast<uint32_t>(shards.size()), cross, seq);
     const double work = config_.work.PartWork(cross);
+    // With the state backend on, the transaction's deterministic transfer
+    // plan is sliced across its parts: each part carries the ops of the
+    // accounts that routed to its shard.
+    std::vector<state::Op> ops;
+    if (state_ != nullptr) ops = state::BuildTransferOps(tx, seq);
     for (alloc::ShardId s : shards) {
-      lanes_[s]->inbox.Push(WorkItem{tx_index, seq, work});
+      WorkItem item{tx_index, seq, work, {}};
+      if (state_ != nullptr) {
+        for (const state::Op& op : ops) {
+          if (RouteAccount(op.account, *routing) == s) {
+            item.ops.push_back(op);
+          }
+        }
+      }
+      lanes_[s]->inbox.Push(std::move(item));
     }
   }
   return Status::OK();
@@ -230,6 +272,7 @@ Status ParallelEngine::InstallAllocation(
   routing_ = std::move(next);
   snapshot_error_.clear();
   ++reallocations_;
+  if (state_ != nullptr) state_pending_sync_ = true;
   realloc_pause_seconds_ += pause.ElapsedSeconds();
   return Status::OK();
 }
@@ -250,18 +293,87 @@ bool ParallelEngine::WorkersCaughtUpLocked(bool and_services) const {
   return true;
 }
 
+void ParallelEngine::SyncStateResidency() {
+  std::shared_ptr<const alloc::Allocation> target;
+  {
+    common::MutexLock lock(routing_mu_);
+    if (state_pending_sync_) {
+      target = routing_;
+      state_pending_sync_ = false;
+    }
+  }
+  state::MigrationReport moved;
+  if (target != nullptr) {
+    moved = state_->BeginMigration(std::move(target),
+                                   config_.hash_route_unassigned);
+  } else if (state_->migration_pending()) {
+    // Records an earlier pass could not move (reservation-locked by an
+    // in-flight cross-shard round) are retried every tick until clean.
+    moved = state_->ContinueMigration();
+  } else {
+    return;
+  }
+  accounts_migrated_ += moved.accounts_moved;
+  if (config_.state.migration_work_per_account > 0.0 &&
+      moved.accounts_moved > 0) {
+    for (uint32_t s = 0; s < config_.num_shards; ++s) {
+      const uint64_t records = moved.moved_out[s] + moved.moved_in[s];
+      if (records > 0) {
+        lanes_[s]->migration_debt += static_cast<double>(records) *
+                                     config_.state.migration_work_per_account;
+      }
+    }
+  }
+}
+
 void ParallelEngine::Tick() {
+  // State residency syncs before the tick's workers run: the migration
+  // debt it charges must be visible to this tick's ExecuteBlock (the mu_
+  // handshake below publishes the lane writes).
+  if (state_ != nullptr) SyncStateResidency();
   now_.fetch_add(1, std::memory_order_relaxed);
+  bool record = false;
   {
     common::MutexLock lock(mu_);
+    record = record_trace_;
     ++tick_generation_;
     cv_workers_.NotifyAll();
     while (!WorkersCaughtUpLocked(/*and_services=*/false)) {
       cv_driver_.Wait(mu_);
     }
   }
-  // Workers have barriered; only the driver touches the coordinator now.
-  coordinator_.FlushDelayed(now_.load(std::memory_order_relaxed));
+  // Workers have barriered; only the driver touches lane state and the
+  // coordinator now. Stage + vote the tick's finished parts in canonical
+  // (shard, lane-position) order — driver-side so the state DB is mutated
+  // by exactly one thread, in an order independent of worker striping.
+  const uint64_t now = now_.load(std::memory_order_relaxed);
+  for (uint32_t s = 0; s < config_.num_shards; ++s) {
+    ShardLane& lane = *lanes_[s];
+    for (FinishedPart& part : lane.finished) {
+      bool ok = true;
+      if (state_ != nullptr) {
+        ok = state_->StagePart(part.seq, part.ops, s);
+      }
+      coordinator_.PartExecuted(part.tx_index, now, ok);
+    }
+    lane.finished.clear();
+  }
+  coordinator_.FlushDelayed(now);
+  if (state_ != nullptr) {
+    // Apply the tick's 2PC decisions to the staged state: commits land
+    // their thunks, aborts revert to the exact pre-transaction records.
+    for (const TwoPhaseCoordinator::Decision& decision :
+         coordinator_.TakeDecisions()) {
+      if (decision.aborted) {
+        state_->Abort(decision.seq);
+      } else {
+        state_->Commit(decision.seq);
+      }
+    }
+    if (record) {
+      tick_roots_.push_back(TickStateRoot{now, state_->GlobalRoot()});
+    }
+  }
 }
 
 void ParallelEngine::QuiesceLocked() {
@@ -299,6 +411,9 @@ EngineReport ParallelEngine::Snapshot() {
   report.sim.max_latency_blocks = stats.latency_max_blocks;
   report.prepares_received = stats.prepares_received;
   report.cross_shard_committed = stats.cross_shard_committed;
+  report.aborted = stats.aborted;
+  report.cross_shard_aborted = stats.cross_shard_aborted;
+  report.accounts_migrated = accounts_migrated_;
 
   double utilization = 0.0;
   double residual = 0.0;
@@ -349,6 +464,7 @@ ParallelEngine::Trace ParallelEngine::ExtractTrace() {
                      return a.block < b.block;
                    });
   trace.commits = coordinator_.CanonicalCommitEvents();
+  trace.state_roots = tick_roots_;
   return trace;
 }
 

@@ -59,12 +59,14 @@
 
 #include "txallo/alloc/allocation.h"
 #include "txallo/chain/transaction.h"
+#include "txallo/common/sha256.h"
 #include "txallo/common/status.h"
 #include "txallo/common/sync.h"
 #include "txallo/engine/mpsc_queue.h"
 #include "txallo/engine/two_phase.h"
 #include "txallo/sim/shard_sim.h"
 #include "txallo/sim/work_model.h"
+#include "txallo/state/state_db.h"
 
 namespace txallo::engine {
 
@@ -72,6 +74,13 @@ struct EngineConfig {
   uint32_t num_shards = 8;
   /// Shared η/λ/commit-round cost semantics.
   sim::WorkModel work;
+  /// Account-state backend (state/). Disabled by default: the engine then
+  /// executes the pure cost model — every vote is PREPARED and installs
+  /// are free mapping edits. Enabled, parts stage real debits/credits
+  /// (insufficient balance -> deterministic abort), installs migrate
+  /// account records between shard DBs (charged against λ), and each tick
+  /// fingerprints the committed state with a Merkle root.
+  state::StateConfig state;
   /// Worker threads; 0 = min(hardware_concurrency, num_shards). Clamped to
   /// [1, num_shards].
   uint32_t num_threads = 0;
@@ -103,6 +112,16 @@ struct PrepareEvent {
   bool operator==(const PrepareEvent&) const = default;
 };
 
+/// Merkle root of the committed account state at the end of a tick
+/// (recorded only with the state backend on; replay verifies these
+/// bit-identically — structural state verification, not just
+/// trace-identity).
+struct TickStateRoot {
+  uint64_t block = 0;
+  Sha256Digest root{};
+  bool operator==(const TickStateRoot&) const = default;
+};
+
 /// SimReport plus engine-only observability.
 struct EngineReport {
   /// Same fields/semantics as the serial simulator's report.
@@ -120,6 +139,12 @@ struct EngineReport {
   /// 2PC observability: PREPARED votes received and cross-shard commits.
   uint64_t prepares_received = 0;
   uint64_t cross_shard_committed = 0;
+  /// Transactions aborted by a failed state check (state backend only).
+  uint64_t aborted = 0;
+  uint64_t cross_shard_aborted = 0;
+  /// Account records moved between shard DBs by allocation installs
+  /// (state backend only; the migration cost charged against λ).
+  uint64_t accounts_migrated = 0;
 };
 
 class ParallelEngine {
@@ -182,6 +207,8 @@ class ParallelEngine {
   struct Trace {
     std::vector<PrepareEvent> prepares;
     std::vector<CommitEvent> commits;
+    /// Per-tick committed-state Merkle roots (state backend on only).
+    std::vector<TickStateRoot> state_roots;
   };
   Trace ExtractTrace();
 
@@ -210,11 +237,28 @@ class ParallelEngine {
   /// install when constructed without one).
   std::shared_ptr<const alloc::Allocation> allocation_snapshot() const;
 
+  /// The account-state backend, or nullptr when EngineConfig::state is
+  /// disabled. Driver-side only, and only between ticks (the driver owns
+  /// it exactly when it owns Tick()).
+  state::StateDb* state() { return state_.get(); }
+  const state::StateDb* state() const { return state_.get(); }
+
  private:
   struct WorkItem {
     uint64_t tx_index;
     uint64_t seq;
     double work_remaining;
+    /// This part's staged effects (state backend on; empty otherwise).
+    std::vector<state::Op> ops;
+  };
+  /// A part that finished executing this tick, parked by the owning worker
+  /// for the driver to stage + vote after the barrier (in canonical lane
+  /// order — which is what keeps state mutation deterministic and the
+  /// state DB single-threaded).
+  struct FinishedPart {
+    uint64_t tx_index;
+    uint64_t seq;
+    std::vector<state::Op> ops;
   };
   // Per-shard execution state. The inbox is shared (producers push, owner
   // worker drains); everything below it is owned by the shard's worker
@@ -231,10 +275,21 @@ class ParallelEngine {
     double processed_work = 0.0;
     // Prepare votes in execution order (only when recording; owner-written).
     std::vector<PrepareEvent> prepare_log;
+    // Parts finished this tick; owner-written during the tick, drained by
+    // the driver after the barrier (stage + vote), before the next tick.
+    std::vector<FinishedPart> finished;
+    // λ units still owed for account-record migration (state backend).
+    // Driver-written before workers are notified of a tick; owner-consumed
+    // off the top of that tick's budget.
+    double migration_debt = 0.0;
   };
   void WorkerMain(uint32_t worker_index);
   void ExecuteBlock(uint32_t shard, ShardLane& lane, uint64_t block,
                     bool record);
+  // Driver-side, before notifying workers of a tick: applies any pending
+  // allocation install to state residency (migrating records) and charges
+  // the moved records as migration debt against the involved lanes' λ.
+  void SyncStateResidency();
   // Wakes workers to drain their inboxes (called by full queues' handler).
   void RequestService();
   // Driver-side: waits until every worker has observed the latest tick and
@@ -258,6 +313,17 @@ class ParallelEngine {
   std::string snapshot_error_ TXALLO_GUARDED_BY(routing_mu_);
   uint64_t reallocations_ TXALLO_GUARDED_BY(routing_mu_) = 0;
   double realloc_pause_seconds_ TXALLO_GUARDED_BY(routing_mu_) = 0.0;
+  // An install has been published whose residency migration has not run
+  // yet (picked up by SyncStateResidency at the next tick).
+  bool state_pending_sync_ TXALLO_GUARDED_BY(routing_mu_) = false;
+
+  // Account-state backend. Allocated once in the constructor (null when
+  // disabled); mutated by the driver only, between tick barriers — workers
+  // never touch it, which is why it needs no lock.
+  const std::unique_ptr<state::StateDb> state_;
+  // Driver-only state observability (same ownership as state_).
+  uint64_t accounts_migrated_ = 0;
+  std::vector<TickStateRoot> tick_roots_;
 
   // Tick/service protocol. Per-worker progress lives in parallel vectors
   // (index = worker) rather than a per-worker struct so the counters can be

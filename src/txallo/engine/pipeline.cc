@@ -83,6 +83,16 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
           "replay trace was recorded under a different engine configuration "
           "(shard count or work model)");
     }
+    if (replay->meta.state_enabled != ec.state.enabled ||
+        (ec.state.enabled &&
+         (replay->meta.state_initial_balance != ec.state.initial_balance ||
+          replay->meta.state_migration_work !=
+              ec.state.migration_work_per_account))) {
+      return Status::InvalidArgument(
+          "replay trace was recorded under a different account-state "
+          "configuration (backend on/off, initial balance or migration "
+          "cost)");
+    }
     if (replay->meta.ledger_blocks != ledger.num_blocks() ||
         replay->meta.ledger_transactions != ledger.num_transactions() ||
         replay->meta.ledger_fingerprint != ledger_fingerprint) {
@@ -226,6 +236,9 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
             static_cast<double>(metrics.cross_shard_submitted) /
             static_cast<double>(metrics.submitted);
       }
+      metrics.aborted = snap.aborted - prev.aborted;
+      metrics.accounts_migrated =
+          snap.accounts_migrated - prev.accounts_migrated;
       prev = snap;
     }
 
@@ -270,33 +283,55 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
           break;
         }
         case AllocatorMode::kBackground: {
+          // With allow_epoch_overrun, a Run() still executing at the
+          // boundary skips this update entirely (no Collect stall, no new
+          // task — the in-flight one keeps running) and the mapping lands
+          // at the next boundary it is ready for.
+          bool skipped = false;
           if (background->busy()) {
-            Result<BackgroundAllocator::Outcome> outcome =
-                background->Collect();
-            if (!outcome.ok()) return outcome.status();
-            TXALLO_RETURN_NOT_OK(outcome->task->Commit());
-            if (!outcome->mapping.ok()) return outcome->mapping.status();
-            metrics.alloc_seconds = outcome->run_seconds;
-            metrics.alloc_wait_seconds = outcome->wait_seconds;
-            TXALLO_RETURN_NOT_OK(
-                install(std::make_shared<const alloc::Allocation>(
-                    std::move(outcome->mapping.value()))));
-            metrics.installed = true;
+            std::optional<BackgroundAllocator::Outcome> outcome;
+            if (config.allow_epoch_overrun) {
+              Result<std::optional<BackgroundAllocator::Outcome>> polled =
+                  background->TryCollect();
+              if (!polled.ok()) return polled.status();
+              outcome = std::move(polled.value());
+              if (!outcome.has_value()) {
+                skipped = true;
+                ++result.overrun_boundaries;
+              }
+            } else {
+              Result<BackgroundAllocator::Outcome> collected =
+                  background->Collect();
+              if (!collected.ok()) return collected.status();
+              outcome = std::move(collected.value());
+            }
+            if (outcome.has_value()) {
+              TXALLO_RETURN_NOT_OK(outcome->task->Commit());
+              if (!outcome->mapping.ok()) return outcome->mapping.status();
+              metrics.alloc_seconds = outcome->run_seconds;
+              metrics.alloc_wait_seconds = outcome->wait_seconds;
+              TXALLO_RETURN_NOT_OK(
+                  install(std::make_shared<const alloc::Allocation>(
+                      std::move(outcome->mapping.value()))));
+              metrics.installed = true;
+            }
           } else if (held != nullptr) {
             TXALLO_RETURN_NOT_OK(install(std::move(held)));
             held = nullptr;
             metrics.installed = true;
           }
-          ++result.epochs;
-          std::unique_ptr<allocator::RebalanceTask> task =
-              alloc->BeginRebalance();
-          if (task != nullptr) {
-            TXALLO_RETURN_NOT_OK(background->Launch(std::move(task)));
-          } else {
-            // Strategy cannot snapshot: compute synchronously here, keep
-            // the deferred install schedule so the logical timeline stays
-            // identical (overlap just stays at zero for this strategy).
-            TXALLO_RETURN_NOT_OK(compute_and_hold(metrics));
+          if (!skipped) {
+            ++result.epochs;
+            std::unique_ptr<allocator::RebalanceTask> task =
+                alloc->BeginRebalance();
+            if (task != nullptr) {
+              TXALLO_RETURN_NOT_OK(background->Launch(std::move(task)));
+            } else {
+              // Strategy cannot snapshot: compute synchronously here, keep
+              // the deferred install schedule so the logical timeline stays
+              // identical (overlap just stays at zero for this strategy).
+              TXALLO_RETURN_NOT_OK(compute_and_hold(metrics));
+            }
           }
           break;
         }
@@ -349,6 +384,9 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
       tail.cross_shard_ratio = static_cast<double>(tail.cross_shard_submitted) /
                                static_cast<double>(tail.submitted);
     }
+    tail.aborted = result.report.aborted - prev.aborted;
+    tail.accounts_migrated =
+        result.report.accounts_migrated - prev.accounts_migrated;
     result.steps.push_back(tail);
   }
 
@@ -365,6 +403,13 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
     observed.meta.capacity_per_block = ec.work.capacity_per_block;
     observed.meta.cross_shard_commit_rounds =
         ec.work.cross_shard_commit_rounds;
+    // Normalized to zero when the backend is off, so meta equality can
+    // never hinge on a value the run ignored.
+    observed.meta.state_enabled = ec.state.enabled;
+    observed.meta.state_initial_balance =
+        ec.state.enabled ? ec.state.initial_balance : 0;
+    observed.meta.state_migration_work =
+        ec.state.enabled ? ec.state.migration_work_per_account : 0.0;
     observed.meta.blocks_per_epoch = blocks_per_epoch;
     observed.meta.ledger_blocks = ledger.num_blocks();
     observed.meta.ledger_transactions = ledger.num_transactions();
@@ -378,6 +423,7 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
     ParallelEngine::Trace trace = engine->ExtractTrace();
     observed.prepares = std::move(trace.prepares);
     observed.commits = std::move(trace.commits);
+    observed.state_roots = std::move(trace.state_roots);
     if (replay != nullptr) {
       const std::string divergence =
           DescribeTraceDivergence(*replay, observed);

@@ -74,6 +74,15 @@ struct PipelineConfig {
   /// Ingest fan-out: >= 2 routes blocks through an IngestRouter with this
   /// many producer threads; 0/1 submits from the driver.
   uint32_t ingest_producers = 0;
+  /// Multi-epoch allocation lookahead (kBackground only): when a
+  /// RebalanceTask overruns its epoch, skip this boundary — keep ticking —
+  /// and install the mapping at the next boundary it is ready for, instead
+  /// of blocking the tick loop (`alloc_wait_seconds`). Off by default: the
+  /// blocking schedule is the determinism baseline (bit-identical to
+  /// kDriverDeferred); with overrun skipping, install points depend on
+  /// allocator wall time. Recorded runs still replay bit-identically —
+  /// the trace pins the install blocks that actually happened.
+  bool allow_epoch_overrun = false;
   /// When set, the run records its deterministic trace here (the engine
   /// must be fresh — no prior submissions or ticks).
   ReplayLog* record = nullptr;
@@ -114,6 +123,13 @@ struct StepMetrics {
   double alloc_wait_seconds = 0.0;
   /// A refreshed mapping was published at the end of this window.
   bool installed = false;
+  /// Transactions aborted by a failed state check in the window (state
+  /// backend only; insufficient balance / bad nonce).
+  uint64_t aborted = 0;
+  /// Account records migrated between shard DBs in the window (state
+  /// backend only; the migration-cost column — each record also charged
+  /// migration work against its shards' λ).
+  uint64_t accounts_migrated = 0;
 
   bool operator==(const StepMetrics&) const = default;
 };
@@ -132,8 +148,13 @@ struct PipelineResult {
   /// latency hidden behind execution. 0 in the driver modes.
   double alloc_overlap_ratio = 0.0;
   /// Accounts whose shard changed across all *installed* reallocations
-  /// (the practical state-migration cost; sim::CompareAllocations).
+  /// (the mapping-level migration cost; sim::CompareAllocations). With the
+  /// state backend on, report.accounts_migrated counts the records
+  /// actually moved between shard DBs.
   uint64_t accounts_moved = 0;
+  /// Epoch boundaries skipped because the rebalance task was still running
+  /// (PipelineConfig::allow_epoch_overrun).
+  uint64_t overrun_boundaries = 0;
   /// Per-step timeline series, one entry per epoch window.
   std::vector<StepMetrics> steps;
 };

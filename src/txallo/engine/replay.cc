@@ -1,5 +1,6 @@
 #include "txallo/engine/replay.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 
@@ -9,7 +10,7 @@ namespace txallo::engine {
 
 namespace {
 
-constexpr char kMagic[8] = {'T', 'X', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr char kMagic[8] = {'T', 'X', 'T', 'R', 'A', 'C', 'E', '2'};
 
 // Fixed-width little-endian primitives. Explicit byte shuffling (not
 // memcpy of host representation) so traces recorded on any platform load
@@ -70,6 +71,12 @@ class Reader {
     uint64_t bits = 0;
     if (!ReadU64(&bits)) return false;
     std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool ReadBytes(uint8_t* dst, size_t n) {
+    if (!Need(n)) return false;
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
     return true;
   }
 
@@ -151,8 +158,24 @@ std::string DescribeTraceDivergence(const ReplayLog& recorded,
     if (!(a == b)) {
       return "commit[" + U64(i) + "]: recorded (block=" + U64(a.block) +
              ", seq=" + U64(a.seq) + ", cross=" + U64(a.cross_shard) +
-             ") vs replayed (block=" + U64(b.block) + ", seq=" + U64(b.seq) +
-             ", cross=" + U64(b.cross_shard) + ")";
+             ", aborted=" + U64(a.aborted) + ") vs replayed (block=" +
+             U64(b.block) + ", seq=" + U64(b.seq) + ", cross=" +
+             U64(b.cross_shard) + ", aborted=" + U64(b.aborted) + ")";
+    }
+  }
+  if (recorded.state_roots.size() != replayed.state_roots.size()) {
+    return "state-root stream length: recorded " +
+           U64(recorded.state_roots.size()) + " vs replayed " +
+           U64(replayed.state_roots.size());
+  }
+  for (size_t i = 0; i < recorded.state_roots.size(); ++i) {
+    const TickStateRoot& a = recorded.state_roots[i];
+    const TickStateRoot& b = replayed.state_roots[i];
+    if (!(a == b)) {
+      return "state root[" + U64(i) + "]: recorded (block=" + U64(a.block) +
+             ", root=" + DigestToHex(a.root).substr(0, 16) +
+             "…) vs replayed (block=" + U64(b.block) + ", root=" +
+             DigestToHex(b.root).substr(0, 16) + "…)";
     }
   }
   if (recorded.installs.size() != replayed.installs.size()) {
@@ -179,11 +202,13 @@ std::string DescribeTraceDivergence(const ReplayLog& recorded,
     if (!(a == b)) {
       return "step[" + U64(i) + "]: recorded (submitted=" + U64(a.submitted) +
              ", committed=" + U64(a.committed) + ", cross=" +
-             U64(a.cross_shard_submitted) + ", installed=" +
+             U64(a.cross_shard_submitted) + ", aborted=" + U64(a.aborted) +
+             ", migrated=" + U64(a.accounts_migrated) + ", installed=" +
              U64(a.installed) + ") vs replayed (submitted=" +
              U64(b.submitted) + ", committed=" + U64(b.committed) +
-             ", cross=" + U64(b.cross_shard_submitted) + ", installed=" +
-             U64(b.installed) + ")";
+             ", cross=" + U64(b.cross_shard_submitted) + ", aborted=" +
+             U64(b.aborted) + ", migrated=" + U64(b.accounts_migrated) +
+             ", installed=" + U64(b.installed) + ")";
     }
   }
   if (recorded.accounts_moved != replayed.accounts_moved) {
@@ -191,6 +216,83 @@ std::string DescribeTraceDivergence(const ReplayLog& recorded,
            " vs replayed " + U64(replayed.accounts_moved);
   }
   return "";
+}
+
+namespace {
+
+// One shard's prepare subsequence, in stream order. The global stream is
+// canonically (block, shard, lane-position) sorted, so the per-shard
+// subsequence IS that shard's execution order.
+std::vector<std::vector<PrepareEvent>> SplitLanes(const ReplayLog& log) {
+  uint32_t num_shards = log.meta.num_shards;
+  for (const PrepareEvent& event : log.prepares) {
+    // Tolerate hand-built logs whose meta was never filled in.
+    if (event.shard >= num_shards) num_shards = event.shard + 1;
+  }
+  std::vector<std::vector<PrepareEvent>> lanes(num_shards);
+  for (const PrepareEvent& event : log.prepares) {
+    lanes[event.shard].push_back(event);
+  }
+  return lanes;
+}
+
+std::string LaneEntry(const std::vector<PrepareEvent>& lane, size_t i) {
+  if (i >= lane.size()) return "(--, --)";
+  return "(" + U64(lane[i].block) + ", " + U64(lane[i].seq) + ")";
+}
+
+void PadTo(std::string* line, size_t width) {
+  while (line->size() < width) line->push_back(' ');
+}
+
+}  // namespace
+
+std::string DescribeLaneDivergence(const ReplayLog& recorded,
+                                   const ReplayLog& replayed,
+                                   size_t context) {
+  std::vector<std::vector<PrepareEvent>> rec = SplitLanes(recorded);
+  std::vector<std::vector<PrepareEvent>> rep = SplitLanes(replayed);
+  const size_t num_lanes = std::max(rec.size(), rep.size());
+  rec.resize(num_lanes);
+  rep.resize(num_lanes);
+
+  std::string out;
+  for (size_t shard = 0; shard < num_lanes; ++shard) {
+    const std::vector<PrepareEvent>& a = rec[shard];
+    const std::vector<PrepareEvent>& b = rep[shard];
+    const size_t longest = std::max(a.size(), b.size());
+    size_t first = longest;
+    for (size_t i = 0; i < longest; ++i) {
+      if (i >= a.size() || i >= b.size() || !(a[i] == b[i])) {
+        first = i;
+        break;
+      }
+    }
+    if (first == longest) continue;  // Lane matches entry for entry.
+
+    if (!out.empty()) out += "\n";
+    out += "lane shard=" + U64(shard) + ": first divergence at pos " +
+           U64(first) + " (recorded tick " +
+           (first < a.size() ? U64(a[first].block) : std::string("--")) +
+           ", replayed tick " +
+           (first < b.size() ? U64(b[first].block) : std::string("--")) +
+           ")\n";
+    out += "      pos   recorded(block, seq)    replayed(block, seq)\n";
+    const size_t lo = first > context ? first - context : 0;
+    const size_t hi = std::min(longest, first + context + 1);
+    for (size_t i = lo; i < hi; ++i) {
+      const bool divergent =
+          i >= a.size() || i >= b.size() || !(a[i] == b[i]);
+      std::string line = divergent ? "    > " : "      ";
+      line += U64(i);
+      PadTo(&line, 12);
+      line += LaneEntry(a, i);
+      PadTo(&line, 36);
+      line += LaneEntry(b, i);
+      out += line + "\n";
+    }
+  }
+  return out;
 }
 
 Result<PipelineResult> ReplayRecordedStream(const chain::Ledger& ledger,
@@ -209,6 +311,9 @@ Status SaveReplayLog(const ReplayLog& log, const std::string& path) {
   PutF64(&out, log.meta.eta);
   PutF64(&out, log.meta.capacity_per_block);
   PutU32(&out, log.meta.cross_shard_commit_rounds);
+  PutU8(&out, log.meta.state_enabled ? 1 : 0);
+  PutU64(&out, static_cast<uint64_t>(log.meta.state_initial_balance));
+  PutF64(&out, log.meta.state_migration_work);
   PutU32(&out, log.meta.blocks_per_epoch);
   PutU64(&out, log.meta.ledger_blocks);
   PutU64(&out, log.meta.ledger_transactions);
@@ -229,6 +334,13 @@ Status SaveReplayLog(const ReplayLog& log, const std::string& path) {
     PutU64(&out, event.block);
     PutU64(&out, event.seq);
     PutU8(&out, event.cross_shard ? 1 : 0);
+    PutU8(&out, event.aborted ? 1 : 0);
+  }
+  PutU64(&out, log.state_roots.size());
+  for (const TickStateRoot& root : log.state_roots) {
+    PutU64(&out, root.block);
+    out.append(reinterpret_cast<const char*>(root.root.data()),
+               root.root.size());
   }
   PutU64(&out, log.installs.size());
   for (const InstallEvent& event : log.installs) {
@@ -250,6 +362,8 @@ Status SaveReplayLog(const ReplayLog& log, const std::string& path) {
     PutF64(&out, step.alloc_seconds);
     PutF64(&out, step.alloc_wait_seconds);
     PutU8(&out, step.installed ? 1 : 0);
+    PutU64(&out, step.aborted);
+    PutU64(&out, step.accounts_migrated);
   }
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file.is_open()) {
@@ -273,16 +387,19 @@ Result<ReplayLog> LoadReplayLog(const std::string& path) {
   if (data.size() < sizeof(kMagic) ||
       std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("'" + path +
-                              "' is not a TXTRACE1 replay trace");
+                              "' is not a TXTRACE2 replay trace");
   }
   const std::string body = data.substr(sizeof(kMagic));
   Reader reader(body);
   ReplayLog log;
   uint8_t flag = 0;
+  uint64_t balance_bits = 0;
   bool ok = reader.ReadU32(&log.meta.num_shards) &&
             reader.ReadF64(&log.meta.eta) &&
             reader.ReadF64(&log.meta.capacity_per_block) &&
             reader.ReadU32(&log.meta.cross_shard_commit_rounds) &&
+            reader.ReadU8(&flag) && reader.ReadU64(&balance_bits) &&
+            reader.ReadF64(&log.meta.state_migration_work) &&
             reader.ReadU32(&log.meta.blocks_per_epoch) &&
             reader.ReadU64(&log.meta.ledger_blocks) &&
             reader.ReadU64(&log.meta.ledger_transactions) &&
@@ -292,6 +409,8 @@ Result<ReplayLog> LoadReplayLog(const std::string& path) {
             reader.ReadF64(&log.alloc_overlap_ratio) &&
             reader.ReadU64(&log.epochs) &&
             reader.ReadU64(&log.accounts_moved);
+  log.meta.state_enabled = flag != 0;
+  log.meta.state_initial_balance = static_cast<int64_t>(balance_bits);
   uint64_t count = 0;
   ok = ok && reader.ReadU64(&count);
   // 20 bytes per prepare: reject counts the remaining bytes cannot hold
@@ -305,13 +424,26 @@ Result<ReplayLog> LoadReplayLog(const std::string& path) {
     }
   }
   ok = ok && reader.ReadU64(&count);
-  if (ok && count > reader.remaining() / 17) ok = false;
+  // 18 bytes per commit: block + seq + the cross-shard and aborted flags.
+  if (ok && count > reader.remaining() / 18) ok = false;
   if (ok) {
     log.commits.resize(count);
     for (CommitEvent& event : log.commits) {
       ok = ok && reader.ReadU64(&event.block) && reader.ReadU64(&event.seq) &&
            reader.ReadU8(&flag);
       event.cross_shard = flag != 0;
+      ok = ok && reader.ReadU8(&flag);
+      event.aborted = flag != 0;
+    }
+  }
+  ok = ok && reader.ReadU64(&count);
+  // 40 bytes per state root: the block index + a raw 32-byte digest.
+  if (ok && count > reader.remaining() / 40) ok = false;
+  if (ok) {
+    log.state_roots.resize(count);
+    for (TickStateRoot& root : log.state_roots) {
+      ok = ok && reader.ReadU64(&root.block) &&
+           reader.ReadBytes(root.root.data(), root.root.size());
     }
   }
   ok = ok && reader.ReadU64(&count);
@@ -341,8 +473,8 @@ Result<ReplayLog> LoadReplayLog(const std::string& path) {
     }
   }
   ok = ok && reader.ReadU64(&count);
-  // 81 bytes per step: 6 u64 counters + 4 f64 metrics + the installed flag.
-  if (ok && count > reader.remaining() / 81) ok = false;
+  // 97 bytes per step: 8 u64 counters + 4 f64 metrics + the installed flag.
+  if (ok && count > reader.remaining() / 97) ok = false;
   if (ok) {
     log.steps.resize(count);
     for (StepMetrics& step : log.steps) {
@@ -357,6 +489,8 @@ Result<ReplayLog> LoadReplayLog(const std::string& path) {
            reader.ReadF64(&step.alloc_seconds) &&
            reader.ReadF64(&step.alloc_wait_seconds) && reader.ReadU8(&flag);
       step.installed = flag != 0;
+      ok = ok && reader.ReadU64(&step.aborted) &&
+           reader.ReadU64(&step.accounts_migrated);
     }
   }
   if (!ok || reader.failed() || !reader.AtEnd()) {
@@ -371,12 +505,17 @@ Status DumpReplayLogCsv(const ReplayLog& log, const std::string& path) {
   if (!file.is_open()) {
     return Status::IOError("cannot open '" + path + "' for writing");
   }
-  file << "kind,a,b,c,d,e,f,g,h,i\n";
+  file << "kind,a,b,c,d,e,f,g,h,i,j,k\n";
   file << "meta,num_shards," << log.meta.num_shards << "\n";
   file << "meta,eta," << log.meta.eta << "\n";
   file << "meta,capacity_per_block," << log.meta.capacity_per_block << "\n";
   file << "meta,cross_shard_commit_rounds,"
        << log.meta.cross_shard_commit_rounds << "\n";
+  file << "meta,state_enabled," << (log.meta.state_enabled ? 1 : 0) << "\n";
+  file << "meta,state_initial_balance," << log.meta.state_initial_balance
+       << "\n";
+  file << "meta,state_migration_work," << log.meta.state_migration_work
+       << "\n";
   file << "meta,blocks_per_epoch," << log.meta.blocks_per_epoch << "\n";
   file << "meta,ledger_blocks," << log.meta.ledger_blocks << "\n";
   file << "meta,ledger_transactions," << log.meta.ledger_transactions << "\n";
@@ -388,7 +527,8 @@ Status DumpReplayLogCsv(const ReplayLog& log, const std::string& path) {
          << step.last_block << ',' << step.submitted << ',' << step.committed
          << ',' << step.cross_shard_submitted << ','
          << step.throughput_per_block << ',' << step.cross_shard_ratio << ','
-         << (step.installed ? 1 : 0) << "\n";
+         << (step.installed ? 1 : 0) << ',' << step.aborted << ','
+         << step.accounts_migrated << "\n";
   }
   for (const InstallEvent& event : log.installs) {
     // The mapping itself is summarized (size + content hash); the binary
@@ -408,7 +548,12 @@ Status DumpReplayLogCsv(const ReplayLog& log, const std::string& path) {
   }
   for (const CommitEvent& event : log.commits) {
     file << "commit," << event.block << ',' << event.seq << ','
-         << (event.cross_shard ? 1 : 0) << "\n";
+         << (event.cross_shard ? 1 : 0) << ',' << (event.aborted ? 1 : 0)
+         << "\n";
+  }
+  for (const TickStateRoot& root : log.state_roots) {
+    file << "state_root," << root.block << ',' << DigestToHex(root.root)
+         << "\n";
   }
   file.flush();
   if (!file.good()) {

@@ -4,9 +4,13 @@
 // engine::RunReallocatedStream run:
 //
 //   * the canonical per-tick, per-shard prepare order (PrepareEvent stream)
-//     and the 2PC outcome stream (CommitEvent, (block, seq)-sorted), both
-//     keyed by ingest sequence tags so they survive thread/producer-count
-//     changes;
+//     and the 2PC outcome stream (CommitEvent, (block, seq)-sorted, commits
+//     and aborts alike), both keyed by ingest sequence tags so they survive
+//     thread/producer-count changes;
+//   * with the account-state backend on, the per-tick global Merkle root
+//     (TickStateRoot stream) — the structural fingerprint replay verifies
+//     bit-identically, which pins not just *which* transactions committed
+//     but the exact balances/sequences they left behind;
 //   * every installed allocation snapshot with the logical block it took
 //     effect at (InstallEvent) — replay re-installs these instead of
 //     running an allocator, which is why a trace recorded under
@@ -56,6 +60,12 @@ class ReplayLog {
     double eta = 0.0;
     double capacity_per_block = 0.0;
     uint32_t cross_shard_commit_rounds = 0;
+    /// Account-state backend fingerprint. Balance/work fields are
+    /// normalized to zero when the backend is off, so two state-less
+    /// traces always agree regardless of ignored config.
+    bool state_enabled = false;
+    int64_t state_initial_balance = 0;
+    double state_migration_work = 0.0;
     /// Epoch cadence of the recorded run; replay re-uses it.
     uint32_t blocks_per_epoch = 0;
     /// Input-stream fingerprint (FingerprintLedger).
@@ -68,8 +78,10 @@ class ReplayLog {
   Meta meta;
   /// Canonical (block, shard, lane-position) prepare stream.
   std::vector<PrepareEvent> prepares;
-  /// Canonical (block, seq) commit stream.
+  /// Canonical (block, seq) commit stream (aborted outcomes included).
   std::vector<CommitEvent> commits;
+  /// Per-tick global Merkle roots (empty unless the state backend was on).
+  std::vector<TickStateRoot> state_roots;
   /// Installed snapshots in block order (the first is the initial mapping).
   std::vector<InstallEvent> installs;
   /// Per-step series, including the trailing drain step when one occurred.
@@ -90,11 +102,23 @@ class ReplayLog {
 uint64_t FingerprintLedger(const chain::Ledger& ledger);
 
 /// First difference between two logs' *deterministic* content — meta,
-/// prepare/commit/install streams, steps' logical fields and
+/// prepare/commit/install/state-root streams, steps' logical fields and
 /// accounts_moved — or "" when bit-identical. Wall-clock fields
 /// (alloc_seconds & co.) are not compared.
 std::string DescribeTraceDivergence(const ReplayLog& recorded,
                                     const ReplayLog& replayed);
+
+/// Companion to DescribeTraceDivergence for prepare-order bugs: splits both
+/// logs' prepare streams into per-shard lanes and prints, for every lane
+/// that differs, a side-by-side diff anchored at the first divergent entry
+/// (its tick, plus `context` entries either side). "" when every lane
+/// matches. Unlike DescribeTraceDivergence — which stops at the first
+/// global difference — this shows *where in each shard's order* two runs
+/// came apart, which is the question when a scheduler change reorders
+/// lanes.
+std::string DescribeLaneDivergence(const ReplayLog& recorded,
+                                   const ReplayLog& replayed,
+                                   size_t context = 3);
 
 /// Re-executes `log` on `engine` against `ledger`: same windows, recorded
 /// installs at their recorded blocks, no allocator. `config` contributes
@@ -108,8 +132,12 @@ Result<PipelineResult> ReplayRecordedStream(const chain::Ledger& ledger,
                                             ParallelEngine* engine,
                                             const PipelineConfig& config);
 
-/// Writes `log` in the compact binary trace format (magic "TXTRACE1",
-/// fixed-width little-endian fields).
+/// Writes `log` in the compact binary trace format (magic "TXTRACE2",
+/// fixed-width little-endian fields). Version 2 added the account-state
+/// meta fields, the CommitEvent aborted flag, the per-step
+/// aborted/accounts_migrated counters and the state-root stream; v1 traces
+/// are rejected as version drift, not silently upgraded — the recorded
+/// semantics genuinely differ (no state execution).
 Status SaveReplayLog(const ReplayLog& log, const std::string& path);
 
 /// Reads a trace written by SaveReplayLog. Corruption and version drift

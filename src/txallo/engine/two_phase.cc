@@ -1,6 +1,7 @@
 #include "txallo/engine/two_phase.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace txallo::engine {
 
@@ -9,24 +10,35 @@ uint64_t TwoPhaseCoordinator::Register(uint64_t arrival_block,
                                        bool cross_shard, uint64_t seq) {
   common::MutexLock lock(mu_);
   const uint64_t tx_index = txs_.size();
-  txs_.push_back(TxEntry{arrival_block, seq, participants, cross_shard});
+  txs_.push_back(
+      TxEntry{arrival_block, seq, participants, cross_shard, false});
   ++stats_.submitted;
   if (cross_shard) ++stats_.cross_shard_submitted;
   ++stats_.in_flight;
   return tx_index;
 }
 
-void TwoPhaseCoordinator::CommitLocked(uint64_t tx_index,
-                                       uint64_t commit_block) {
+void TwoPhaseCoordinator::DecideLocked(uint64_t tx_index,
+                                       uint64_t decision_block,
+                                       bool aborted) {
   const TxEntry& tx = txs_[tx_index];
-  ++stats_.committed;
-  if (tx.cross_shard) ++stats_.cross_shard_committed;
-  const double latency =
-      static_cast<double>(commit_block - tx.arrival_block);
-  stats_.latency_sum_blocks += latency;
-  stats_.latency_max_blocks = std::max(stats_.latency_max_blocks, latency);
+  if (aborted) {
+    ++stats_.aborted;
+    if (tx.cross_shard) ++stats_.cross_shard_aborted;
+  } else {
+    ++stats_.committed;
+    if (tx.cross_shard) ++stats_.cross_shard_committed;
+    const double latency =
+        static_cast<double>(decision_block - tx.arrival_block);
+    stats_.latency_sum_blocks += latency;
+    stats_.latency_max_blocks = std::max(stats_.latency_max_blocks, latency);
+  }
   if (record_events_) {
-    events_.push_back(CommitEvent{commit_block, tx.seq, tx.cross_shard});
+    events_.push_back(
+        CommitEvent{decision_block, tx.seq, tx.cross_shard, aborted});
+  }
+  if (collect_decisions_) {
+    decisions_.push_back(Decision{decision_block, tx.seq, aborted});
   }
 }
 
@@ -35,13 +47,18 @@ void TwoPhaseCoordinator::EnableEventRecording() {
   record_events_ = true;
 }
 
+void TwoPhaseCoordinator::EnableDecisionCollection() {
+  common::MutexLock lock(mu_);
+  collect_decisions_ = true;
+}
+
 std::vector<CommitEvent> TwoPhaseCoordinator::CanonicalCommitEvents() const {
   std::vector<CommitEvent> events;
   {
     common::MutexLock lock(mu_);
     events = events_;
   }
-  // Decisions of one block land in PartPrepared/FlushDelayed interleaving
+  // Decisions of one block land in PartExecuted/FlushDelayed interleaving
   // order; the sequence tag is the canonical tiebreak.
   std::sort(events.begin(), events.end(),
             [](const CommitEvent& a, const CommitEvent& b) {
@@ -50,19 +67,27 @@ std::vector<CommitEvent> TwoPhaseCoordinator::CanonicalCommitEvents() const {
   return events;
 }
 
-void TwoPhaseCoordinator::PartPrepared(uint64_t tx_index, uint64_t block) {
+void TwoPhaseCoordinator::PartExecuted(uint64_t tx_index, uint64_t block,
+                                       bool ok) {
   common::MutexLock lock(mu_);
   TxEntry& tx = txs_[tx_index];
   ++stats_.prepares_received;
+  if (!ok) tx.abort_pending = true;
   if (--tx.parts_remaining > 0) return;
   --stats_.in_flight;
+  if (tx.abort_pending) {
+    // Aborts resolve at the last-vote block: there is no commit round to
+    // pay — participants drop their staged thunks and move on.
+    DecideLocked(tx_index, block, /*aborted=*/true);
+    return;
+  }
   const uint64_t commit_block = model_.CommitBlock(block, tx.cross_shard);
   if (commit_block > block) {
     delayed_.emplace_back(commit_block, tx_index);
     ++stats_.awaiting_commit_round;
     return;
   }
-  CommitLocked(tx_index, block);
+  DecideLocked(tx_index, block, /*aborted=*/false);
 }
 
 void TwoPhaseCoordinator::FlushDelayed(uint64_t now) {
@@ -71,8 +96,14 @@ void TwoPhaseCoordinator::FlushDelayed(uint64_t now) {
     const uint64_t tx_index = delayed_.front().second;
     delayed_.pop_front();
     --stats_.awaiting_commit_round;
-    CommitLocked(tx_index, now);
+    DecideLocked(tx_index, now, /*aborted=*/false);
   }
+}
+
+std::vector<TwoPhaseCoordinator::Decision>
+TwoPhaseCoordinator::TakeDecisions() {
+  common::MutexLock lock(mu_);
+  return std::exchange(decisions_, {});
 }
 
 bool TwoPhaseCoordinator::Idle() const {

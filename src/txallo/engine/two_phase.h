@@ -1,14 +1,17 @@
 // Cross-shard two-phase commit coordinator.
 //
 // Each shard worker executes its part of a transaction and then votes
-// PREPARED for that part; once every participant shard has prepared, the
-// coordinator issues the commit decision. An intra-shard transaction (one
-// participant) commits in place; a cross-shard transaction pays the extra
-// consensus round(s) of §I — the decision lands `cross_shard_commit_rounds`
-// blocks after the last prepare — matching sim::ShardSimulator's semantics
-// exactly, which is what the engine/simulator parity tests pin down.
+// part-by-part; once every participant shard has voted, the coordinator
+// issues the decision. A unanimously-PREPARED intra-shard transaction
+// commits in place; a cross-shard one pays the extra consensus round(s) of
+// §I — the decision lands `cross_shard_commit_rounds` blocks after the
+// last prepare — matching sim::ShardSimulator's semantics exactly, which
+// is what the engine/simulator parity tests pin down. A transaction with
+// any failed vote (insufficient balance / bad nonce against the state
+// backend) ABORTS at the last-vote block: an abort needs no extra
+// consensus round — participants simply drop their staged thunks.
 //
-// Thread-safety: PartPrepared() is called concurrently by shard workers
+// Thread-safety: PartExecuted() is called concurrently by shard workers
 // mid-tick; Register()/FlushDelayed()/stats() are driver-side. Everything is
 // guarded by one annotated mutex (common/sync.h; Clang -Wthread-safety
 // checks the discipline) — the coordinator is touched once per transaction
@@ -24,17 +27,19 @@
 
 namespace txallo::engine {
 
-/// One commit decision, keyed by the transaction's ingest sequence tag (the
+/// One 2PC decision, keyed by the transaction's ingest sequence tag (the
 /// stable identity that survives producer-count changes; the runtime
 /// tx_index handle does not). Recorded by the coordinator when event
 /// recording is on — the "2PC outcome stream" of a replay trace
-/// (engine/replay.h).
+/// (engine/replay.h). `aborted` decisions exist only with the state
+/// backend on; the pure cost model never fails a vote.
 struct CommitEvent {
-  /// Block at which the commit decision landed.
+  /// Block at which the decision landed.
   uint64_t block = 0;
-  /// Ingest sequence tag of the committed transaction.
+  /// Ingest sequence tag of the transaction.
   uint64_t seq = 0;
   bool cross_shard = false;
+  bool aborted = false;
   bool operator==(const CommitEvent&) const = default;
 };
 
@@ -44,11 +49,14 @@ struct CommitStats {
   uint64_t cross_shard_submitted = 0;
   uint64_t committed = 0;
   uint64_t cross_shard_committed = 0;
-  /// Total PREPARED votes received (== executed transaction parts).
+  /// Transactions aborted by a failed vote (state backend only).
+  uint64_t aborted = 0;
+  uint64_t cross_shard_aborted = 0;
+  /// Total votes received (== executed transaction parts).
   uint64_t prepares_received = 0;
   /// Cross-shard transactions prepared but awaiting their commit round.
   uint64_t awaiting_commit_round = 0;
-  /// Transactions registered but not yet fully prepared.
+  /// Transactions registered but not yet fully voted.
   uint64_t in_flight = 0;
   double latency_sum_blocks = 0.0;
   double latency_max_blocks = 0.0;
@@ -65,23 +73,46 @@ class TwoPhaseCoordinator {
   uint64_t Register(uint64_t arrival_block, uint32_t participants,
                     bool cross_shard, uint64_t seq);
 
-  /// Starts recording one CommitEvent per commit decision. Driver-side,
-  /// before any registration.
+  /// Starts recording one CommitEvent per decision. Driver-side, before
+  /// any registration.
   void EnableEventRecording();
 
-  /// The recorded commit stream in canonical order: (block, seq) ascending
-  /// — registration and voting interleavings across producer/worker threads
-  /// do not change it. Driver-side, workers quiesced.
+  /// Starts collecting one Decision per decision for TakeDecisions() (the
+  /// engine's state backend applies them). Driver-side, before any
+  /// registration.
+  void EnableDecisionCollection();
+
+  /// The recorded outcome stream in canonical order: (block, seq)
+  /// ascending — registration and voting interleavings across
+  /// producer/worker threads do not change it. Driver-side, workers
+  /// quiesced.
   std::vector<CommitEvent> CanonicalCommitEvents() const;
 
-  /// One participant's PREPARED vote, cast at block `block`. When it is the
-  /// last vote: an intra-shard transaction commits at `block`; a cross-shard
-  /// transaction is scheduled for `model.CommitBlock(block, true)`.
-  void PartPrepared(uint64_t tx_index, uint64_t block);
+  /// One participant's vote, cast at block `block`: ok = PREPARED, !ok =
+  /// the part failed its state checks. When it is the last vote: any
+  /// failed vote aborts the transaction at `block`; a unanimous
+  /// intra-shard transaction commits at `block`; a unanimous cross-shard
+  /// one is scheduled for `model.CommitBlock(block, true)`.
+  void PartExecuted(uint64_t tx_index, uint64_t block, bool ok);
+
+  /// Legacy PREPARED vote (always ok) — the pure cost model's path.
+  void PartPrepared(uint64_t tx_index, uint64_t block) {
+    PartExecuted(tx_index, block, /*ok=*/true);
+  }
 
   /// Driver-side, once per block after workers quiesce: commits every
   /// scheduled cross-shard transaction whose decision round has arrived.
   void FlushDelayed(uint64_t now);
+
+  /// Decisions issued since the last call, in issue order (deterministic:
+  /// votes are driver-applied in canonical lane order, flushes in schedule
+  /// order). Empty unless EnableDecisionCollection() ran.
+  struct Decision {
+    uint64_t block = 0;
+    uint64_t seq = 0;
+    bool aborted = false;
+  };
+  std::vector<Decision> TakeDecisions();
 
   /// True when nothing is in flight or awaiting a commit round.
   bool Idle() const;
@@ -94,9 +125,11 @@ class TwoPhaseCoordinator {
     uint64_t seq;
     uint32_t parts_remaining;
     bool cross_shard;
+    /// A participant's vote failed; the decision will be an abort.
+    bool abort_pending;
   };
 
-  void CommitLocked(uint64_t tx_index, uint64_t commit_block)
+  void DecideLocked(uint64_t tx_index, uint64_t decision_block, bool aborted)
       TXALLO_REQUIRES(mu_);
 
   const sim::WorkModel model_;
@@ -109,6 +142,8 @@ class TwoPhaseCoordinator {
   CommitStats stats_ TXALLO_GUARDED_BY(mu_);
   bool record_events_ TXALLO_GUARDED_BY(mu_) = false;
   std::vector<CommitEvent> events_ TXALLO_GUARDED_BY(mu_);
+  bool collect_decisions_ TXALLO_GUARDED_BY(mu_) = false;
+  std::vector<Decision> decisions_ TXALLO_GUARDED_BY(mu_);
 };
 
 }  // namespace txallo::engine

@@ -1,0 +1,76 @@
+#include "txallo/state/merkle.h"
+
+namespace txallo::state {
+
+MerkleTrie::MerkleTrie() = default;
+
+void MerkleTrie::Update(uint32_t key, const Sha256Digest& leaf) {
+  if (root_ == nullptr) root_ = std::make_unique<Node>();
+  Node* node = root_.get();
+  node->dirty = true;
+  for (int d = 0; d < kDepth; ++d) {
+    std::unique_ptr<Node>& child = node->children[NibbleAt(key, d)];
+    const bool created = child == nullptr;
+    if (created) child = std::make_unique<Node>();
+    node = child.get();
+    node->dirty = true;
+    if (d == kDepth - 1 && created) ++size_;
+  }
+  // The leaf's digest is caller-supplied; only interior nodes rehash.
+  node->hash = leaf;
+  node->dirty = false;
+}
+
+bool MerkleTrie::RemoveRec(Node* node, uint32_t key, int depth,
+                           bool* removed) {
+  if (depth == kDepth) {
+    *removed = true;
+    return true;
+  }
+  std::unique_ptr<Node>& child = node->children[NibbleAt(key, depth)];
+  if (child == nullptr) return false;
+  if (RemoveRec(child.get(), key, depth + 1, removed)) child.reset();
+  if (!*removed) return false;
+  node->dirty = true;
+  for (const std::unique_ptr<Node>& c : node->children) {
+    if (c != nullptr) return false;
+  }
+  return true;
+}
+
+bool MerkleTrie::Remove(uint32_t key) {
+  if (root_ == nullptr) return false;
+  bool removed = false;
+  if (RemoveRec(root_.get(), key, 0, &removed)) root_.reset();
+  if (removed) --size_;
+  return removed;
+}
+
+void MerkleTrie::Rehash(Node* node) {
+  uint16_t bitmap = 0;
+  for (int i = 0; i < kFanout; ++i) {
+    if (node->children[static_cast<size_t>(i)] != nullptr) {
+      bitmap = static_cast<uint16_t>(bitmap | (1u << i));
+    }
+  }
+  Sha256 hasher;
+  const uint8_t bitmap_bytes[2] = {static_cast<uint8_t>(bitmap & 0xff),
+                                   static_cast<uint8_t>(bitmap >> 8)};
+  hasher.Update(bitmap_bytes, sizeof(bitmap_bytes));
+  for (int i = 0; i < kFanout; ++i) {
+    Node* child = node->children[static_cast<size_t>(i)].get();
+    if (child == nullptr) continue;
+    if (child->dirty) Rehash(child);
+    hasher.Update(child->hash.data(), child->hash.size());
+  }
+  node->hash = hasher.Finish();
+  node->dirty = false;
+}
+
+const Sha256Digest& MerkleTrie::Root() {
+  if (root_ == nullptr) return empty_root_;
+  if (root_->dirty) Rehash(root_.get());
+  return root_->hash;
+}
+
+}  // namespace txallo::state

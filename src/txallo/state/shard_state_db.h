@@ -1,0 +1,139 @@
+// One shard's account database with 2PC staging (txallo::state).
+//
+// Modeled on speedex's memory_database (user_account / revertable_asset):
+// side effects are *staged* while a transaction prepares — the debit is
+// checked against the spendable balance and reserved, nothing is applied —
+// then applied on commit or dropped on abort. A cross-shard transaction
+// that aborts after some shards voted PREPARED therefore reverts to the
+// exact pre-transaction state, which the abort-path property tests pin
+// byte-identically against a serial reference.
+//
+// Copy-on-write views: Snapshot() returns a View sharing the committed
+// record map; the first committed-state mutation after a snapshot clones
+// the map, so an in-flight cross-shard round can read a stable snapshot
+// while the owning shard keeps executing. Reservations and staged thunks
+// live outside the shared map — a view always sees committed state only.
+//
+// Fingerprint: every committed-state mutation updates an incremental
+// MerkleTrie leaf (SHA256 over account id, balance, sequence), so
+// RootHash() is O(touched · depth) per tick and a pure function of the
+// committed records.
+//
+// Thread-safety: none. The engine drives every ShardStateDb from the
+// driver thread between tick barriers (see engine.cc); tests may use it
+// single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "txallo/chain/account.h"
+#include "txallo/common/sha256.h"
+#include "txallo/state/account_state.h"
+#include "txallo/state/merkle.h"
+
+namespace txallo::state {
+
+class ShardStateDb {
+ public:
+  using Records = std::unordered_map<chain::AccountId, AccountState>;
+
+  /// `initial_balance` funds accounts lazily created by their first staged
+  /// op (StateConfig::initial_balance).
+  explicit ShardStateDb(int64_t initial_balance);
+
+  size_t num_accounts() const { return records_->size(); }
+  bool Contains(chain::AccountId account) const {
+    return records_->count(account) != 0;
+  }
+  /// Committed record, or nullptr when absent. Invalidated by any mutation.
+  const AccountState* Find(chain::AccountId account) const;
+
+  /// Inserts or overwrites a committed record (funding, migration insert).
+  void Put(chain::AccountId account, AccountState record);
+
+  /// Removes and returns the committed record (migration extract). Fails
+  /// (nullopt, no change) when absent or when the account participates in
+  /// any staged-but-undecided op — an account mid-2PC must not move
+  /// shards. Credit-only participants count too: their commit thunk still
+  /// targets this shard's record.
+  std::optional<AccountState> Extract(chain::AccountId account);
+
+  /// Stages one op of transaction `seq`: creates the record when missing
+  /// (funded with the initial balance), checks the nonce, and reserves the
+  /// debit against the spendable balance (balance minus prior
+  /// reservations). Returns false — staging nothing for THIS op — when a
+  /// check fails; ops already staged under `seq` stay put until
+  /// CommitStaged/AbortStaged (the 2PC decision cleans up after a failed
+  /// vote).
+  bool StageOp(uint64_t seq, const Op& op);
+
+  /// Applies everything staged under `seq` (balance += credit - debit;
+  /// sequence bumps once per op with a debit) and releases the
+  /// reservations. Returns the number of ops applied (0 when nothing was
+  /// staged here).
+  size_t CommitStaged(uint64_t seq);
+
+  /// Drops everything staged under `seq`, releasing the reservations and
+  /// leaving committed state untouched. Returns the number of ops dropped.
+  size_t AbortStaged(uint64_t seq);
+
+  bool HasStaged(uint64_t seq) const { return staged_.count(seq) != 0; }
+  /// Transactions with staged-but-undecided ops (invariant: 0 between
+  /// fully drained ticks).
+  size_t pending_transactions() const { return staged_.size(); }
+
+  /// Spendable balance: committed balance minus pending reservations
+  /// (0 when the account is absent).
+  int64_t AvailableBalance(chain::AccountId account) const;
+
+  /// Stable snapshot of the committed records (copy-on-write; O(1)).
+  class View {
+   public:
+    View() = default;
+    const AccountState* Find(chain::AccountId account) const;
+    size_t num_accounts() const {
+      return records_ == nullptr ? 0 : records_->size();
+    }
+
+   private:
+    friend class ShardStateDb;
+    explicit View(std::shared_ptr<const Records> records)
+        : records_(std::move(records)) {}
+    std::shared_ptr<const Records> records_;
+  };
+  View Snapshot() const { return View(records_); }
+
+  /// Merkle root over the committed records (all-zero when empty).
+  const Sha256Digest& RootHash() { return trie_.Root(); }
+
+  /// Committed records sorted by account id (tests, serial references).
+  std::vector<std::pair<chain::AccountId, AccountState>> SortedRecords()
+      const;
+
+  int64_t initial_balance() const { return initial_balance_; }
+
+ private:
+  // Clones the shared map iff a live View still references it.
+  Records& MutableRecords();
+  void UpdateLeaf(chain::AccountId account, const AccountState& record);
+  // Drops one staged-op pin (precondition: the account is pinned).
+  void Unpin(chain::AccountId account);
+
+  const int64_t initial_balance_;
+  std::shared_ptr<Records> records_;
+  // Pending debit reservations and staged thunks are per-shard scratch,
+  // never shared with views.
+  std::unordered_map<chain::AccountId, int64_t> reserved_;
+  std::unordered_map<uint64_t, std::vector<Op>> staged_;
+  // How many staged ops target each account (reservations only cover
+  // debits; this pins credit-only participants against Extract too).
+  std::unordered_map<chain::AccountId, uint32_t> pinned_;
+  MerkleTrie trie_;
+};
+
+}  // namespace txallo::state

@@ -1,0 +1,31 @@
+// Deterministic transfer semantics for the abstract transaction model.
+//
+// chain::Transaction carries account sets, not amounts (paper §III-A), so
+// the state backend derives a concrete value flow as a pure function of the
+// transaction and its ingest sequence tag: every input pays
+// TransferAmount(seq), the pot is split across the outputs (remainder to
+// the first), and value is conserved exactly. Any two executions of the
+// same submission order therefore stage identical debits/credits — which is
+// what lets per-tick Merkle roots replay bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "txallo/chain/transaction.h"
+#include "txallo/state/account_state.h"
+
+namespace txallo::state {
+
+/// Amount each input account pays in the transaction with ingest sequence
+/// tag `seq`. Small (1..7) so funded accounts survive long streams while an
+/// underfunded one still aborts deterministically.
+int64_t TransferAmount(uint64_t seq);
+
+/// One Op per distinct account of `tx`, sorted by account id: inputs accrue
+/// debits of TransferAmount(seq) per occurrence, outputs split the total
+/// (remainder to the first output), an account on both sides carries both.
+/// Sum of debits == sum of credits.
+std::vector<Op> BuildTransferOps(const chain::Transaction& tx, uint64_t seq);
+
+}  // namespace txallo::state

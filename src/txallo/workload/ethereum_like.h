@@ -62,6 +62,13 @@ struct EthereumLikeConfig {
   uint32_t max_parties = 5;
   /// Fraction of each community born only as the ledger progresses.
   double late_born_fraction = 0.3;
+  /// Funding level for the engine's account-state backend: every account
+  /// starts (lazily, at first touch) with this balance. Part of the
+  /// workload description — benches and fixtures copy it into
+  /// EngineConfig::state.initial_balance so the funded workload and the
+  /// executing backend can never drift apart. Tight funding makes
+  /// insufficient-balance aborts part of the workload.
+  int64_t initial_balance = 1'000'000;
   /// Transaction-pattern drift: every `drift_interval_blocks` blocks,
   /// `drift_fraction` of communities are re-pointed at a new partner
   /// community and route `drift_partner_share` of their intra traffic to

@@ -28,6 +28,12 @@ inline constexpr uint32_t kGoldenShards = 4;
 inline constexpr uint32_t kGoldenEpochBlocks = 8;
 // 4 windows of 8 blocks => 3 boundary rebalances: the "3-epoch run".
 inline constexpr uint64_t kGoldenBlocks = 32;
+// Tight funding: 960 transfers over 600 accounts at ≤7 units per input
+// drain the busy accounts' balances partway through the run, so the trace
+// pins a non-trivial abort stream (insufficient balance) alongside the
+// commits — the golden run must exercise the rollback path, not just the
+// happy path.
+inline constexpr int64_t kGoldenBalance = 24;
 
 inline workload::EthereumLikeConfig GoldenWorkloadConfig() {
   workload::EthereumLikeConfig config;
@@ -37,6 +43,7 @@ inline workload::EthereumLikeConfig GoldenWorkloadConfig() {
   config.num_communities = 12;
   config.seed = 97;
   config.drift_interval_blocks = 10;
+  config.initial_balance = kGoldenBalance;
   return config;
 }
 
@@ -49,6 +56,11 @@ inline engine::EngineConfig GoldenEngineConfig(uint32_t threads) {
   // totals.
   config.work.capacity_per_block = 9.0;
   config.hash_route_unassigned = true;
+  // Real account-state execution: the trace additionally pins the per-tick
+  // Merkle roots, the abort stream and the migration counts.
+  config.state.enabled = true;
+  config.state.initial_balance = kGoldenBalance;
+  config.state.migration_work_per_account = 1.0;
   return config;
 }
 

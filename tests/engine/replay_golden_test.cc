@@ -44,6 +44,15 @@ TEST(ReplayGoldenTest, FreshRecordingReplaysAcrossThreadsAndProducers) {
   ASSERT_EQ(recorded->epochs, 3u);  // The 3-epoch run the fixture pins.
   ASSERT_GE(recorded->installs.size(), 2u);
   ASSERT_FALSE(recorded->prepares.empty());
+  // The state backend is on: every tick fingerprints committed state, and
+  // the tight golden funding makes the abort path part of the pinned run.
+  ASSERT_TRUE(recorded->meta.state_enabled);
+  ASSERT_FALSE(recorded->state_roots.empty());
+  uint64_t aborted = 0;
+  for (const engine::CommitEvent& event : recorded->commits) {
+    if (event.aborted) ++aborted;
+  }
+  EXPECT_GT(aborted, 0u) << "golden funding no longer exercises aborts";
 
   for (const uint32_t threads : {1u, 2u, 8u}) {
     for (const uint32_t producers : {1u, 4u}) {
@@ -58,6 +67,10 @@ TEST(ReplayGoldenTest, FreshRecordingReplaysAcrossThreadsAndProducers) {
       // event for event.
       ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
       EXPECT_EQ(engine::DescribeTraceDivergence(*recorded, rerecorded), "");
+      // Structural state verification: the per-tick Merkle roots — not
+      // just the event streams — reproduce bit-identically whatever the
+      // thread count and ingest fan-out.
+      EXPECT_EQ(rerecorded.state_roots, recorded->state_roots);
       ASSERT_EQ(replayed->steps.size(), recorded->steps.size());
       for (size_t i = 0; i < recorded->steps.size(); ++i) {
         EXPECT_EQ(replayed->steps[i], recorded->steps[i])

@@ -223,5 +223,101 @@ TEST(ReplayLogTest, ReplayGuardsRejectWrongConfigWorkloadAndStaleEngine) {
   }
 }
 
+engine::EngineConfig StateEngineConfig() {
+  engine::EngineConfig config = SmallEngineConfig();
+  config.state.enabled = true;
+  config.state.initial_balance = 32;  // Tight: aborts appear in the trace.
+  config.state.migration_work_per_account = 1.0;
+  return config;
+}
+
+engine::ReplayLog RecordStateRun(const chain::Ledger& ledger) {
+  allocator::AllocatorOptions options;
+  options.params = alloc::AllocationParams::ForExperiment(
+      ledger.num_transactions(), 4, 2.0);
+  auto made = allocator::MakeAllocatorFromSpec("metis", options);
+  EXPECT_TRUE(made.ok());
+  engine::ParallelEngine engine(StateEngineConfig(), nullptr);
+  engine::ReplayLog log;
+  engine::PipelineConfig pipeline;
+  pipeline.blocks_per_epoch = 4;
+  pipeline.record = &log;
+  auto result = engine::RunReallocatedStream(ledger, (*made)->AsOnline(),
+                                             &engine, pipeline);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return log;
+}
+
+TEST(ReplayLogTest, StateSectionsSurviveTheBinaryRoundTrip) {
+  const chain::Ledger ledger = MakeLedger();
+  const engine::ReplayLog log = RecordStateRun(ledger);
+  ASSERT_TRUE(log.meta.state_enabled);
+  EXPECT_EQ(log.meta.state_initial_balance, 32);
+  ASSERT_FALSE(log.state_roots.empty());
+  bool any_aborted = false;
+  for (const engine::CommitEvent& event : log.commits) {
+    any_aborted = any_aborted || event.aborted;
+  }
+  EXPECT_TRUE(any_aborted) << "funding too generous to record an abort";
+
+  const std::string path = TempPath("state_roundtrip.trace");
+  ASSERT_TRUE(engine::SaveReplayLog(log, path).ok());
+  auto loaded = engine::LoadReplayLog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(engine::DescribeTraceDivergence(log, *loaded), "");
+  EXPECT_EQ(loaded->state_roots, log.state_roots);
+  EXPECT_EQ(loaded->commits, log.commits);
+  EXPECT_EQ(loaded->meta.state_initial_balance,
+            log.meta.state_initial_balance);
+  EXPECT_EQ(loaded->meta.state_migration_work, log.meta.state_migration_work);
+
+  // The loaded trace replays, and the replayed run re-derives the same
+  // per-tick Merkle roots (verified inside the replay harness).
+  engine::ParallelEngine engine(StateEngineConfig(), nullptr);
+  auto replayed = engine::ReplayRecordedStream(ledger, *loaded, &engine,
+                                               engine::PipelineConfig{});
+  EXPECT_TRUE(replayed.ok()) << replayed.status().ToString();
+
+  // The CSV dump carries the new sections.
+  const std::string csv_path = TempPath("state_dump.csv");
+  ASSERT_TRUE(engine::DumpReplayLogCsv(log, csv_path).ok());
+  std::ifstream file(csv_path);
+  std::string line;
+  size_t roots = 0;
+  while (std::getline(file, line)) {
+    if (line.rfind("state_root,", 0) == 0) ++roots;
+  }
+  EXPECT_EQ(roots, log.state_roots.size());
+}
+
+TEST(ReplayLogTest, ReplayGuardsRejectStateConfigMismatch) {
+  const chain::Ledger ledger = MakeLedger();
+  const engine::ReplayLog log = RecordStateRun(ledger);
+  {
+    // Backend off vs recorded on: the roots could never be re-derived.
+    engine::ParallelEngine engine(SmallEngineConfig(), nullptr);
+    auto replayed = engine::ReplayRecordedStream(ledger, log, &engine,
+                                                 engine::PipelineConfig{});
+    EXPECT_EQ(replayed.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Different funding: deterministically different abort stream.
+    engine::EngineConfig config = StateEngineConfig();
+    config.state.initial_balance += 1;
+    engine::ParallelEngine engine(config, nullptr);
+    auto replayed = engine::ReplayRecordedStream(ledger, log, &engine,
+                                                 engine::PipelineConfig{});
+    EXPECT_EQ(replayed.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // A stateless trace refuses a stateful engine just the same.
+    const engine::ReplayLog stateless = RecordSmallRun(ledger);
+    engine::ParallelEngine engine(StateEngineConfig(), nullptr);
+    auto replayed = engine::ReplayRecordedStream(ledger, stateless, &engine,
+                                                 engine::PipelineConfig{});
+    EXPECT_EQ(replayed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
 }  // namespace
 }  // namespace txallo

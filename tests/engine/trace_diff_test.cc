@@ -1,0 +1,135 @@
+// DescribeLaneDivergence: the per-shard-lane side-by-side trace diff.
+// Hand-built ReplayLogs pin down the exact reporting contract — which lane
+// is blamed, the first divergent position, the +/-context window, and the
+// "(--, --)" placeholder past the shorter stream's end.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "txallo/engine/replay.h"
+
+namespace txallo::engine {
+namespace {
+
+PrepareEvent Prep(uint64_t block, uint32_t shard, uint64_t seq) {
+  PrepareEvent event;
+  event.block = block;
+  event.shard = shard;
+  event.seq = seq;
+  return event;
+}
+
+// Two shards, interleaved in canonical (block, shard, position) order.
+// Shard 0 executes seqs 0,2,4,...; shard 1 executes 1,3,5,...
+ReplayLog TwoLaneLog(size_t per_lane) {
+  ReplayLog log;
+  log.meta.num_shards = 2;
+  for (uint64_t block = 0; block < per_lane; ++block) {
+    log.prepares.push_back(Prep(block, 0, 2 * block));
+    log.prepares.push_back(Prep(block, 1, 2 * block + 1));
+  }
+  return log;
+}
+
+size_t CountLines(const std::string& text) {
+  size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+TEST(TraceDiffTest, IdenticalLogsProduceAnEmptyDiff) {
+  const ReplayLog log = TwoLaneLog(6);
+  EXPECT_EQ(DescribeLaneDivergence(log, log), "");
+  EXPECT_EQ(DescribeLaneDivergence(ReplayLog{}, ReplayLog{}), "");
+}
+
+TEST(TraceDiffTest, BlamesTheDivergentLaneAndPosition) {
+  const ReplayLog recorded = TwoLaneLog(8);
+  ReplayLog replayed = recorded;
+  // Swap shard 1's entries at lane positions 4 and 5 (global stream
+  // indices 9 and 11): a classic reordering divergence.
+  std::swap(replayed.prepares[9].seq, replayed.prepares[11].seq);
+
+  const std::string diff = DescribeLaneDivergence(recorded, replayed);
+  EXPECT_NE(diff.find("lane shard=1: first divergence at pos 4"),
+            std::string::npos)
+      << diff;
+  EXPECT_NE(diff.find("(recorded tick 4, replayed tick 4)"),
+            std::string::npos)
+      << diff;
+  // Shard 0 matched entry for entry: it must not be reported.
+  EXPECT_EQ(diff.find("lane shard=0"), std::string::npos) << diff;
+  // Divergent rows carry the marker; the swapped seqs are both visible.
+  EXPECT_NE(diff.find("    > 4"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("(4, 9)"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("(4, 11)"), std::string::npos) << diff;
+  // Header + context window: pos 1..7 (3 before, divergence, 3 after).
+  // 1 summary + 1 column header + 7 rows.
+  EXPECT_EQ(CountLines(diff), 9u) << diff;
+}
+
+TEST(TraceDiffTest, ContextWindowClampsAtTheLaneEdges) {
+  const ReplayLog recorded = TwoLaneLog(4);
+  ReplayLog replayed = recorded;
+  replayed.prepares[0].seq = 99;  // Shard 0, lane position 0.
+
+  const std::string diff = DescribeLaneDivergence(recorded, replayed);
+  EXPECT_NE(diff.find("lane shard=0: first divergence at pos 0"),
+            std::string::npos)
+      << diff;
+  // No positions before 0 exist: 1 summary + 1 header + rows 0..3.
+  EXPECT_EQ(CountLines(diff), 6u) << diff;
+  // Wider context than the lane: still clamped, no phantom rows.
+  EXPECT_EQ(CountLines(DescribeLaneDivergence(recorded, replayed,
+                                              /*context=*/100)),
+            6u);
+}
+
+TEST(TraceDiffTest, LengthMismatchShowsPlaceholderRows) {
+  const ReplayLog recorded = TwoLaneLog(5);
+  ReplayLog replayed = recorded;
+  // Drop shard 1's last entry (global index 9): the replayed lane is
+  // shorter, and the diff must show the missing tail as "(--, --)".
+  replayed.prepares.pop_back();
+
+  const std::string diff = DescribeLaneDivergence(recorded, replayed);
+  EXPECT_NE(diff.find("lane shard=1: first divergence at pos 4"),
+            std::string::npos)
+      << diff;
+  EXPECT_NE(diff.find("(recorded tick 4, replayed tick --)"),
+            std::string::npos)
+      << diff;
+  EXPECT_NE(diff.find("(--, --)"), std::string::npos) << diff;
+  EXPECT_EQ(diff.find("lane shard=0"), std::string::npos) << diff;
+}
+
+TEST(TraceDiffTest, EveryDivergentLaneIsReported) {
+  const ReplayLog recorded = TwoLaneLog(3);
+  ReplayLog replayed = recorded;
+  replayed.prepares[0].seq = 90;  // Shard 0, pos 0.
+  replayed.prepares[5].seq = 91;  // Shard 1, pos 2.
+
+  const std::string diff = DescribeLaneDivergence(recorded, replayed);
+  EXPECT_NE(diff.find("lane shard=0: first divergence at pos 0"),
+            std::string::npos)
+      << diff;
+  EXPECT_NE(diff.find("lane shard=1: first divergence at pos 2"),
+            std::string::npos)
+      << diff;
+}
+
+TEST(TraceDiffTest, ToleratesHandBuiltLogsWithUnfilledMeta) {
+  // meta.num_shards defaulted; the lane split must still find shard 3.
+  ReplayLog recorded;
+  recorded.prepares.push_back(Prep(0, 3, 7));
+  ReplayLog replayed;
+  replayed.prepares.push_back(Prep(0, 3, 8));
+  const std::string diff = DescribeLaneDivergence(recorded, replayed);
+  EXPECT_NE(diff.find("lane shard=3"), std::string::npos) << diff;
+}
+
+}  // namespace
+}  // namespace txallo::engine

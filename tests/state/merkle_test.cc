@@ -1,0 +1,110 @@
+// MerkleTrie invariants: the root is a pure function of the key->digest
+// mapping (insertion order, removal history and lazy-rehash timing cannot
+// perturb it) — the property the per-tick state fingerprint rests on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "txallo/common/sha256.h"
+#include "txallo/state/merkle.h"
+
+namespace txallo::state {
+namespace {
+
+Sha256Digest LeafFor(uint32_t value) {
+  Sha256 hasher;
+  uint8_t bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = (value >> (8 * i)) & 0xff;
+  hasher.Update(bytes, sizeof(bytes));
+  return hasher.Finish();
+}
+
+TEST(MerkleTrieTest, EmptyRootIsAllZero) {
+  MerkleTrie trie;
+  EXPECT_EQ(trie.Root(), Sha256Digest{});
+  EXPECT_EQ(trie.size(), 0u);
+}
+
+TEST(MerkleTrieTest, RootIsInsertionOrderIndependent) {
+  const std::vector<uint32_t> keys = {0u,        1u,          2u,
+                                      0x10u,     0x11u,       0xFF00u,
+                                      0xFFFF00u, 0xFFFFFFFFu, 0x80000000u};
+  MerkleTrie forward;
+  for (uint32_t k : keys) forward.Update(k, LeafFor(k));
+  MerkleTrie backward;
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+    backward.Update(*it, LeafFor(*it));
+  }
+  EXPECT_EQ(forward.Root(), backward.Root());
+  EXPECT_EQ(forward.size(), keys.size());
+  EXPECT_NE(forward.Root(), Sha256Digest{});
+}
+
+TEST(MerkleTrieTest, InterleavedRootCallsDoNotPerturbTheRoot) {
+  // Lazy rehash: forcing intermediate Root() computations must yield the
+  // same final digest as hashing once at the end.
+  MerkleTrie lazy;
+  MerkleTrie eager;
+  for (uint32_t k = 0; k < 300; ++k) {
+    lazy.Update(k * 2654435761u, LeafFor(k));
+    eager.Update(k * 2654435761u, LeafFor(k));
+    if (k % 7 == 0) eager.Root();
+  }
+  EXPECT_EQ(lazy.Root(), eager.Root());
+}
+
+TEST(MerkleTrieTest, UpdateChangesRootAndOverwriteIsIdempotent) {
+  MerkleTrie trie;
+  trie.Update(42, LeafFor(1));
+  const Sha256Digest first = trie.Root();
+  trie.Update(42, LeafFor(2));
+  const Sha256Digest second = trie.Root();
+  EXPECT_NE(first, second);
+  EXPECT_EQ(trie.size(), 1u);
+  trie.Update(42, LeafFor(1));
+  EXPECT_EQ(trie.Root(), first);
+}
+
+TEST(MerkleTrieTest, RemoveRestoresThePriorRootExactly) {
+  MerkleTrie trie;
+  for (uint32_t k : {3u, 0x30000000u, 0x30000001u}) {
+    trie.Update(k, LeafFor(k));
+  }
+  const Sha256Digest before = trie.Root();
+  trie.Update(0x7777u, LeafFor(9));
+  EXPECT_NE(trie.Root(), before);
+  EXPECT_TRUE(trie.Remove(0x7777u));
+  EXPECT_EQ(trie.Root(), before);
+  EXPECT_EQ(trie.size(), 3u);
+  // Removing everything returns to the canonical empty root (pruned
+  // interior nodes leave no residue).
+  EXPECT_TRUE(trie.Remove(3u));
+  EXPECT_TRUE(trie.Remove(0x30000000u));
+  EXPECT_TRUE(trie.Remove(0x30000001u));
+  EXPECT_EQ(trie.Root(), Sha256Digest{});
+  EXPECT_EQ(trie.size(), 0u);
+}
+
+TEST(MerkleTrieTest, RemoveAbsentKeyIsANoOp) {
+  MerkleTrie trie;
+  trie.Update(5, LeafFor(5));
+  const Sha256Digest root = trie.Root();
+  EXPECT_FALSE(trie.Remove(6));
+  // Sibling under the same deep prefix, never inserted.
+  EXPECT_FALSE(trie.Remove(4));
+  EXPECT_EQ(trie.Root(), root);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(MerkleTrieTest, DistinguishesKeyFromValueAndPlacement) {
+  // Same digest under a different key must produce a different root — the
+  // trie commits to *where* a leaf sits, not just the leaf multiset.
+  MerkleTrie at_one;
+  at_one.Update(1, LeafFor(7));
+  MerkleTrie at_two;
+  at_two.Update(2, LeafFor(7));
+  EXPECT_NE(at_one.Root(), at_two.Root());
+}
+
+}  // namespace
+}  // namespace txallo::state

@@ -36,9 +36,11 @@ Rules (ids are what `allow(...)` escapes name):
   unordered-iter
                 Range-for over a std::unordered_map/unordered_set (declared
                 in-file or written inline) is forbidden in trace-affecting
-                paths: txallo/engine/ (execution, 2PC, replay) and
+                paths: txallo/engine/ (execution, 2PC, replay),
                 txallo/allocator/ (Commit folds mappings back into live
-                state). Hash-table iteration order is
+                state) and txallo/state/ (account records feed the
+                per-tick Merkle roots the replay log verifies
+                bit-identically). Hash-table iteration order is
                 implementation-defined and seed-dependent; iterate a sorted
                 copy or a vector instead. Detection is heuristic
                 (declaration-name tracking, no type inference), which is
@@ -197,7 +199,11 @@ def rules_for(subpath: str):
         "common/stopwatch.cc",
     ):
         rules.discard("wall-clock")
-    if not (subpath.startswith("engine/") or subpath.startswith("allocator/")):
+    if not (
+        subpath.startswith("engine/")
+        or subpath.startswith("allocator/")
+        or subpath.startswith("state/")
+    ):
         rules.discard("unordered-iter")
     return rules
 
