@@ -2,7 +2,9 @@
 
 #include <sys/stat.h>
 
+#include <cerrno>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -223,6 +225,29 @@ TraceFlags ResolveTraceFlags(const Flags& flags) {
   trace.record_path = flags.GetString("record", "");
   trace.replay_path = flags.GetString("replay", "");
   return trace;
+}
+
+Result<double> ResolveOfferedLoad(const Flags& flags, double fallback) {
+  std::string source = "--offered-load";
+  std::string text = flags.GetString("offered-load", "");
+  if (text.empty()) {
+    source = "TXALLO_OFFERED_LOAD";
+    const char* env = std::getenv("TXALLO_OFFERED_LOAD");
+    if (env != nullptr) text = env;
+  }
+  if (text.empty()) return fallback;
+  // Strict parse: the whole token must be one finite positive number —
+  // "8x", "", or "nan" silently becoming a default would make a sweep lie.
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size() ||
+      !std::isfinite(value) || !(value > 0.0)) {
+    return Status::InvalidArgument(
+        source + ": '" + text +
+        "' is not a positive transactions-per-tick rate");
+  }
+  return value;
 }
 
 void EnsureDirs(const std::string& path) {

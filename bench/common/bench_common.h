@@ -177,6 +177,12 @@ struct TraceFlags {
 };
 TraceFlags ResolveTraceFlags(const Flags& flags);
 
+/// Offered load (transactions per tick) for the open-loop benches:
+/// --offered-load beats the TXALLO_OFFERED_LOAD environment variable beats
+/// `fallback`. Set-but-malformed values (non-numeric tail, non-positive,
+/// NaN/inf) are InvalidArgument, never silently the fallback.
+Result<double> ResolveOfferedLoad(const Flags& flags, double fallback);
+
 /// mkdir -p: creates `path` and any missing parents (best-effort; callers
 /// surface failures through the file writes that follow).
 void EnsureDirs(const std::string& path);

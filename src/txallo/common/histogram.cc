@@ -1,0 +1,82 @@
+#include "txallo/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace txallo::common {
+
+void Histogram::Record(uint64_t value) {
+  if (value >= counts_.size()) {
+    counts_.resize(static_cast<size_t>(value) + 1, 0);
+  }
+  ++counts_[static_cast<size_t>(value)];
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (size_t v = 0; v < other.counts_.size(); ++v) {
+    counts_[v] += other.counts_[v];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+uint64_t Histogram::max() const {
+  for (size_t v = counts_.size(); v > 0; --v) {
+    if (counts_[v - 1] > 0) return v - 1;
+  }
+  return 0;
+}
+
+uint64_t Histogram::min() const {
+  for (size_t v = 0; v < counts_.size(); ++v) {
+    if (counts_[v] > 0) return v;
+  }
+  return 0;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double percentile) const {
+  if (count_ == 0) return 0;
+  const double p = std::clamp(percentile, 0.0, 100.0);
+  // Nearest rank: ceil(p/100 * count), at least 1 so p=0 returns min().
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  rank = std::clamp<uint64_t>(rank, 1, count_);
+  uint64_t cumulative = 0;
+  for (size_t v = 0; v < counts_.size(); ++v) {
+    cumulative += counts_[v];
+    if (cumulative >= rank) return v;
+  }
+  return max();
+}
+
+uint64_t Histogram::CountAt(uint64_t value) const {
+  if (value >= counts_.size()) return 0;
+  return counts_[static_cast<size_t>(value)];
+}
+
+bool Histogram::operator==(const Histogram& other) const {
+  if (count_ != other.count_ || sum_ != other.sum_) return false;
+  const size_t shared = std::min(counts_.size(), other.counts_.size());
+  for (size_t v = 0; v < shared; ++v) {
+    if (counts_[v] != other.counts_[v]) return false;
+  }
+  // A longer vector may only carry a zero tail.
+  const std::vector<uint64_t>& longer =
+      counts_.size() >= other.counts_.size() ? counts_ : other.counts_;
+  for (size_t v = shared; v < longer.size(); ++v) {
+    if (longer[v] != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace txallo::common

@@ -1,0 +1,60 @@
+// Exact integer-count histogram for logical-time latency metrics.
+//
+// The open-loop pipeline measures end-to-end latency in *ticks* (logical
+// blocks), so the value domain is small non-negative integers bounded by
+// the run length. An exact dense count vector therefore costs O(max
+// latency) memory, makes every percentile exact (no bucketing error), and —
+// the property the determinism contract needs — makes two histograms built
+// from the same multiset of samples bit-identical regardless of the order
+// the samples arrived in. Percentiles use the nearest-rank definition, so
+// p50/p99/p99.9 are actual observed values, never interpolations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace txallo::common {
+
+class Histogram {
+ public:
+  /// Adds one sample.
+  void Record(uint64_t value);
+
+  /// Adds every sample of `other`.
+  void Merge(const Histogram& other);
+
+  /// Total samples recorded.
+  uint64_t count() const { return count_; }
+
+  /// Largest recorded value (0 when empty).
+  uint64_t max() const;
+
+  /// Smallest recorded value (0 when empty).
+  uint64_t min() const;
+
+  /// Arithmetic mean (0.0 when empty).
+  double Mean() const;
+
+  /// Nearest-rank percentile: the smallest recorded value v such that at
+  /// least ceil(p/100 * count) samples are <= v. `percentile` is clamped to
+  /// [0, 100]; 0 returns min(), 100 returns max(). 0 when empty.
+  uint64_t Percentile(double percentile) const;
+
+  /// Samples with value exactly `value`.
+  uint64_t CountAt(uint64_t value) const;
+
+  bool empty() const { return count_ == 0; }
+
+  /// Content equality over the sample multiset (dense-vector tails of
+  /// zeros do not participate).
+  bool operator==(const Histogram& other) const;
+
+ private:
+  // counts_[v] = number of samples with value v; trailing zeros trimmed
+  // lazily (only growth happens in Record).
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+}  // namespace txallo::common

@@ -359,20 +359,24 @@ void ParallelEngine::Tick() {
     lane.finished.clear();
   }
   coordinator_.FlushDelayed(now);
-  if (state_ != nullptr) {
-    // Apply the tick's 2PC decisions to the staged state: commits land
-    // their thunks, aborts revert to the exact pre-transaction records.
+  if (state_ != nullptr || observe_commits_) {
+    // Apply the tick's 2PC decisions to the staged state (commits land
+    // their thunks, aborts revert to the exact pre-transaction records) and
+    // park them for the driver when commit observation is on.
     for (const TwoPhaseCoordinator::Decision& decision :
          coordinator_.TakeDecisions()) {
-      if (decision.aborted) {
-        state_->Abort(decision.seq);
-      } else {
-        state_->Commit(decision.seq);
+      if (state_ != nullptr) {
+        if (decision.aborted) {
+          state_->Abort(decision.seq);
+        } else {
+          state_->Commit(decision.seq);
+        }
       }
+      if (observe_commits_) observed_commits_.push_back(decision);
     }
-    if (record) {
-      tick_roots_.push_back(TickStateRoot{now, state_->GlobalRoot()});
-    }
+  }
+  if (state_ != nullptr && record) {
+    tick_roots_.push_back(TickStateRoot{now, state_->GlobalRoot()});
   }
 }
 
@@ -409,6 +413,7 @@ EngineReport ParallelEngine::Snapshot() {
         stats.latency_sum_blocks / static_cast<double>(stats.committed);
   }
   report.sim.max_latency_blocks = stats.latency_max_blocks;
+  report.commit_latency_blocks = coordinator_.LatencyHistogram();
   report.prepares_received = stats.prepares_received;
   report.cross_shard_committed = stats.cross_shard_committed;
   report.aborted = stats.aborted;
@@ -444,6 +449,16 @@ void ParallelEngine::EnableTraceRecording() {
   common::MutexLock lock(mu_);
   record_trace_ = true;
   coordinator_.EnableEventRecording();
+}
+
+void ParallelEngine::EnableCommitObservation() {
+  observe_commits_ = true;
+  coordinator_.EnableDecisionCollection();
+}
+
+std::vector<TwoPhaseCoordinator::Decision>
+ParallelEngine::TakeObservedCommits() {
+  return std::exchange(observed_commits_, {});
 }
 
 ParallelEngine::Trace ParallelEngine::ExtractTrace() {

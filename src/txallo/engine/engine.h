@@ -59,6 +59,7 @@
 
 #include "txallo/alloc/allocation.h"
 #include "txallo/chain/transaction.h"
+#include "txallo/common/histogram.h"
 #include "txallo/common/sha256.h"
 #include "txallo/common/status.h"
 #include "txallo/common/sync.h"
@@ -145,6 +146,10 @@ struct EngineReport {
   /// Account records moved between shard DBs by allocation installs
   /// (state backend only; the migration cost charged against λ).
   uint64_t accounts_migrated = 0;
+  /// Exact commit-latency histogram in blocks (decision − arrival), commits
+  /// only. Deterministic across thread/producer counts; p50/p99/p99.9 come
+  /// straight out of it.
+  common::Histogram commit_latency_blocks;
 };
 
 class ParallelEngine {
@@ -200,6 +205,17 @@ class ParallelEngine {
   /// events and 2PC commit events). Driver-side, before the first
   /// submission or tick; recording cannot be turned off again.
   void EnableTraceRecording();
+
+  /// Starts collecting per-transaction 2PC decisions for the driver
+  /// (TakeObservedCommits) — how the open-loop pipeline learns each
+  /// transaction's commit tick to close its end-to-end latency sample.
+  /// Driver-side, before the first submission or tick; cannot be turned
+  /// off again.
+  void EnableCommitObservation();
+
+  /// Decisions issued since the last call, in deterministic issue order.
+  /// Driver-side, between ticks. Empty unless EnableCommitObservation ran.
+  std::vector<TwoPhaseCoordinator::Decision> TakeObservedCommits();
 
   /// The canonical recorded trace so far: prepares in (block, shard,
   /// lane-position) order, commits in (block, seq) order. Driver-side;
@@ -324,6 +340,10 @@ class ParallelEngine {
   // Driver-only state observability (same ownership as state_).
   uint64_t accounts_migrated_ = 0;
   std::vector<TickStateRoot> tick_roots_;
+  // Driver-only commit observation (EnableCommitObservation): decisions the
+  // driver has not collected yet. Touched only between tick barriers.
+  bool observe_commits_ = false;
+  std::vector<TwoPhaseCoordinator::Decision> observed_commits_;
 
   // Tick/service protocol. Per-worker progress lives in parallel vectors
   // (index = worker) rather than a per-worker struct so the counters can be

@@ -1,14 +1,22 @@
 #include "txallo/engine/pipeline.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
+#include "txallo/chain/block.h"
 #include "txallo/common/stopwatch.h"
 #include "txallo/engine/background_allocator.h"
 #include "txallo/engine/ingest_router.h"
 #include "txallo/engine/replay.h"
+#include "txallo/mempool/cleaner.h"
+#include "txallo/mempool/offered_load.h"
+#include "txallo/mempool/submit_router.h"
 #include "txallo/sim/reconfig.h"
 #include "txallo/workload/stream.h"
 
@@ -34,73 +42,200 @@ const char* AllocatorModeName(AllocatorMode mode) {
   return "unknown";
 }
 
-Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
-                                            allocator::OnlineAllocator* alloc,
-                                            ParallelEngine* engine,
-                                            const PipelineConfig& config) {
-  const ReplayLog* replay = config.replay;
-  const bool recording = config.record != nullptr || replay != nullptr;
-  const uint32_t blocks_per_epoch =
-      replay != nullptr ? replay->meta.blocks_per_epoch
-                        : config.blocks_per_epoch;
-  if (blocks_per_epoch == 0) {
+Result<IngestMode> ParseIngestMode(const std::string& name) {
+  if (name == "closed") return IngestMode::kClosedLoop;
+  if (name == "open") return IngestMode::kOpenLoop;
+  return Status::InvalidArgument("unknown ingest mode '" + name +
+                                 "' (expected closed or open)");
+}
+
+const char* IngestModeName(IngestMode mode) {
+  switch (mode) {
+    case IngestMode::kClosedLoop:
+      return "closed";
+    case IngestMode::kOpenLoop:
+      return "open";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Admission drops chargeable to the window series (capacity, per-account
+/// limits, producer backpressure). TTL expiries are a lifetime property of
+/// already-admitted transactions, not an admission decision — they stay in
+/// AdmissionStats only.
+uint64_t AdmissionDrops(const mempool::AdmissionStats& stats) {
+  return stats.dropped_capacity + stats.dropped_account_pending +
+         stats.dropped_account_rate + stats.dropped_backpressure;
+}
+
+// One RunReallocatedStream invocation. The closed- and open-loop drivers
+// share everything but the tick loop itself: validation, bootstrap, the
+// install path and its accounts_moved accounting, the replay install
+// stream, the per-window engine-delta metrics, the allocator-mode boundary
+// schedule, and the drain/trace epilogue. Keeping them as methods of one
+// object (rather than two near-copies of a 300-line function) is what makes
+// "open-loop replays exactly like closed-loop" checkable by inspection.
+class PipelineRun {
+ public:
+  PipelineRun(const chain::Ledger& ledger, allocator::OnlineAllocator* alloc,
+              ParallelEngine* engine, const PipelineConfig& config)
+      : ledger_(ledger),
+        alloc_(alloc),
+        engine_(engine),
+        config_(config),
+        replay_(config.replay),
+        recording_(config.record != nullptr || config.replay != nullptr) {}
+
+  Result<PipelineResult> Run();
+
+ private:
+  Status Validate();
+  Status Bootstrap();
+  /// Publishes `next` and charges the account-migration delta (the very
+  /// first snapshot has no predecessor to migrate from).
+  Status Install(std::shared_ptr<const alloc::Allocation> next);
+  /// Replay-side install source: applies every recorded snapshot whose
+  /// block has been reached (block 0 before the first submission, epoch
+  /// boundaries after their window's last tick).
+  Status ApplyDueInstalls(uint64_t* applied);
+  /// The shared compute-on-the-driver-and-hold step of both deferred
+  /// schedules: one implementation so their timelines cannot drift apart.
+  Status ComputeAndHold(StepMetrics& metrics);
+  /// Engine-delta counters of the window [first_block, last_block) against
+  /// the previous snapshot.
+  StepMetrics WindowMetrics(const EngineReport& snap, uint64_t first_block,
+                            uint64_t last_block);
+  /// The allocator-mode boundary schedule (rebalance / install / launch).
+  Status EpochBoundary(StepMetrics& metrics);
+  /// Stream exhausted with a background rebalance still in flight: finish
+  /// and commit it so the allocator ends in the same state as the driver
+  /// schedules, but skip the install — no traffic left for it to route.
+  Status FinishInFlightBackground(StepMetrics& metrics);
+  /// Shared per-window close: runs the boundary logic (replay install
+  /// application, or the allocator-mode schedule when more traffic
+  /// follows), accumulates wall-clock sums, appends the step.
+  Status CloseWindow(StepMetrics metrics, bool more_traffic);
+
+  Status RunClosedLoop();
+  Status RunOpenLoop();
+  /// Latency samples of every commit decided since the last call.
+  void RecordObservedCommits(common::Histogram* window_hist);
+  Status CloseOpenLoopWindow(const mempool::OfferedLoadGenerator& generator,
+                             mempool::Mempool& pool,
+                             common::Histogram* window_hist,
+                             uint64_t window_first, bool more_traffic);
+  Status Epilogue();
+
+  const chain::Ledger& ledger_;
+  allocator::OnlineAllocator* const alloc_;
+  ParallelEngine* const engine_;
+  const PipelineConfig& config_;
+  const ReplayLog* const replay_;
+  const bool recording_;
+
+  // Resolved from the replay meta when replaying, from config otherwise.
+  uint32_t blocks_per_epoch_ = 0;
+  IngestMode ingest_mode_ = IngestMode::kClosedLoop;
+  OpenLoopConfig open_loop_;
+  // One full-ledger hash per run, shared by the replay guard and the
+  // recorded meta.
+  uint64_t ledger_fingerprint_ = 0;
+
+  PipelineResult result_;
+  ReplayLog observed_;  // Built along the run when recording.
+  std::shared_ptr<const alloc::Allocation> current_;
+  // Pipeline stages: optional parallel-ingest fan-out and optional
+  // background allocation worker (never needed on replay — the recorded
+  // install stream stands in for the allocator entirely).
+  std::optional<IngestRouter> router_;
+  std::optional<BackgroundAllocator> background_;
+  // Mapping computed at the previous boundary, awaiting its deferred
+  // install (kDriverDeferred, and kBackground's fallback when the strategy
+  // cannot snapshot).
+  std::shared_ptr<const alloc::Allocation> held_;
+  size_t install_cursor_ = 0;
+  EngineReport prev_;
+  uint64_t step_ = 0;
+
+  // Open-loop state. Engine sequence tags are assigned contiguously in
+  // dispatch order (driver SubmitBlock and IngestRouter slices alike), so
+  // a dense vector maps seq -> submit tick.
+  std::vector<uint64_t> submit_tick_of_seq_;
+  uint64_t offered_prev_ = 0;
+  mempool::AdmissionStats admission_prev_;
+};
+
+Status PipelineRun::Validate() {
+  if (blocks_per_epoch_ == 0) {
     return Status::InvalidArgument("blocks_per_epoch must be positive");
   }
-  if (engine == nullptr || (alloc == nullptr && replay == nullptr)) {
+  if (engine_ == nullptr || (alloc_ == nullptr && replay_ == nullptr)) {
     return Status::InvalidArgument(
         "RunReallocatedStream needs a non-null allocator and engine");
   }
-  if (!engine->config().hash_route_unassigned) {
+  if (!engine_->config().hash_route_unassigned) {
     return Status::InvalidArgument(
         "RunReallocatedStream requires EngineConfig::hash_route_unassigned: "
         "accounts created since the last epoch have no shard in the "
         "allocator's snapshot and must hash-route until the next Rebalance");
   }
-  if (recording) {
+  if (ingest_mode_ == IngestMode::kOpenLoop &&
+      !(open_loop_.offered_load > 0.0)) {
+    return Status::InvalidArgument(
+        "open-loop ingest needs a positive offered_load (transactions per "
+        "tick)");
+  }
+  if (recording_) {
     // A trace covers a run from block 0 with no traffic before it; ingested
     // transactions that predate recording would leave phantom events (or,
     // on replay, divergent streams) that only surface as a late Internal
     // error instead of this loud one.
-    if (engine->current_block() != 0 ||
-        engine->Snapshot().sim.submitted != 0) {
+    if (engine_->current_block() != 0 ||
+        engine_->Snapshot().sim.submitted != 0) {
       return Status::InvalidArgument(
           "record/replay needs a fresh engine: the trace must cover the run "
           "from block 0 with no prior submissions");
     }
+  } else if (ingest_mode_ == IngestMode::kOpenLoop) {
+    if (engine_->current_block() != 0 ||
+        engine_->Snapshot().sim.submitted != 0) {
+      return Status::InvalidArgument(
+          "open-loop ingest needs a fresh engine: commit observation must "
+          "precede the first submission");
+    }
   }
-  // One full-ledger hash per run, shared by the replay guard below and the
-  // recorded meta at the end.
-  const uint64_t ledger_fingerprint =
-      recording ? FingerprintLedger(ledger) : 0;
-  if (replay != nullptr) {
-    const EngineConfig& ec = engine->config();
-    if (replay->meta.num_shards != ec.num_shards ||
-        replay->meta.eta != ec.work.eta ||
-        replay->meta.capacity_per_block != ec.work.capacity_per_block ||
-        replay->meta.cross_shard_commit_rounds !=
+  ledger_fingerprint_ = recording_ ? FingerprintLedger(ledger_) : 0;
+  if (replay_ != nullptr) {
+    const EngineConfig& ec = engine_->config();
+    if (replay_->meta.num_shards != ec.num_shards ||
+        replay_->meta.eta != ec.work.eta ||
+        replay_->meta.capacity_per_block != ec.work.capacity_per_block ||
+        replay_->meta.cross_shard_commit_rounds !=
             ec.work.cross_shard_commit_rounds) {
       return Status::InvalidArgument(
           "replay trace was recorded under a different engine configuration "
           "(shard count or work model)");
     }
-    if (replay->meta.state_enabled != ec.state.enabled ||
+    if (replay_->meta.state_enabled != ec.state.enabled ||
         (ec.state.enabled &&
-         (replay->meta.state_initial_balance != ec.state.initial_balance ||
-          replay->meta.state_migration_work !=
+         (replay_->meta.state_initial_balance != ec.state.initial_balance ||
+          replay_->meta.state_migration_work !=
               ec.state.migration_work_per_account))) {
       return Status::InvalidArgument(
           "replay trace was recorded under a different account-state "
           "configuration (backend on/off, initial balance or migration "
           "cost)");
     }
-    if (replay->meta.ledger_blocks != ledger.num_blocks() ||
-        replay->meta.ledger_transactions != ledger.num_transactions() ||
-        replay->meta.ledger_fingerprint != ledger_fingerprint) {
+    if (replay_->meta.ledger_blocks != ledger_.num_blocks() ||
+        replay_->meta.ledger_transactions != ledger_.num_transactions() ||
+        replay_->meta.ledger_fingerprint != ledger_fingerprint_) {
       return Status::InvalidArgument(
           "replay trace was recorded over a different transaction stream "
           "(ledger fingerprint mismatch)");
     }
-    if (engine->allocation_snapshot() != nullptr) {
+    if (engine_->allocation_snapshot() != nullptr) {
       // The trace provides the initial mapping; a pre-installed snapshot
       // would skew the accounts_moved accounting of the first install.
       return Status::InvalidArgument(
@@ -109,256 +244,384 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
           "mapping");
     }
   }
-  if (recording) engine->EnableTraceRecording();
+  return Status::OK();
+}
 
-  PipelineResult result;
-  ReplayLog observed;  // Built along the run when recording.
-  std::shared_ptr<const alloc::Allocation> current =
-      engine->allocation_snapshot();
-
-  // Pipeline stages: optional parallel-ingest fan-out and optional
-  // background allocation worker (never needed on replay — the recorded
-  // install stream stands in for the allocator entirely).
-  std::optional<IngestRouter> router;
-  if (config.ingest_producers >= 2) {
-    router.emplace(engine, config.ingest_producers);
+Status PipelineRun::Install(std::shared_ptr<const alloc::Allocation> next) {
+  if (current_ != nullptr) {
+    result_.accounts_moved +=
+        sim::CompareAllocations(*current_, *next).accounts_moved;
   }
-  std::optional<BackgroundAllocator> background;
-  if (replay == nullptr &&
-      config.allocator_mode == AllocatorMode::kBackground) {
-    background.emplace();
+  if (recording_) {
+    observed_.installs.push_back(
+        InstallEvent{engine_->current_block(), *next});
   }
+  TXALLO_RETURN_NOT_OK(engine_->InstallAllocation(next));
+  current_ = std::move(next);
+  return Status::OK();
+}
 
-  // Publishes `next` and charges the account-migration delta (the very
-  // first snapshot has no predecessor to migrate from).
-  auto install =
-      [&](std::shared_ptr<const alloc::Allocation> next) -> Status {
-    if (current != nullptr) {
-      result.accounts_moved +=
-          sim::CompareAllocations(*current, *next).accounts_moved;
-    }
-    if (recording) {
-      observed.installs.push_back(
-          InstallEvent{engine->current_block(), *next});
-    }
-    TXALLO_RETURN_NOT_OK(engine->InstallAllocation(next));
-    current = std::move(next);
-    return Status::OK();
-  };
+Status PipelineRun::ApplyDueInstalls(uint64_t* applied) {
+  if (applied != nullptr) *applied = 0;
+  if (replay_ == nullptr) return Status::OK();
+  while (install_cursor_ < replay_->installs.size() &&
+         replay_->installs[install_cursor_].block <=
+             engine_->current_block()) {
+    TXALLO_RETURN_NOT_OK(Install(std::make_shared<const alloc::Allocation>(
+        replay_->installs[install_cursor_].allocation)));
+    ++install_cursor_;
+    if (applied != nullptr) ++(*applied);
+  }
+  return Status::OK();
+}
 
-  // Replay-side install source: applies every recorded snapshot whose
-  // block has been reached (block 0 before the first submission, epoch
-  // boundaries after their window's last tick). Returns how many applied.
-  size_t install_cursor = 0;
-  auto apply_due_installs = [&](uint64_t* applied) -> Status {
-    if (applied != nullptr) *applied = 0;
-    if (replay == nullptr) return Status::OK();
-    while (install_cursor < replay->installs.size() &&
-           replay->installs[install_cursor].block <=
-               engine->current_block()) {
-      TXALLO_RETURN_NOT_OK(install(std::make_shared<const alloc::Allocation>(
-          replay->installs[install_cursor].allocation)));
-      ++install_cursor;
-      if (applied != nullptr) ++(*applied);
-    }
-    return Status::OK();
-  };
+Status PipelineRun::Bootstrap() {
+  if (replay_ != nullptr) {
+    return ApplyDueInstalls(nullptr);
+  }
+  if (current_ == nullptr) {
+    current_ = std::make_shared<const alloc::Allocation>(
+        alloc_->CurrentAllocation());
+    TXALLO_RETURN_NOT_OK(engine_->InstallAllocation(current_));
+  }
+  if (recording_) {
+    // The mapping in force from block 0 — whether just bootstrapped or
+    // pre-installed by the caller — leads the install stream.
+    observed_.installs.push_back(InstallEvent{0, *current_});
+  }
+  return Status::OK();
+}
 
-  if (replay != nullptr) {
-    TXALLO_RETURN_NOT_OK(apply_due_installs(nullptr));
-  } else {
-    if (current == nullptr) {
-      current = std::make_shared<const alloc::Allocation>(
-          alloc->CurrentAllocation());
-      TXALLO_RETURN_NOT_OK(engine->InstallAllocation(current));
+Status PipelineRun::ComputeAndHold(StepMetrics& metrics) {
+  Stopwatch watch;
+  Result<alloc::Allocation> rebalanced = alloc_->Rebalance();
+  if (!rebalanced.ok()) return rebalanced.status();
+  const double seconds = watch.ElapsedSeconds();
+  metrics.alloc_seconds += seconds;
+  metrics.alloc_wait_seconds += seconds;
+  held_ = std::make_shared<const alloc::Allocation>(
+      std::move(rebalanced.value()));
+  return Status::OK();
+}
+
+StepMetrics PipelineRun::WindowMetrics(const EngineReport& snap,
+                                       uint64_t first_block,
+                                       uint64_t last_block) {
+  StepMetrics metrics;
+  metrics.step = step_;
+  metrics.first_block = first_block;
+  metrics.last_block = last_block;
+  metrics.submitted = snap.sim.submitted - prev_.sim.submitted;
+  metrics.committed = snap.sim.committed - prev_.sim.committed;
+  metrics.cross_shard_submitted =
+      snap.sim.cross_shard_submitted - prev_.sim.cross_shard_submitted;
+  const uint64_t blocks = last_block - first_block;
+  if (blocks > 0) {
+    metrics.throughput_per_block =
+        static_cast<double>(metrics.committed) / static_cast<double>(blocks);
+  }
+  if (metrics.submitted > 0) {
+    metrics.cross_shard_ratio =
+        static_cast<double>(metrics.cross_shard_submitted) /
+        static_cast<double>(metrics.submitted);
+  }
+  metrics.aborted = snap.aborted - prev_.aborted;
+  metrics.accounts_migrated = snap.accounts_migrated - prev_.accounts_migrated;
+  prev_ = snap;
+  return metrics;
+}
+
+Status PipelineRun::EpochBoundary(StepMetrics& metrics) {
+  switch (config_.allocator_mode) {
+    case AllocatorMode::kDriverSync: {
+      ++result_.epochs;
+      Stopwatch watch;
+      Result<alloc::Allocation> rebalanced = alloc_->Rebalance();
+      if (!rebalanced.ok()) return rebalanced.status();
+      const double seconds = watch.ElapsedSeconds();
+      metrics.alloc_seconds = seconds;
+      metrics.alloc_wait_seconds = seconds;
+      TXALLO_RETURN_NOT_OK(Install(std::make_shared<const alloc::Allocation>(
+          std::move(rebalanced.value()))));
+      metrics.installed = true;
+      break;
     }
-    if (recording) {
-      // The mapping in force from block 0 — whether just bootstrapped or
-      // pre-installed by the caller — leads the install stream.
-      observed.installs.push_back(InstallEvent{0, *current});
+    case AllocatorMode::kDriverDeferred: {
+      if (held_ != nullptr) {
+        TXALLO_RETURN_NOT_OK(Install(std::move(held_)));
+        held_ = nullptr;
+        metrics.installed = true;
+      }
+      ++result_.epochs;
+      TXALLO_RETURN_NOT_OK(ComputeAndHold(metrics));
+      break;
+    }
+    case AllocatorMode::kBackground: {
+      // With allow_epoch_overrun, a Run() still executing at the boundary
+      // skips this update entirely (no Collect stall, no new task — the
+      // in-flight one keeps running) and the mapping lands at the next
+      // boundary it is ready for.
+      bool skipped = false;
+      if (background_->busy()) {
+        std::optional<BackgroundAllocator::Outcome> outcome;
+        if (config_.allow_epoch_overrun) {
+          Result<std::optional<BackgroundAllocator::Outcome>> polled =
+              background_->TryCollect();
+          if (!polled.ok()) return polled.status();
+          outcome = std::move(polled.value());
+          if (!outcome.has_value()) {
+            skipped = true;
+            ++result_.overrun_boundaries;
+          }
+        } else {
+          Result<BackgroundAllocator::Outcome> collected =
+              background_->Collect();
+          if (!collected.ok()) return collected.status();
+          outcome = std::move(collected.value());
+        }
+        if (outcome.has_value()) {
+          TXALLO_RETURN_NOT_OK(outcome->task->Commit());
+          if (!outcome->mapping.ok()) return outcome->mapping.status();
+          metrics.alloc_seconds = outcome->run_seconds;
+          metrics.alloc_wait_seconds = outcome->wait_seconds;
+          TXALLO_RETURN_NOT_OK(
+              Install(std::make_shared<const alloc::Allocation>(
+                  std::move(outcome->mapping.value()))));
+          metrics.installed = true;
+        }
+      } else if (held_ != nullptr) {
+        TXALLO_RETURN_NOT_OK(Install(std::move(held_)));
+        held_ = nullptr;
+        metrics.installed = true;
+      }
+      if (!skipped) {
+        ++result_.epochs;
+        std::unique_ptr<allocator::RebalanceTask> task =
+            alloc_->BeginRebalance();
+        if (task != nullptr) {
+          TXALLO_RETURN_NOT_OK(background_->Launch(std::move(task)));
+        } else {
+          // Strategy cannot snapshot: compute synchronously here, keep the
+          // deferred install schedule so the logical timeline stays
+          // identical (overlap just stays at zero for this strategy).
+          TXALLO_RETURN_NOT_OK(ComputeAndHold(metrics));
+        }
+      }
+      break;
     }
   }
+  return Status::OK();
+}
 
-  // Mapping computed at the previous boundary, awaiting its deferred
-  // install (kDriverDeferred, and kBackground's fallback when the strategy
-  // cannot snapshot).
-  std::shared_ptr<const alloc::Allocation> held;
-  // The shared compute-on-the-driver-and-hold step of both deferred
-  // schedules: one implementation so their timelines cannot drift apart.
-  auto compute_and_hold = [&](StepMetrics& metrics) -> Status {
-    Stopwatch watch;
-    Result<alloc::Allocation> rebalanced = alloc->Rebalance();
-    if (!rebalanced.ok()) return rebalanced.status();
-    const double seconds = watch.ElapsedSeconds();
-    metrics.alloc_seconds += seconds;
-    metrics.alloc_wait_seconds += seconds;
-    held = std::make_shared<const alloc::Allocation>(
-        std::move(rebalanced.value()));
-    return Status::OK();
-  };
+Status PipelineRun::FinishInFlightBackground(StepMetrics& metrics) {
+  Result<BackgroundAllocator::Outcome> outcome = background_->Collect();
+  if (!outcome.ok()) return outcome.status();
+  TXALLO_RETURN_NOT_OK(outcome->task->Commit());
+  if (!outcome->mapping.ok()) return outcome->mapping.status();
+  metrics.alloc_seconds = outcome->run_seconds;
+  metrics.alloc_wait_seconds = outcome->wait_seconds;
+  return Status::OK();
+}
 
-  EngineReport prev = engine->Snapshot();
-  workload::BlockWindowStream epochs(&ledger, blocks_per_epoch);
-  uint64_t step = 0;
+Status PipelineRun::CloseWindow(StepMetrics metrics, bool more_traffic) {
+  if (replay_ != nullptr) {
+    // The recorded install stream stands in for the allocator: apply every
+    // snapshot due at this boundary, and carry the recorded run's
+    // wall-clock observations through verbatim (they are not reproducible;
+    // the logical schedule is).
+    uint64_t applied = 0;
+    TXALLO_RETURN_NOT_OK(ApplyDueInstalls(&applied));
+    metrics.installed = applied > 0;
+    if (metrics.step < replay_->steps.size()) {
+      metrics.alloc_seconds = replay_->steps[metrics.step].alloc_seconds;
+      metrics.alloc_wait_seconds =
+          replay_->steps[metrics.step].alloc_wait_seconds;
+    }
+  } else if (more_traffic) {
+    // Epoch boundary. The trailing window never reaches here — it gets no
+    // update (nothing left for a new mapping to route).
+    TXALLO_RETURN_NOT_OK(EpochBoundary(metrics));
+  } else if (background_.has_value() && background_->busy()) {
+    TXALLO_RETURN_NOT_OK(FinishInFlightBackground(metrics));
+  }
+  // (kDriverDeferred's final held mapping is dropped for the same
+  // trailing-skip reason; its compute time was charged when it ran.)
+
+  result_.alloc_seconds += metrics.alloc_seconds;
+  result_.alloc_wait_seconds += metrics.alloc_wait_seconds;
+  result_.steps.push_back(metrics);
+  ++step_;
+  return Status::OK();
+}
+
+Status PipelineRun::RunClosedLoop() {
+  workload::BlockWindowStream epochs(&ledger_, blocks_per_epoch_);
   while (!epochs.Done()) {
     const workload::BlockWindowStream::Window window = epochs.Next();
     for (size_t b = window.first_block_index; b < window.last_block_index;
          ++b) {
-      const chain::Block& block = ledger.blocks()[b];
-      if (router) {
-        TXALLO_RETURN_NOT_OK(router->SubmitBlock(block.transactions()));
+      const chain::Block& block = ledger_.blocks()[b];
+      if (router_) {
+        TXALLO_RETURN_NOT_OK(router_->SubmitBlock(block.transactions()));
       } else {
-        TXALLO_RETURN_NOT_OK(engine->SubmitBlock(block.transactions()));
+        TXALLO_RETURN_NOT_OK(engine_->SubmitBlock(block.transactions()));
       }
-      engine->Tick();
-      if (replay == nullptr) alloc->ApplyBlock(block);
+      engine_->Tick();
+      if (replay_ == nullptr) alloc_->ApplyBlock(block);
     }
-
-    StepMetrics metrics;
-    metrics.step = step;
-    metrics.first_block = window.first_block_index;
-    metrics.last_block = window.last_block_index;
-    {
-      const EngineReport snap = engine->Snapshot();
-      metrics.submitted = snap.sim.submitted - prev.sim.submitted;
-      metrics.committed = snap.sim.committed - prev.sim.committed;
-      metrics.cross_shard_submitted =
-          snap.sim.cross_shard_submitted - prev.sim.cross_shard_submitted;
-      const uint64_t blocks =
-          window.last_block_index - window.first_block_index;
-      if (blocks > 0) {
-        metrics.throughput_per_block =
-            static_cast<double>(metrics.committed) /
-            static_cast<double>(blocks);
-      }
-      if (metrics.submitted > 0) {
-        metrics.cross_shard_ratio =
-            static_cast<double>(metrics.cross_shard_submitted) /
-            static_cast<double>(metrics.submitted);
-      }
-      metrics.aborted = snap.aborted - prev.aborted;
-      metrics.accounts_migrated =
-          snap.accounts_migrated - prev.accounts_migrated;
-      prev = snap;
-    }
-
-    if (replay != nullptr) {
-      // The recorded install stream stands in for the allocator: apply
-      // every snapshot due at this boundary, and carry the recorded run's
-      // wall-clock observations through verbatim (they are not
-      // reproducible; the logical schedule is).
-      uint64_t applied = 0;
-      TXALLO_RETURN_NOT_OK(apply_due_installs(&applied));
-      metrics.installed = applied > 0;
-      if (step < replay->steps.size()) {
-        metrics.alloc_seconds = replay->steps[step].alloc_seconds;
-        metrics.alloc_wait_seconds = replay->steps[step].alloc_wait_seconds;
-      }
-    } else if (!epochs.Done()) {
-      // Epoch boundary. The trailing window never reaches here — it gets
-      // no update (nothing left for a new mapping to route).
-      switch (config.allocator_mode) {
-        case AllocatorMode::kDriverSync: {
-          ++result.epochs;
-          Stopwatch watch;
-          Result<alloc::Allocation> rebalanced = alloc->Rebalance();
-          if (!rebalanced.ok()) return rebalanced.status();
-          const double seconds = watch.ElapsedSeconds();
-          metrics.alloc_seconds = seconds;
-          metrics.alloc_wait_seconds = seconds;
-          TXALLO_RETURN_NOT_OK(
-              install(std::make_shared<const alloc::Allocation>(
-                  std::move(rebalanced.value()))));
-          metrics.installed = true;
-          break;
-        }
-        case AllocatorMode::kDriverDeferred: {
-          if (held != nullptr) {
-            TXALLO_RETURN_NOT_OK(install(std::move(held)));
-            held = nullptr;
-            metrics.installed = true;
-          }
-          ++result.epochs;
-          TXALLO_RETURN_NOT_OK(compute_and_hold(metrics));
-          break;
-        }
-        case AllocatorMode::kBackground: {
-          // With allow_epoch_overrun, a Run() still executing at the
-          // boundary skips this update entirely (no Collect stall, no new
-          // task — the in-flight one keeps running) and the mapping lands
-          // at the next boundary it is ready for.
-          bool skipped = false;
-          if (background->busy()) {
-            std::optional<BackgroundAllocator::Outcome> outcome;
-            if (config.allow_epoch_overrun) {
-              Result<std::optional<BackgroundAllocator::Outcome>> polled =
-                  background->TryCollect();
-              if (!polled.ok()) return polled.status();
-              outcome = std::move(polled.value());
-              if (!outcome.has_value()) {
-                skipped = true;
-                ++result.overrun_boundaries;
-              }
-            } else {
-              Result<BackgroundAllocator::Outcome> collected =
-                  background->Collect();
-              if (!collected.ok()) return collected.status();
-              outcome = std::move(collected.value());
-            }
-            if (outcome.has_value()) {
-              TXALLO_RETURN_NOT_OK(outcome->task->Commit());
-              if (!outcome->mapping.ok()) return outcome->mapping.status();
-              metrics.alloc_seconds = outcome->run_seconds;
-              metrics.alloc_wait_seconds = outcome->wait_seconds;
-              TXALLO_RETURN_NOT_OK(
-                  install(std::make_shared<const alloc::Allocation>(
-                      std::move(outcome->mapping.value()))));
-              metrics.installed = true;
-            }
-          } else if (held != nullptr) {
-            TXALLO_RETURN_NOT_OK(install(std::move(held)));
-            held = nullptr;
-            metrics.installed = true;
-          }
-          if (!skipped) {
-            ++result.epochs;
-            std::unique_ptr<allocator::RebalanceTask> task =
-                alloc->BeginRebalance();
-            if (task != nullptr) {
-              TXALLO_RETURN_NOT_OK(background->Launch(std::move(task)));
-            } else {
-              // Strategy cannot snapshot: compute synchronously here, keep
-              // the deferred install schedule so the logical timeline stays
-              // identical (overlap just stays at zero for this strategy).
-              TXALLO_RETURN_NOT_OK(compute_and_hold(metrics));
-            }
-          }
-          break;
-        }
-      }
-    } else if (background.has_value() && background->busy()) {
-      // Ledger exhausted with a rebalance still in flight: finish and
-      // commit it so the allocator ends in the same state as the driver
-      // schedules (a caller continuing the stream can build on it), but
-      // skip the install — there is no traffic left for it to route.
-      Result<BackgroundAllocator::Outcome> outcome = background->Collect();
-      if (!outcome.ok()) return outcome.status();
-      TXALLO_RETURN_NOT_OK(outcome->task->Commit());
-      if (!outcome->mapping.ok()) return outcome->mapping.status();
-      metrics.alloc_seconds = outcome->run_seconds;
-      metrics.alloc_wait_seconds = outcome->wait_seconds;
-    }
-    // (kDriverDeferred's final held mapping is dropped for the same
-    // trailing-skip reason; its compute time was charged when it ran.)
-
-    result.alloc_seconds += metrics.alloc_seconds;
-    result.alloc_wait_seconds += metrics.alloc_wait_seconds;
-    result.steps.push_back(metrics);
-    ++step;
+    StepMetrics metrics =
+        WindowMetrics(engine_->Snapshot(), window.first_block_index,
+                      window.last_block_index);
+    TXALLO_RETURN_NOT_OK(CloseWindow(std::move(metrics), !epochs.Done()));
   }
-  if (result.alloc_seconds > 0.0) {
-    result.alloc_overlap_ratio = std::clamp(
-        1.0 - result.alloc_wait_seconds / result.alloc_seconds, 0.0, 1.0);
+  return Status::OK();
+}
+
+void PipelineRun::RecordObservedCommits(common::Histogram* window_hist) {
+  for (const TwoPhaseCoordinator::Decision& decision :
+       engine_->TakeObservedCommits()) {
+    // An abort never served anyone; only commits get a latency sample.
+    if (decision.aborted) continue;
+    const uint64_t latency =
+        decision.block - submit_tick_of_seq_[decision.seq];
+    if (window_hist != nullptr) window_hist->Record(latency);
+    result_.e2e_latency_ticks.Record(latency);
+  }
+}
+
+Status PipelineRun::CloseOpenLoopWindow(
+    const mempool::OfferedLoadGenerator& generator, mempool::Mempool& pool,
+    common::Histogram* window_hist, uint64_t window_first,
+    bool more_traffic) {
+  StepMetrics metrics = WindowMetrics(engine_->Snapshot(), window_first,
+                                      engine_->current_block());
+  metrics.offered = generator.released() - offered_prev_;
+  offered_prev_ = generator.released();
+  const mempool::AdmissionStats admission = pool.stats();
+  metrics.admitted = admission.admitted - admission_prev_.admitted;
+  metrics.admission_dropped =
+      AdmissionDrops(admission) - AdmissionDrops(admission_prev_);
+  admission_prev_ = admission;
+  metrics.mempool_depth = pool.live_size();
+  metrics.mempool_peak_depth = admission.peak_depth;
+  metrics.latency_p50_ticks = window_hist->Percentile(50.0);
+  metrics.latency_p99_ticks = window_hist->Percentile(99.0);
+  metrics.latency_p999_ticks = window_hist->Percentile(99.9);
+  *window_hist = common::Histogram();
+  return CloseWindow(std::move(metrics), more_traffic);
+}
+
+Status PipelineRun::RunOpenLoop() {
+  // Commit observation feeds the latency histograms; Validate() pinned the
+  // engine fresh, so this precedes every registration.
+  engine_->EnableCommitObservation();
+
+  mempool::MempoolConfig pool_config = open_loop_.mempool;
+  // Deterministic drops: staging must hold any single tick's offer so
+  // TrySubmit never races producers against a full buffer — every drop
+  // decision then happens at the seal, in pool_seq order (submit_router.h).
+  const size_t tick_offer =
+      static_cast<size_t>(std::ceil(open_loop_.offered_load)) + 1;
+  pool_config.staging_capacity =
+      std::max(pool_config.staging_capacity, tick_offer);
+  mempool::Mempool pool(pool_config);
+  std::optional<mempool::MempoolCleaner> cleaner;
+  if (open_loop_.cleaner) cleaner.emplace(&pool);
+  std::optional<mempool::SubmitRouter> submitters;
+  if (config_.ingest_producers >= 2) {
+    submitters.emplace(&pool, config_.ingest_producers);
+  }
+  mempool::OfferedLoadGenerator generator(
+      ledger_,
+      mempool::OfferedLoadConfig{open_loop_.offered_load,
+                                 open_loop_.fee_levels, open_loop_.fee_seed});
+  const size_t dispatch_cap = open_loop_.dispatch_per_tick == 0
+                                  ? std::numeric_limits<size_t>::max()
+                                  : open_loop_.dispatch_per_tick;
+
+  std::vector<mempool::OfferedTx> released;
+  std::vector<chain::Transaction> tx_buf;
+  std::vector<uint64_t> fee_buf;
+  common::Histogram window_hist;
+  uint64_t window_first = engine_->current_block();
+  uint32_t ticks_in_window = 0;
+  // The run ends when the generator is exhausted AND the pool has fully
+  // drained — staging empties every seal, deferrals retry every seal, and
+  // dispatch removes live entries, so the conjunction always arrives.
+  while (!(generator.Done() && pool.live_size() == 0 &&
+           pool.deferred_size() == 0 && pool.staged_size() == 0)) {
+    const uint64_t now = engine_->current_block();
+
+    // 1. Offer this tick's arrivals into staging.
+    released.clear();
+    generator.ReleaseTick(&released);
+    if (!released.empty()) {
+      const uint64_t seq_base = pool.ReserveSequenceRange(released.size());
+      if (submitters) {
+        tx_buf.clear();
+        fee_buf.clear();
+        for (const mempool::OfferedTx& offer : released) {
+          tx_buf.push_back(*offer.tx);
+          fee_buf.push_back(offer.fee);
+        }
+        submitters->SubmitBatch(tx_buf.data(), fee_buf.data(), tx_buf.size(),
+                                now, seq_base);
+      } else {
+        for (size_t i = 0; i < released.size(); ++i) {
+          pool.TrySubmit(*released[i].tx, released[i].fee, now, seq_base + i);
+        }
+      }
+    }
+
+    // 2. Seal: admission control for tick `now`.
+    pool.SealTick(now);
+
+    // 3. Dispatch the fee-priority prefix to the engine.
+    std::vector<mempool::PendingTx> batch = pool.TakeBatch(dispatch_cap);
+    std::vector<chain::Transaction> block_txs;
+    block_txs.reserve(batch.size());
+    for (mempool::PendingTx& pending : batch) {
+      submit_tick_of_seq_.push_back(pending.submit_tick);
+      block_txs.push_back(std::move(pending.tx));
+    }
+    if (router_) {
+      TXALLO_RETURN_NOT_OK(router_->SubmitBlock(block_txs));
+    } else {
+      TXALLO_RETURN_NOT_OK(engine_->SubmitBlock(block_txs));
+    }
+    engine_->Tick();
+
+    // 4. End-to-end latency of every commit this tick decided.
+    RecordObservedCommits(&window_hist);
+
+    if (replay_ == nullptr) {
+      alloc_->ApplyBlock(chain::Block(now, std::move(block_txs)));
+    }
+
+    ++ticks_in_window;
+    if (ticks_in_window == blocks_per_epoch_) {
+      const bool drained = generator.Done() && pool.live_size() == 0 &&
+                           pool.deferred_size() == 0 &&
+                           pool.staged_size() == 0;
+      TXALLO_RETURN_NOT_OK(CloseOpenLoopWindow(generator, pool, &window_hist,
+                                               window_first, !drained));
+      window_first = engine_->current_block();
+      ticks_in_window = 0;
+    }
+  }
+  if (ticks_in_window > 0) {
+    TXALLO_RETURN_NOT_OK(CloseOpenLoopWindow(generator, pool, &window_hist,
+                                             window_first,
+                                             /*more_traffic=*/false));
+  }
+  result_.admission = pool.stats();
+  return Status::OK();
+}
+
+Status PipelineRun::Epilogue() {
+  if (result_.alloc_seconds > 0.0) {
+    result_.alloc_overlap_ratio = std::clamp(
+        1.0 - result_.alloc_wait_seconds / result_.alloc_seconds, 0.0, 1.0);
   }
   // Drain the engine, and close the series with a final partial step when
   // draining ticked extra blocks (pending commit rounds or residual λ
@@ -366,75 +629,147 @@ Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
   // belong to no step, so the per-step series would silently undercount
   // the run total (a blocks_per_epoch larger than the stream made the
   // whole tail vanish into a single short window).
-  const uint64_t stream_end_block = engine->current_block();
-  result.report = engine->DrainAndReport();
-  if (result.report.sim.blocks_elapsed > stream_end_block) {
-    StepMetrics tail;
-    tail.step = step;
-    tail.first_block = stream_end_block;
-    tail.last_block = result.report.sim.blocks_elapsed;
-    tail.submitted = result.report.sim.submitted - prev.sim.submitted;
-    tail.committed = result.report.sim.committed - prev.sim.committed;
-    tail.cross_shard_submitted = result.report.sim.cross_shard_submitted -
-                                 prev.sim.cross_shard_submitted;
-    tail.throughput_per_block =
-        static_cast<double>(tail.committed) /
-        static_cast<double>(tail.last_block - tail.first_block);
-    if (tail.submitted > 0) {
-      tail.cross_shard_ratio = static_cast<double>(tail.cross_shard_submitted) /
-                               static_cast<double>(tail.submitted);
+  const uint64_t stream_end_block = engine_->current_block();
+  result_.report = engine_->DrainAndReport();
+  // Commits decided during the drain still owe their latency samples.
+  common::Histogram drain_hist;
+  if (ingest_mode_ == IngestMode::kOpenLoop) {
+    RecordObservedCommits(&drain_hist);
+  }
+  if (result_.report.sim.blocks_elapsed > stream_end_block) {
+    StepMetrics tail = WindowMetrics(result_.report, stream_end_block,
+                                     result_.report.sim.blocks_elapsed);
+    if (ingest_mode_ == IngestMode::kOpenLoop) {
+      tail.latency_p50_ticks = drain_hist.Percentile(50.0);
+      tail.latency_p99_ticks = drain_hist.Percentile(99.0);
+      tail.latency_p999_ticks = drain_hist.Percentile(99.9);
+      tail.mempool_peak_depth = result_.admission.peak_depth;
     }
-    tail.aborted = result.report.aborted - prev.aborted;
-    tail.accounts_migrated =
-        result.report.accounts_migrated - prev.accounts_migrated;
-    result.steps.push_back(tail);
+    result_.steps.push_back(tail);
   }
 
-  if (replay != nullptr) {
+  if (replay_ != nullptr) {
     // Boundary-rebalance count and wall-clock aggregates come from the
     // recorded run (no allocator ran here; the per-step copies above
     // re-accumulated its alloc/wait sums bit-identically already).
-    result.epochs = replay->epochs;
+    result_.epochs = replay_->epochs;
   }
-  if (recording) {
-    const EngineConfig& ec = engine->config();
-    observed.meta.num_shards = ec.num_shards;
-    observed.meta.eta = ec.work.eta;
-    observed.meta.capacity_per_block = ec.work.capacity_per_block;
-    observed.meta.cross_shard_commit_rounds =
+  if (recording_) {
+    const EngineConfig& ec = engine_->config();
+    observed_.meta.num_shards = ec.num_shards;
+    observed_.meta.eta = ec.work.eta;
+    observed_.meta.capacity_per_block = ec.work.capacity_per_block;
+    observed_.meta.cross_shard_commit_rounds =
         ec.work.cross_shard_commit_rounds;
     // Normalized to zero when the backend is off, so meta equality can
     // never hinge on a value the run ignored.
-    observed.meta.state_enabled = ec.state.enabled;
-    observed.meta.state_initial_balance =
+    observed_.meta.state_enabled = ec.state.enabled;
+    observed_.meta.state_initial_balance =
         ec.state.enabled ? ec.state.initial_balance : 0;
-    observed.meta.state_migration_work =
+    observed_.meta.state_migration_work =
         ec.state.enabled ? ec.state.migration_work_per_account : 0.0;
-    observed.meta.blocks_per_epoch = blocks_per_epoch;
-    observed.meta.ledger_blocks = ledger.num_blocks();
-    observed.meta.ledger_transactions = ledger.num_transactions();
-    observed.meta.ledger_fingerprint = ledger_fingerprint;
-    observed.steps = result.steps;
-    observed.alloc_seconds = result.alloc_seconds;
-    observed.alloc_wait_seconds = result.alloc_wait_seconds;
-    observed.alloc_overlap_ratio = result.alloc_overlap_ratio;
-    observed.epochs = result.epochs;
-    observed.accounts_moved = result.accounts_moved;
-    ParallelEngine::Trace trace = engine->ExtractTrace();
-    observed.prepares = std::move(trace.prepares);
-    observed.commits = std::move(trace.commits);
-    observed.state_roots = std::move(trace.state_roots);
-    if (replay != nullptr) {
+    observed_.meta.blocks_per_epoch = blocks_per_epoch_;
+    observed_.meta.ledger_blocks = ledger_.num_blocks();
+    observed_.meta.ledger_transactions = ledger_.num_transactions();
+    observed_.meta.ledger_fingerprint = ledger_fingerprint_;
+    observed_.meta.ingest_mode = static_cast<uint8_t>(ingest_mode_);
+    if (ingest_mode_ == IngestMode::kOpenLoop) {
+      // Same normalization rule: closed-loop traces keep the open-loop
+      // fields at their zero defaults.
+      observed_.meta.offered_load = open_loop_.offered_load;
+      observed_.meta.dispatch_per_tick = open_loop_.dispatch_per_tick;
+      observed_.meta.fee_levels = open_loop_.fee_levels;
+      observed_.meta.fee_seed = open_loop_.fee_seed;
+      observed_.meta.mempool_capacity = open_loop_.mempool.capacity;
+      observed_.meta.mempool_staging_capacity =
+          open_loop_.mempool.staging_capacity;
+      observed_.meta.account_pending_limit =
+          open_loop_.mempool.account_pending_limit;
+      observed_.meta.account_rate_limit =
+          open_loop_.mempool.account_rate_limit;
+      observed_.meta.ttl_ticks = open_loop_.mempool.ttl_ticks;
+      observed_.meta.admission_policy =
+          static_cast<uint8_t>(open_loop_.mempool.policy);
+    }
+    observed_.steps = result_.steps;
+    observed_.alloc_seconds = result_.alloc_seconds;
+    observed_.alloc_wait_seconds = result_.alloc_wait_seconds;
+    observed_.alloc_overlap_ratio = result_.alloc_overlap_ratio;
+    observed_.epochs = result_.epochs;
+    observed_.accounts_moved = result_.accounts_moved;
+    ParallelEngine::Trace trace = engine_->ExtractTrace();
+    observed_.prepares = std::move(trace.prepares);
+    observed_.commits = std::move(trace.commits);
+    observed_.state_roots = std::move(trace.state_roots);
+    if (replay_ != nullptr) {
       const std::string divergence =
-          DescribeTraceDivergence(*replay, observed);
+          DescribeTraceDivergence(*replay_, observed_);
       if (!divergence.empty()) {
         return Status::Internal("replay diverged from the recorded trace: " +
                                 divergence);
       }
     }
-    if (config.record != nullptr) *config.record = std::move(observed);
+    if (config_.record != nullptr) *config_.record = std::move(observed_);
   }
-  return result;
+  return Status::OK();
+}
+
+Result<PipelineResult> PipelineRun::Run() {
+  blocks_per_epoch_ = replay_ != nullptr ? replay_->meta.blocks_per_epoch
+                                         : config_.blocks_per_epoch;
+  ingest_mode_ = replay_ != nullptr
+                     ? static_cast<IngestMode>(replay_->meta.ingest_mode)
+                     : config_.ingest_mode;
+  open_loop_ = config_.open_loop;
+  if (replay_ != nullptr && ingest_mode_ == IngestMode::kOpenLoop) {
+    // The trace's driving parameters override the caller's — only the
+    // physical knobs (cleaner on/off, chunking) stay caller-controlled,
+    // because they cannot change any output.
+    open_loop_.offered_load = replay_->meta.offered_load;
+    open_loop_.dispatch_per_tick = replay_->meta.dispatch_per_tick;
+    open_loop_.fee_levels = replay_->meta.fee_levels;
+    open_loop_.fee_seed = replay_->meta.fee_seed;
+    open_loop_.mempool.capacity = replay_->meta.mempool_capacity;
+    open_loop_.mempool.staging_capacity =
+        replay_->meta.mempool_staging_capacity;
+    open_loop_.mempool.account_pending_limit =
+        replay_->meta.account_pending_limit;
+    open_loop_.mempool.account_rate_limit = replay_->meta.account_rate_limit;
+    open_loop_.mempool.ttl_ticks = replay_->meta.ttl_ticks;
+    open_loop_.mempool.policy =
+        static_cast<mempool::AdmissionPolicy>(replay_->meta.admission_policy);
+  }
+  TXALLO_RETURN_NOT_OK(Validate());
+  if (recording_) engine_->EnableTraceRecording();
+
+  current_ = engine_->allocation_snapshot();
+  if (config_.ingest_producers >= 2) {
+    router_.emplace(engine_, config_.ingest_producers);
+  }
+  if (replay_ == nullptr &&
+      config_.allocator_mode == AllocatorMode::kBackground) {
+    background_.emplace();
+  }
+
+  TXALLO_RETURN_NOT_OK(Bootstrap());
+  prev_ = engine_->Snapshot();
+  if (ingest_mode_ == IngestMode::kOpenLoop) {
+    TXALLO_RETURN_NOT_OK(RunOpenLoop());
+  } else {
+    TXALLO_RETURN_NOT_OK(RunClosedLoop());
+  }
+  TXALLO_RETURN_NOT_OK(Epilogue());
+  return std::move(result_);
+}
+
+}  // namespace
+
+Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
+                                            allocator::OnlineAllocator* alloc,
+                                            ParallelEngine* engine,
+                                            const PipelineConfig& config) {
+  PipelineRun run(ledger, alloc, engine, config);
+  return run.Run();
 }
 
 }  // namespace txallo::engine

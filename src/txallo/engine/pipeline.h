@@ -31,6 +31,20 @@
 // through an IngestRouter (N producer threads into the per-shard MPSC
 // queues) instead of the driver thread.
 //
+// Ingest modes: the classic driver is *closed-loop* — it feeds one ledger
+// block per tick, so the arrival rate automatically tracks the service rate
+// and queueing delay is invisible. `ingest_mode = kOpenLoop` decouples
+// them: an OfferedLoadGenerator releases the ledger's transactions at a
+// fixed rate per tick into a mempool::Mempool (fee ordering, admission
+// control, backpressure), the driver seals and dispatches the fee-priority
+// prefix each tick, and every committed transaction's end-to-end latency
+// (commit tick − submit tick) lands in exact histograms: per-window
+// p50/p99/p99.9 in StepMetrics, the full distribution in PipelineResult.
+// The clock stays logical, so latency ticks, admission drops and queue
+// depths are bit-identical across thread and producer counts, and
+// record/replay covers open-loop runs exactly like closed-loop ones (the
+// trace meta carries the offered-load and mempool parameters).
+//
 // Record/replay: PipelineConfig::record captures the run's deterministic
 // trace (per-tick, per-shard prepare order, 2PC outcome stream, install
 // boundaries, step series) into a ReplayLog; PipelineConfig::replay
@@ -45,8 +59,10 @@
 
 #include "txallo/allocator/allocator.h"
 #include "txallo/chain/ledger.h"
+#include "txallo/common/histogram.h"
 #include "txallo/common/status.h"
 #include "txallo/engine/engine.h"
+#include "txallo/mempool/mempool.h"
 
 namespace txallo::engine {
 
@@ -63,6 +79,38 @@ enum class AllocatorMode {
 Result<AllocatorMode> ParseAllocatorMode(const std::string& name);
 const char* AllocatorModeName(AllocatorMode mode);
 
+/// How the driver feeds the engine (see file header).
+enum class IngestMode {
+  /// One ledger block per tick; arrivals track service.
+  kClosedLoop,
+  /// Offered-load generator → mempool → fee-priority dispatch per tick.
+  kOpenLoop,
+};
+
+/// "closed" | "open" -> IngestMode (bench flags).
+Result<IngestMode> ParseIngestMode(const std::string& name);
+const char* IngestModeName(IngestMode mode);
+
+/// Open-loop driving parameters (ignored in kClosedLoop).
+struct OpenLoopConfig {
+  /// Target arrival rate in transactions per tick (may be fractional).
+  /// Must be > 0.
+  double offered_load = 8.0;
+  /// Max transactions dispatched from the mempool per tick; 0 = no cap
+  /// (the engine's λ is then the only service bound).
+  uint32_t dispatch_per_tick = 0;
+  /// Fee distribution of the generated arrivals (offered_load.h).
+  uint32_t fee_levels = 16;
+  uint64_t fee_seed = 0x9e3779b97f4a7c15ULL;
+  /// Admission-control parameters. staging_capacity is raised to hold a
+  /// whole tick's offer so every drop decision happens at the
+  /// deterministic seal, never in producer timing.
+  mempool::MempoolConfig mempool;
+  /// Run a background MempoolCleaner (physical compaction only — outputs
+  /// are identical with it on, off, or racing).
+  bool cleaner = true;
+};
+
 struct PipelineConfig {
   /// Reallocation cadence in blocks (the paper's τ1 update window). The
   /// global-refresh cadence (τ2) is the allocator's own business — e.g.
@@ -72,8 +120,15 @@ struct PipelineConfig {
   /// historical single-driver loop.
   AllocatorMode allocator_mode = AllocatorMode::kDriverSync;
   /// Ingest fan-out: >= 2 routes blocks through an IngestRouter with this
-  /// many producer threads; 0/1 submits from the driver.
+  /// many producer threads; 0/1 submits from the driver. In kOpenLoop the
+  /// same count also sizes the mempool's SubmitRouter producer pool.
   uint32_t ingest_producers = 0;
+  /// Closed-loop (feed one ledger block per tick) or open-loop (offered
+  /// load through the mempool; see file header). On replay the recorded
+  /// mode wins.
+  IngestMode ingest_mode = IngestMode::kClosedLoop;
+  /// Open-loop driving parameters; ignored unless ingest_mode == kOpenLoop.
+  OpenLoopConfig open_loop;
   /// Multi-epoch allocation lookahead (kBackground only): when a
   /// RebalanceTask overruns its epoch, skip this boundary — keep ticking —
   /// and install the mapping at the next boundary it is ready for, instead
@@ -130,6 +185,24 @@ struct StepMetrics {
   /// backend only; the migration-cost column — each record also charged
   /// migration work against its shards' λ).
   uint64_t accounts_migrated = 0;
+  /// Open-loop ingest (kOpenLoop only; all zero in closed-loop runs).
+  /// Transactions released by the offered-load generator in the window.
+  uint64_t offered = 0;
+  /// Transactions the mempool admitted in the window.
+  uint64_t admitted = 0;
+  /// Admission drops in the window (capacity + per-account pending +
+  /// per-account rate + producer backpressure; TTL expiries are separate,
+  /// see PipelineResult::admission).
+  uint64_t admission_dropped = 0;
+  /// Mempool live depth at window close.
+  uint64_t mempool_depth = 0;
+  /// Running peak live depth up to window close.
+  uint64_t mempool_peak_depth = 0;
+  /// End-to-end latency percentiles (commit tick − submit tick) over the
+  /// window's commits, nearest-rank on the exact histogram.
+  uint64_t latency_p50_ticks = 0;
+  uint64_t latency_p99_ticks = 0;
+  uint64_t latency_p999_ticks = 0;
 
   bool operator==(const StepMetrics&) const = default;
 };
@@ -155,6 +228,14 @@ struct PipelineResult {
   /// Epoch boundaries skipped because the rebalance task was still running
   /// (PipelineConfig::allow_epoch_overrun).
   uint64_t overrun_boundaries = 0;
+  /// Open-loop only: end-of-run admission counters (submitted / admitted /
+  /// drop reasons / TTL expiries / peak depth). Default-valued in
+  /// closed-loop runs.
+  mempool::AdmissionStats admission;
+  /// Open-loop only: exact end-to-end latency distribution (commit tick −
+  /// submit tick) over every committed transaction. Empty in closed-loop
+  /// runs. Bit-identical across thread and producer counts.
+  common::Histogram e2e_latency_ticks;
   /// Per-step timeline series, one entry per epoch window.
   std::vector<StepMetrics> steps;
 };
@@ -174,6 +255,13 @@ struct PipelineResult {
 /// install each mapping one boundary later, so their last computed mapping
 /// is committed to the allocator but not published (`report.reallocations`
 /// is one lower than kDriverSync's).
+///
+/// In kOpenLoop the ledger is a transaction *pool* rather than a block
+/// schedule: arrivals are paced by OpenLoopConfig::offered_load, windows
+/// are blocks_per_epoch *ticks*, and the run ends when the generator is
+/// exhausted and the mempool has fully drained (so low offered loads run
+/// more ticks than the ledger has blocks). Requires a fresh engine (commit
+/// observation must precede the first submission).
 Result<PipelineResult> RunReallocatedStream(const chain::Ledger& ledger,
                                             allocator::OnlineAllocator* alloc,
                                             ParallelEngine* engine,

@@ -10,7 +10,7 @@ namespace txallo::engine {
 
 namespace {
 
-constexpr char kMagic[8] = {'T', 'X', 'T', 'R', 'A', 'C', 'E', '2'};
+constexpr char kMagic[8] = {'T', 'X', 'T', 'R', 'A', 'C', 'E', '3'};
 
 // Fixed-width little-endian primitives. Explicit byte shuffling (not
 // memcpy of host representation) so traces recorded on any platform load
@@ -318,6 +318,17 @@ Status SaveReplayLog(const ReplayLog& log, const std::string& path) {
   PutU64(&out, log.meta.ledger_blocks);
   PutU64(&out, log.meta.ledger_transactions);
   PutU64(&out, log.meta.ledger_fingerprint);
+  PutU8(&out, log.meta.ingest_mode);
+  PutF64(&out, log.meta.offered_load);
+  PutU32(&out, log.meta.dispatch_per_tick);
+  PutU32(&out, log.meta.fee_levels);
+  PutU64(&out, log.meta.fee_seed);
+  PutU64(&out, log.meta.mempool_capacity);
+  PutU64(&out, log.meta.mempool_staging_capacity);
+  PutU32(&out, log.meta.account_pending_limit);
+  PutU32(&out, log.meta.account_rate_limit);
+  PutU64(&out, log.meta.ttl_ticks);
+  PutU8(&out, log.meta.admission_policy);
   PutF64(&out, log.alloc_seconds);
   PutF64(&out, log.alloc_wait_seconds);
   PutF64(&out, log.alloc_overlap_ratio);
@@ -364,6 +375,14 @@ Status SaveReplayLog(const ReplayLog& log, const std::string& path) {
     PutU8(&out, step.installed ? 1 : 0);
     PutU64(&out, step.aborted);
     PutU64(&out, step.accounts_migrated);
+    PutU64(&out, step.offered);
+    PutU64(&out, step.admitted);
+    PutU64(&out, step.admission_dropped);
+    PutU64(&out, step.mempool_depth);
+    PutU64(&out, step.mempool_peak_depth);
+    PutU64(&out, step.latency_p50_ticks);
+    PutU64(&out, step.latency_p99_ticks);
+    PutU64(&out, step.latency_p999_ticks);
   }
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file.is_open()) {
@@ -387,7 +406,7 @@ Result<ReplayLog> LoadReplayLog(const std::string& path) {
   if (data.size() < sizeof(kMagic) ||
       std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("'" + path +
-                              "' is not a TXTRACE2 replay trace");
+                              "' is not a TXTRACE3 replay trace");
   }
   const std::string body = data.substr(sizeof(kMagic));
   Reader reader(body);
@@ -404,6 +423,17 @@ Result<ReplayLog> LoadReplayLog(const std::string& path) {
             reader.ReadU64(&log.meta.ledger_blocks) &&
             reader.ReadU64(&log.meta.ledger_transactions) &&
             reader.ReadU64(&log.meta.ledger_fingerprint) &&
+            reader.ReadU8(&log.meta.ingest_mode) &&
+            reader.ReadF64(&log.meta.offered_load) &&
+            reader.ReadU32(&log.meta.dispatch_per_tick) &&
+            reader.ReadU32(&log.meta.fee_levels) &&
+            reader.ReadU64(&log.meta.fee_seed) &&
+            reader.ReadU64(&log.meta.mempool_capacity) &&
+            reader.ReadU64(&log.meta.mempool_staging_capacity) &&
+            reader.ReadU32(&log.meta.account_pending_limit) &&
+            reader.ReadU32(&log.meta.account_rate_limit) &&
+            reader.ReadU64(&log.meta.ttl_ticks) &&
+            reader.ReadU8(&log.meta.admission_policy) &&
             reader.ReadF64(&log.alloc_seconds) &&
             reader.ReadF64(&log.alloc_wait_seconds) &&
             reader.ReadF64(&log.alloc_overlap_ratio) &&
@@ -473,8 +503,9 @@ Result<ReplayLog> LoadReplayLog(const std::string& path) {
     }
   }
   ok = ok && reader.ReadU64(&count);
-  // 97 bytes per step: 8 u64 counters + 4 f64 metrics + the installed flag.
-  if (ok && count > reader.remaining() / 97) ok = false;
+  // 161 bytes per step: 16 u64 counters + 4 f64 metrics + the installed
+  // flag.
+  if (ok && count > reader.remaining() / 161) ok = false;
   if (ok) {
     log.steps.resize(count);
     for (StepMetrics& step : log.steps) {
@@ -490,7 +521,14 @@ Result<ReplayLog> LoadReplayLog(const std::string& path) {
            reader.ReadF64(&step.alloc_wait_seconds) && reader.ReadU8(&flag);
       step.installed = flag != 0;
       ok = ok && reader.ReadU64(&step.aborted) &&
-           reader.ReadU64(&step.accounts_migrated);
+           reader.ReadU64(&step.accounts_migrated) &&
+           reader.ReadU64(&step.offered) && reader.ReadU64(&step.admitted) &&
+           reader.ReadU64(&step.admission_dropped) &&
+           reader.ReadU64(&step.mempool_depth) &&
+           reader.ReadU64(&step.mempool_peak_depth) &&
+           reader.ReadU64(&step.latency_p50_ticks) &&
+           reader.ReadU64(&step.latency_p99_ticks) &&
+           reader.ReadU64(&step.latency_p999_ticks);
     }
   }
   if (!ok || reader.failed() || !reader.AtEnd()) {
@@ -505,7 +543,7 @@ Status DumpReplayLogCsv(const ReplayLog& log, const std::string& path) {
   if (!file.is_open()) {
     return Status::IOError("cannot open '" + path + "' for writing");
   }
-  file << "kind,a,b,c,d,e,f,g,h,i,j,k\n";
+  file << "kind,a,b,c,d,e,f,g,h,i,j,k,l,m,n,o,p,q,r,s\n";
   file << "meta,num_shards," << log.meta.num_shards << "\n";
   file << "meta,eta," << log.meta.eta << "\n";
   file << "meta,capacity_per_block," << log.meta.capacity_per_block << "\n";
@@ -520,6 +558,21 @@ Status DumpReplayLogCsv(const ReplayLog& log, const std::string& path) {
   file << "meta,ledger_blocks," << log.meta.ledger_blocks << "\n";
   file << "meta,ledger_transactions," << log.meta.ledger_transactions << "\n";
   file << "meta,ledger_fingerprint," << log.meta.ledger_fingerprint << "\n";
+  file << "meta,ingest_mode," << static_cast<uint32_t>(log.meta.ingest_mode)
+       << "\n";
+  file << "meta,offered_load," << log.meta.offered_load << "\n";
+  file << "meta,dispatch_per_tick," << log.meta.dispatch_per_tick << "\n";
+  file << "meta,fee_levels," << log.meta.fee_levels << "\n";
+  file << "meta,fee_seed," << log.meta.fee_seed << "\n";
+  file << "meta,mempool_capacity," << log.meta.mempool_capacity << "\n";
+  file << "meta,mempool_staging_capacity," << log.meta.mempool_staging_capacity
+       << "\n";
+  file << "meta,account_pending_limit," << log.meta.account_pending_limit
+       << "\n";
+  file << "meta,account_rate_limit," << log.meta.account_rate_limit << "\n";
+  file << "meta,ttl_ticks," << log.meta.ttl_ticks << "\n";
+  file << "meta,admission_policy,"
+       << static_cast<uint32_t>(log.meta.admission_policy) << "\n";
   file << "meta,epochs," << log.epochs << "\n";
   file << "meta,accounts_moved," << log.accounts_moved << "\n";
   for (const StepMetrics& step : log.steps) {
@@ -528,7 +581,11 @@ Status DumpReplayLogCsv(const ReplayLog& log, const std::string& path) {
          << ',' << step.cross_shard_submitted << ','
          << step.throughput_per_block << ',' << step.cross_shard_ratio << ','
          << (step.installed ? 1 : 0) << ',' << step.aborted << ','
-         << step.accounts_migrated << "\n";
+         << step.accounts_migrated << ',' << step.offered << ','
+         << step.admitted << ',' << step.admission_dropped << ','
+         << step.mempool_depth << ',' << step.mempool_peak_depth << ','
+         << step.latency_p50_ticks << ',' << step.latency_p99_ticks << ','
+         << step.latency_p999_ticks << "\n";
   }
   for (const InstallEvent& event : log.installs) {
     // The mapping itself is summarized (size + content hash); the binary

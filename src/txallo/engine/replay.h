@@ -72,6 +72,24 @@ class ReplayLog {
     uint64_t ledger_blocks = 0;
     uint64_t ledger_transactions = 0;
     uint64_t ledger_fingerprint = 0;
+    /// Ingest mode of the recorded run (IngestMode as u8; 0 = closed loop);
+    /// replay re-uses it. The open-loop driving parameters below are
+    /// normalized to zero for closed-loop traces, so two closed-loop traces
+    /// always agree regardless of ignored config. Physical-only knobs
+    /// (cleaner on/off, chunk sizes) are deliberately absent — they cannot
+    /// change any recorded byte.
+    uint8_t ingest_mode = 0;
+    double offered_load = 0.0;
+    uint32_t dispatch_per_tick = 0;
+    uint32_t fee_levels = 0;
+    uint64_t fee_seed = 0;
+    uint64_t mempool_capacity = 0;
+    uint64_t mempool_staging_capacity = 0;
+    uint32_t account_pending_limit = 0;
+    uint32_t account_rate_limit = 0;
+    uint64_t ttl_ticks = 0;
+    /// mempool::AdmissionPolicy as u8.
+    uint8_t admission_policy = 0;
     bool operator==(const Meta&) const = default;
   };
 
@@ -132,12 +150,14 @@ Result<PipelineResult> ReplayRecordedStream(const chain::Ledger& ledger,
                                             ParallelEngine* engine,
                                             const PipelineConfig& config);
 
-/// Writes `log` in the compact binary trace format (magic "TXTRACE2",
+/// Writes `log` in the compact binary trace format (magic "TXTRACE3",
 /// fixed-width little-endian fields). Version 2 added the account-state
 /// meta fields, the CommitEvent aborted flag, the per-step
-/// aborted/accounts_migrated counters and the state-root stream; v1 traces
-/// are rejected as version drift, not silently upgraded — the recorded
-/// semantics genuinely differ (no state execution).
+/// aborted/accounts_migrated counters and the state-root stream; version 3
+/// added the ingest-mode / open-loop meta fields and the per-step open-loop
+/// counters (offered/admitted/drops/depths/latency percentiles). Older
+/// traces are rejected as version drift, not silently upgraded — the
+/// recorded semantics genuinely differ.
 Status SaveReplayLog(const ReplayLog& log, const std::string& path);
 
 /// Reads a trace written by SaveReplayLog. Corruption and version drift

@@ -32,6 +32,7 @@ void TwoPhaseCoordinator::DecideLocked(uint64_t tx_index,
         static_cast<double>(decision_block - tx.arrival_block);
     stats_.latency_sum_blocks += latency;
     stats_.latency_max_blocks = std::max(stats_.latency_max_blocks, latency);
+    latency_hist_.Record(decision_block - tx.arrival_block);
   }
   if (record_events_) {
     events_.push_back(
@@ -114,6 +115,11 @@ bool TwoPhaseCoordinator::Idle() const {
 CommitStats TwoPhaseCoordinator::stats() const {
   common::MutexLock lock(mu_);
   return stats_;
+}
+
+common::Histogram TwoPhaseCoordinator::LatencyHistogram() const {
+  common::MutexLock lock(mu_);
+  return latency_hist_;
 }
 
 }  // namespace txallo::engine

@@ -22,6 +22,7 @@
 #include <deque>
 #include <vector>
 
+#include "txallo/common/histogram.h"
 #include "txallo/common/sync.h"
 #include "txallo/sim/work_model.h"
 
@@ -119,6 +120,11 @@ class TwoPhaseCoordinator {
 
   CommitStats stats() const;
 
+  /// Exact histogram of commit latency (decision block − arrival block) in
+  /// blocks, commits only — an abort never served anyone. Built from
+  /// per-decision integers, so it is bit-identical across thread counts.
+  common::Histogram LatencyHistogram() const;
+
  private:
   struct TxEntry {
     uint64_t arrival_block;
@@ -144,6 +150,7 @@ class TwoPhaseCoordinator {
   std::vector<CommitEvent> events_ TXALLO_GUARDED_BY(mu_);
   bool collect_decisions_ TXALLO_GUARDED_BY(mu_) = false;
   std::vector<Decision> decisions_ TXALLO_GUARDED_BY(mu_);
+  common::Histogram latency_hist_ TXALLO_GUARDED_BY(mu_);
 };
 
 }  // namespace txallo::engine

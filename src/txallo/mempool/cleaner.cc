@@ -1,0 +1,50 @@
+#include "txallo/mempool/cleaner.h"
+
+namespace txallo::mempool {
+
+MempoolCleaner::MempoolCleaner(Mempool* pool) : pool_(pool) {
+  pool_->SetCleanerHook([this](size_t /*dead_count*/) { Nudge(); });
+  // txallo-lint: allow(raw-thread) single background compaction worker
+  worker_ = std::thread(&MempoolCleaner::WorkerMain, this);
+}
+
+MempoolCleaner::~MempoolCleaner() {
+  // Unhook first so no further nudges arrive mid-teardown.
+  pool_->SetCleanerHook(nullptr);
+  {
+    common::MutexLock lock(mu_);
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  worker_.join();
+}
+
+void MempoolCleaner::Nudge() {
+  {
+    common::MutexLock lock(mu_);
+    if (pending_) return;
+    pending_ = true;
+  }
+  cv_.NotifyOne();
+}
+
+uint64_t MempoolCleaner::passes() const {
+  common::MutexLock lock(mu_);
+  return passes_;
+}
+
+void MempoolCleaner::WorkerMain() {
+  while (true) {
+    {
+      common::MutexLock lock(mu_);
+      while (!pending_ && !stop_) cv_.Wait(mu_);
+      if (stop_ && !pending_) return;
+      pending_ = false;
+    }
+    pool_->CompactOnce();
+    common::MutexLock lock(mu_);
+    ++passes_;
+  }
+}
+
+}  // namespace txallo::mempool

@@ -1,0 +1,43 @@
+#include "txallo/mempool/offered_load.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace txallo::mempool {
+
+namespace {
+
+// SplitMix64 finalizer: a cheap, well-mixed hash used as a stateless
+// per-index fee draw.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+OfferedLoadGenerator::OfferedLoadGenerator(const chain::Ledger& ledger,
+                                           OfferedLoadConfig config)
+    : config_(config), transactions_(ledger.AllTransactions()) {}
+
+uint64_t OfferedLoadGenerator::FeeFor(uint64_t index) const {
+  const uint32_t levels = std::max(1u, config_.fee_levels);
+  return Mix64(config_.fee_seed ^ index) % levels + 1;
+}
+
+size_t OfferedLoadGenerator::ReleaseTick(std::vector<OfferedTx>* out) {
+  if (Done()) return 0;
+  credit_ += config_.txs_per_tick;
+  auto due = static_cast<uint64_t>(std::floor(credit_));
+  credit_ -= static_cast<double>(due);
+  due = std::min<uint64_t>(due, transactions_.size() - cursor_);
+  for (uint64_t i = 0; i < due; ++i) {
+    out->push_back(OfferedTx{&transactions_[cursor_], FeeFor(cursor_)});
+    ++cursor_;
+  }
+  return due;
+}
+
+}  // namespace txallo::mempool

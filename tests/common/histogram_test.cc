@@ -1,0 +1,115 @@
+// common::Histogram: exact counts, nearest-rank percentiles, and the
+// property the determinism contract leans on — two histograms built from
+// the same multiset of samples compare equal regardless of arrival order.
+#include "txallo/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace txallo::common {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramIsAllZeros) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50.0), 0u);
+  EXPECT_EQ(h.CountAt(7), 0u);
+}
+
+TEST(HistogramTest, BasicCountsMinMaxMean) {
+  Histogram h;
+  for (uint64_t v : {4u, 1u, 4u, 9u, 2u}) h.Record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 9u);
+  EXPECT_EQ(h.CountAt(4), 2u);
+  EXPECT_EQ(h.CountAt(3), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 4.0);
+}
+
+TEST(HistogramTest, NearestRankPercentilesAreObservedValues) {
+  // Values 1..100, one each: p50 = 50th smallest = 50, p99 = 99, p99.9
+  // rounds up to the 100th sample = 100.
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.Percentile(0.0), 1u);
+  EXPECT_EQ(h.Percentile(50.0), 50u);
+  EXPECT_EQ(h.Percentile(99.0), 99u);
+  EXPECT_EQ(h.Percentile(99.9), 100u);
+  EXPECT_EQ(h.Percentile(100.0), 100u);
+  // Out-of-range inputs clamp rather than misbehave.
+  EXPECT_EQ(h.Percentile(-5.0), 1u);
+  EXPECT_EQ(h.Percentile(250.0), 100u);
+}
+
+TEST(HistogramTest, PercentileIsAlwaysARecordedValue) {
+  // Sparse values: every percentile must land on 3, 10 or 1000 — never an
+  // interpolation between them.
+  Histogram h;
+  h.Record(3);
+  h.Record(10);
+  h.Record(1000);
+  for (double p : {0.0, 10.0, 33.4, 50.0, 66.7, 90.0, 99.9, 100.0}) {
+    const uint64_t v = h.Percentile(p);
+    EXPECT_TRUE(v == 3 || v == 10 || v == 1000) << "p" << p << " -> " << v;
+  }
+  EXPECT_EQ(h.Percentile(33.0), 3u);   // ceil(0.33*3)=1st sample
+  EXPECT_EQ(h.Percentile(34.0), 10u);  // ceil(0.34*3)=2nd sample
+}
+
+TEST(HistogramTest, OrderIndependenceAndEquality) {
+  std::vector<uint64_t> samples;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng() % 257);
+
+  Histogram forward;
+  for (uint64_t v : samples) forward.Record(v);
+  std::shuffle(samples.begin(), samples.end(), rng);
+  Histogram shuffled;
+  for (uint64_t v : samples) shuffled.Record(v);
+
+  EXPECT_TRUE(forward == shuffled);
+  EXPECT_EQ(forward.Percentile(99.0), shuffled.Percentile(99.0));
+
+  shuffled.Record(0);
+  EXPECT_FALSE(forward == shuffled);
+}
+
+TEST(HistogramTest, MergeMatchesRecordingEverythingIntoOne) {
+  Histogram a, b, all;
+  for (uint64_t v = 0; v < 100; ++v) {
+    (v % 3 == 0 ? a : b).Record(v * v % 41);
+    all.Record(v * v % 41);
+  }
+  a.Merge(b);
+  EXPECT_TRUE(a == all);
+  EXPECT_EQ(a.count(), 100u);
+
+  // Merging an empty histogram is a no-op; merging into empty copies.
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_TRUE(a == all);
+  empty.Merge(all);
+  EXPECT_TRUE(empty == all);
+}
+
+TEST(HistogramTest, EqualityIgnoresDenseTailShape) {
+  // A histogram that once saw a large value records nothing there after —
+  // equality is over the sample multiset, not the internal vector length.
+  Histogram a, b;
+  a.Record(5);
+  b.Record(5);
+  EXPECT_TRUE(a == b);
+  a.Record(1000);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace txallo::common

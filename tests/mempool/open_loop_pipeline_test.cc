@@ -1,0 +1,235 @@
+// Open-loop pipeline integration: the mempool front-end driving the
+// parallel engine through engine::IngestMode::kOpenLoop. Pins the
+// determinism contract end-to-end — byte-identical traces, step metrics,
+// admission counters and latency histograms across engine thread counts
+// and producer fan-outs — plus trace save/load/replay round-trips and the
+// open-loop input validation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "txallo/allocator/registry.h"
+#include "txallo/engine/engine.h"
+#include "txallo/engine/pipeline.h"
+#include "txallo/engine/replay.h"
+#include "txallo/workload/ethereum_like.h"
+
+namespace txallo {
+namespace {
+
+chain::Ledger MakeLedger(uint64_t blocks = 16, uint64_t seed = 5) {
+  workload::EthereumLikeConfig config;
+  config.num_blocks = blocks;
+  config.txs_per_block = 25;
+  config.num_accounts = 400;
+  config.num_communities = 8;
+  config.seed = seed;
+  workload::EthereumLikeGenerator generator(config);
+  return generator.GenerateLedger(blocks);
+}
+
+engine::EngineConfig SmallEngineConfig(uint32_t num_threads = 0) {
+  engine::EngineConfig config;
+  config.num_shards = 4;
+  config.num_threads = num_threads;
+  config.work.capacity_per_block = 8.0;
+  config.hash_route_unassigned = true;
+  return config;
+}
+
+std::unique_ptr<allocator::Allocator> MakeAllocator(
+    const chain::Ledger& ledger) {
+  allocator::AllocatorOptions options;
+  options.params = alloc::AllocationParams::ForExperiment(
+      ledger.num_transactions(), 4, 2.0);
+  auto made = allocator::MakeAllocatorFromSpec("metis", options);
+  EXPECT_TRUE(made.ok());
+  return std::move(*made);
+}
+
+engine::PipelineConfig OpenLoopPipeline(double offered_load,
+                                        uint32_t producers = 0) {
+  engine::PipelineConfig pipeline;
+  pipeline.blocks_per_epoch = 8;
+  pipeline.ingest_mode = engine::IngestMode::kOpenLoop;
+  pipeline.ingest_producers = producers;
+  pipeline.open_loop.offered_load = offered_load;
+  return pipeline;
+}
+
+uint64_t TotalDrops(const mempool::AdmissionStats& stats) {
+  return stats.dropped_capacity + stats.dropped_account_pending +
+         stats.dropped_account_rate + stats.dropped_backpressure;
+}
+
+TEST(OpenLoopPipelineTest, CommitsEverythingAndMeasuresLatency) {
+  const chain::Ledger ledger = MakeLedger();
+  auto alloc = MakeAllocator(ledger);
+  engine::ParallelEngine engine(SmallEngineConfig(), nullptr);
+  auto result = engine::RunReallocatedStream(ledger, alloc->AsOnline(),
+                                             &engine, OpenLoopPipeline(30.0));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const uint64_t total = ledger.num_transactions();
+  EXPECT_EQ(result->admission.submitted, total);
+  EXPECT_EQ(result->admission.admitted, total);
+  EXPECT_EQ(TotalDrops(result->admission), 0u);
+  EXPECT_EQ(result->report.sim.committed, total);
+  // Every committed transaction contributes exactly one latency sample.
+  EXPECT_EQ(result->e2e_latency_ticks.count(), total);
+  EXPECT_GE(result->e2e_latency_ticks.Percentile(99.0),
+            result->e2e_latency_ticks.Percentile(50.0));
+  EXPECT_GE(result->e2e_latency_ticks.max(),
+            result->e2e_latency_ticks.Percentile(99.9));
+
+  // Per-window deltas reconcile with the run totals.
+  uint64_t offered = 0, admitted = 0, dropped = 0;
+  bool saw_depth = false;
+  for (const engine::StepMetrics& step : result->steps) {
+    offered += step.offered;
+    admitted += step.admitted;
+    dropped += step.admission_dropped;
+    if (step.mempool_peak_depth > 0) saw_depth = true;
+    EXPECT_GE(step.latency_p99_ticks, step.latency_p50_ticks);
+    EXPECT_GE(step.latency_p999_ticks, step.latency_p99_ticks);
+  }
+  EXPECT_EQ(offered, total);
+  EXPECT_EQ(admitted, total);
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_TRUE(saw_depth);
+}
+
+TEST(OpenLoopPipelineTest, TraceBitIdenticalAcrossThreadsAndProducers) {
+  const chain::Ledger ledger = MakeLedger();
+  engine::ReplayLog base;
+  {
+    auto alloc = MakeAllocator(ledger);
+    engine::ParallelEngine engine(SmallEngineConfig(1), nullptr);
+    engine::PipelineConfig pipeline = OpenLoopPipeline(30.0, /*producers=*/0);
+    pipeline.record = &base;
+    auto result = engine::RunReallocatedStream(ledger, alloc->AsOnline(),
+                                               &engine, pipeline);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  ASSERT_FALSE(base.commits.empty());
+  EXPECT_EQ(base.meta.ingest_mode, 1u);
+  EXPECT_EQ(base.meta.offered_load, 30.0);
+
+  const std::vector<std::pair<uint32_t, uint32_t>> shapes = {{4, 4}, {2, 1}};
+  for (const auto& [threads, producers] : shapes) {
+    auto alloc = MakeAllocator(ledger);
+    engine::ParallelEngine engine(SmallEngineConfig(threads), nullptr);
+    engine::ReplayLog log;
+    engine::PipelineConfig pipeline = OpenLoopPipeline(30.0, producers);
+    pipeline.record = &log;
+    auto result = engine::RunReallocatedStream(ledger, alloc->AsOnline(),
+                                               &engine, pipeline);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // Covers commits, prepares, state roots, meta and the step metrics
+    // (wall-clock allocation timings excluded — the only fields allowed
+    // to differ between two live runs).
+    EXPECT_EQ(engine::DescribeTraceDivergence(base, log), "")
+        << threads << " threads, " << producers << " producers";
+  }
+}
+
+TEST(OpenLoopPipelineTest, SaveLoadReplayRoundTripSelfVerifies) {
+  const chain::Ledger ledger = MakeLedger();
+  engine::ReplayLog log;
+  {
+    auto alloc = MakeAllocator(ledger);
+    engine::ParallelEngine engine(SmallEngineConfig(2), nullptr);
+    engine::PipelineConfig pipeline = OpenLoopPipeline(24.0, /*producers=*/2);
+    pipeline.open_loop.dispatch_per_tick = 20;
+    pipeline.open_loop.fee_levels = 4;
+    pipeline.open_loop.mempool.capacity = 200;
+    pipeline.open_loop.mempool.account_pending_limit = 6;
+    pipeline.record = &log;
+    auto result = engine::RunReallocatedStream(ledger, alloc->AsOnline(),
+                                               &engine, pipeline);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  const std::string path = ::testing::TempDir() + "open_loop_roundtrip.trace";
+  ASSERT_TRUE(engine::SaveReplayLog(log, path).ok());
+  auto loaded = engine::LoadReplayLog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(engine::DescribeTraceDivergence(log, *loaded), "");
+  EXPECT_EQ(loaded->meta.ingest_mode, 1u);
+  EXPECT_EQ(loaded->meta.offered_load, 24.0);
+  EXPECT_EQ(loaded->meta.dispatch_per_tick, 20u);
+  EXPECT_EQ(loaded->meta.fee_levels, 4u);
+  EXPECT_EQ(loaded->meta.mempool_capacity, 200u);
+  EXPECT_EQ(loaded->meta.account_pending_limit, 6u);
+
+  // Replay on a fresh engine with a different thread count: the pipeline
+  // reconstructs the open-loop drive from the trace meta (the caller's
+  // open_loop config is deliberately left default here) and verifies the
+  // re-execution against the recorded trace internally.
+  engine::ParallelEngine engine(SmallEngineConfig(4), nullptr);
+  auto replayed = engine::ReplayRecordedStream(ledger, *loaded, &engine,
+                                               engine::PipelineConfig{});
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  ASSERT_EQ(replayed->steps.size(), log.steps.size());
+  for (size_t i = 0; i < log.steps.size(); ++i) {
+    EXPECT_EQ(replayed->steps[i], log.steps[i]) << "step " << i;
+  }
+}
+
+TEST(OpenLoopPipelineTest, AdmissionSheddingIsDeterministicUnderOverload) {
+  const chain::Ledger ledger = MakeLedger();
+  const auto run = [&](uint32_t threads, uint32_t producers) {
+    auto alloc = MakeAllocator(ledger);
+    engine::ParallelEngine engine(SmallEngineConfig(threads), nullptr);
+    engine::PipelineConfig pipeline = OpenLoopPipeline(60.0, producers);
+    pipeline.open_loop.dispatch_per_tick = 10;
+    pipeline.open_loop.mempool.capacity = 40;
+    pipeline.open_loop.mempool.account_rate_limit = 8;
+    auto result = engine::RunReallocatedStream(ledger, alloc->AsOnline(),
+                                               &engine, pipeline);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(*result);
+  };
+  const engine::PipelineResult base = run(1, 0);
+  EXPECT_GT(TotalDrops(base.admission), 0u);
+  EXPECT_EQ(base.admission.dropped_backpressure, 0u)
+      << "all shedding must happen at the deterministic seal";
+  EXPECT_LT(base.report.sim.committed, ledger.num_transactions());
+  EXPECT_EQ(base.report.sim.committed, base.admission.admitted);
+  EXPECT_EQ(base.e2e_latency_ticks.count(), base.report.sim.committed);
+
+  const engine::PipelineResult other = run(4, 3);
+  EXPECT_EQ(other.admission, base.admission);
+  EXPECT_TRUE(other.e2e_latency_ticks == base.e2e_latency_ticks);
+  EXPECT_EQ(other.report.sim.committed, base.report.sim.committed);
+}
+
+TEST(OpenLoopPipelineTest, RejectsNonPositiveOfferedLoad) {
+  const chain::Ledger ledger = MakeLedger(4);
+  auto alloc = MakeAllocator(ledger);
+  engine::ParallelEngine engine(SmallEngineConfig(), nullptr);
+  auto result = engine::RunReallocatedStream(ledger, alloc->AsOnline(),
+                                             &engine, OpenLoopPipeline(0.0));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OpenLoopPipelineTest, RejectsStaleEngine) {
+  const chain::Ledger ledger = MakeLedger(4);
+  engine::ParallelEngine engine(SmallEngineConfig(), nullptr);
+  {
+    auto alloc = MakeAllocator(ledger);
+    auto first = engine::RunReallocatedStream(ledger, alloc->AsOnline(),
+                                              &engine, OpenLoopPipeline(8.0));
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+  }
+  // Commit observation must precede the first submission, so a second run
+  // on the same engine is rejected up front rather than mis-measured.
+  auto alloc = MakeAllocator(ledger);
+  auto second = engine::RunReallocatedStream(ledger, alloc->AsOnline(),
+                                             &engine, OpenLoopPipeline(8.0));
+  EXPECT_FALSE(second.ok());
+}
+
+}  // namespace
+}  // namespace txallo

@@ -103,14 +103,28 @@ def main():
     check(rc == 0 and not found,
           f"common/sync.h is exempt from raw-sync (got {found})")
 
+    rc, found = run_lint(args.lint,
+                         [fixtures / "mempool" / "raw_sync_violation.cc"])
+    check(rc == 1, "mempool raw_sync fixture exits 1")
+    check([f[2] for f in found] == ["raw-sync"] * 3,
+          f"raw-sync applies in mempool/: include + member + lock_guard "
+          f"(got {found})")
+
+    rc, found = run_lint(
+        args.lint, [fixtures / "mempool" / "unordered_iter_violation.cc"])
+    check(rc == 1, "mempool unordered_iter fixture exits 1")
+    check([f[2] for f in found] == ["unordered-iter"],
+          f"mempool/ is in unordered-iter scope, vector loop not flagged "
+          f"(got {found})")
+
     print("whole fixture tree:")
     rc, found = run_lint(args.lint, [fixtures])
     check(rc == 1, "fixture tree exits 1")
     by_rule = {}
     for f in found:
         by_rule[f[2]] = by_rule.get(f[2], 0) + 1
-    check(by_rule == {"raw-sync": 5, "raw-thread": 1, "wall-clock": 4,
-                      "unordered-iter": 2},
+    check(by_rule == {"raw-sync": 8, "raw-thread": 1, "wall-clock": 4,
+                      "unordered-iter": 3},
           f"aggregate finding counts per rule (got {by_rule})")
 
     if failures:

@@ -1,0 +1,18 @@
+// Lint fixture: raw std synchronization in a mempool path — the real tree
+// must use the annotated wrappers from common/sync.h so -Wthread-safety
+// checks the admission lock discipline. Expected findings: raw-sync on the
+// include, the mutex member and the lock_guard line (3). Never compiled —
+// parsed by determinism_lint_test.py only.
+#include <mutex>
+
+namespace txallo::mempool {
+
+struct BadChunk {
+  std::mutex mu;
+};
+
+void BadAdmit(BadChunk& chunk) {
+  std::lock_guard<std::mutex> lock(chunk.mu);
+}
+
+}  // namespace txallo::mempool

@@ -1,0 +1,28 @@
+// Lint fixture: hash-order iteration in a mempool path. Admission
+// decisions and dispatch order are part of the recorded trace, so
+// txallo/mempool/ is in unordered-iter scope alongside engine/, allocator/
+// and state/. Expected findings: unordered-iter on the range-for over the
+// unordered member — none on the vector loop.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace txallo::mempool {
+
+struct BadPendingScan {
+  std::unordered_map<uint64_t, uint32_t> pending_per_account;
+  std::vector<uint64_t> dispatch_order;
+
+  uint64_t Expire() const {
+    uint64_t removed = 0;
+    for (const auto& entry : pending_per_account) {
+      removed += entry.second;
+    }
+    for (uint64_t seq : dispatch_order) {
+      removed += seq;
+    }
+    return removed;
+  }
+};
+
+}  // namespace txallo::mempool

@@ -38,9 +38,10 @@ Rules (ids are what `allow(...)` escapes name):
                 in-file or written inline) is forbidden in trace-affecting
                 paths: txallo/engine/ (execution, 2PC, replay),
                 txallo/allocator/ (Commit folds mappings back into live
-                state) and txallo/state/ (account records feed the
-                per-tick Merkle roots the replay log verifies
-                bit-identically). Hash-table iteration order is
+                state), txallo/state/ (account records feed the per-tick
+                Merkle roots the replay log verifies bit-identically) and
+                txallo/mempool/ (admission decisions and dispatch order
+                are part of the recorded trace). Hash-table iteration order is
                 implementation-defined and seed-dependent; iterate a sorted
                 copy or a vector instead. Detection is heuristic
                 (declaration-name tracking, no type inference), which is
@@ -203,6 +204,7 @@ def rules_for(subpath: str):
         subpath.startswith("engine/")
         or subpath.startswith("allocator/")
         or subpath.startswith("state/")
+        or subpath.startswith("mempool/")
     ):
         rules.discard("unordered-iter")
     return rules
