@@ -1,6 +1,9 @@
 #include "common/bench_common.h"
 
 #include <sys/stat.h>
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include <cerrno>
 #include <cinttypes>
@@ -504,16 +507,33 @@ int RunStandardSweepFigure(int argc, char** argv, const char* figure_title,
   return 0;
 }
 
+double PeakRssMegabytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // ru_maxrss in KiB.
+#endif
+#else
+  return 0.0;
+#endif
+}
+
 void PrintRunBanner(const char* figure, const BenchScale& scale,
                     const Fixture& fixture, uint64_t seed) {
   std::printf("==============================================================\n");
   std::printf("%s\n", figure);
   std::printf(
       "workload: %" PRIu64 " transactions, %zu accounts, seed %" PRIu64
-      " (synthetic Ethereum-like; TXALLO_SCALE to rescale)\n",
+      " (synthetic Ethereum-like; TXALLO_SCALE / TXALLO_ACCOUNTS to "
+      "rescale)\n",
       fixture.num_transactions(), fixture.registry().size(), seed);
   std::printf("k sweep up to %d, step %d\n", scale.max_shards,
               scale.shard_step);
+  std::printf("peak rss: %.1f MiB after fixture construction\n",
+              PeakRssMegabytes());
   std::printf("==============================================================\n");
 }
 

@@ -223,9 +223,15 @@ engine::EngineConfig MakeEngineConfig(const BenchScale& scale, uint32_t k,
                                       double eta, double capacity_per_block,
                                       int num_threads = -1);
 
-/// Shared banner: scale, |T|, |A|, seed.
+/// Shared banner: scale, |T|, |A|, seed, and the process's peak RSS so far
+/// (fixture construction dominates it at large --accounts).
 void PrintRunBanner(const char* figure, const BenchScale& scale,
                     const Fixture& fixture, uint64_t seed);
+
+/// Peak resident set size of this process in MiB (getrusage), 0 when
+/// unavailable. Printed by the banner and by engine_scaling's epilogue so
+/// 1e5 → 1e7 account sweeps report memory alongside time.
+double PeakRssMegabytes();
 
 /// One timeline experiment (Figures 9 and 10): a prefix ledger is absorbed
 /// and bootstrapped by the chosen strategy (for txallo-* the bootstrap

@@ -138,6 +138,8 @@ int Main(int argc, char** argv) {
       "k >= 32; past the shard count extra threads are clamped. CSV series\n"
       "written to %s/engine_scaling_k*.csv\n",
       csv_dir.c_str());
+  std::printf("peak rss: %.1f MiB (%zu accounts; TXALLO_ACCOUNTS to sweep)\n",
+              PeakRssMegabytes(), generator.registry().size());
   return 0;
 }
 

@@ -4,11 +4,16 @@
 // Scheduler's per-transaction cost.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <numeric>
+#include <unordered_map>
 
 #include "txallo/alloc/metrics.h"
 #include "txallo/baselines/hash_allocator.h"
 #include "txallo/baselines/shard_scheduler.h"
+#include "txallo/common/flat_map.h"
+#include "txallo/common/rng.h"
 #include "txallo/common/sha256.h"
 #include "txallo/common/zipf.h"
 #include "txallo/core/gain.h"
@@ -22,12 +27,25 @@ namespace {
 
 using namespace txallo;
 
+// google-benchmark binaries don't parse our --flags; TXALLO_ACCOUNTS is the
+// scale channel for 1e5 → 1e7 account sweeps (block count grows with it so
+// the graph keeps non-trivial density per account).
+size_t BenchAccounts() {
+  if (const char* env = std::getenv("TXALLO_ACCOUNTS")) {
+    const long long v = std::strtoll(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 20'000;
+}
+
 const workload::EthereumLikeGenerator& SharedGenerator() {
   static auto* generator = [] {
     workload::EthereumLikeConfig config;
-    config.num_blocks = 250;
+    const size_t accounts = BenchAccounts();
+    config.num_blocks = static_cast<uint32_t>(
+        std::max<size_t>(250, accounts / 80));
     config.txs_per_block = 200;
-    config.num_accounts = 20'000;
+    config.num_accounts = accounts;
     config.num_communities = 128;
     config.seed = 7;
     return new workload::EthereumLikeGenerator(config);
@@ -39,7 +57,9 @@ const chain::Ledger& SharedLedger() {
   static auto* ledger = [] {
     auto* generator =
         const_cast<workload::EthereumLikeGenerator*>(&SharedGenerator());
-    return new chain::Ledger(generator->GenerateLedger(250));
+    const auto blocks = static_cast<uint32_t>(
+        std::max<size_t>(250, BenchAccounts() / 80));
+    return new chain::Ledger(generator->GenerateLedger(blocks));
   }();
   return *ledger;
 }
@@ -152,6 +172,107 @@ void BM_OptimizeSweep(benchmark::State& state) {
                           static_cast<int64_t>(g.num_nodes()));
 }
 BENCHMARK(BM_OptimizeSweep)->Arg(8)->Arg(60);
+
+// Builds a graph with ~`frozen_edges` frozen into the CSR core, then a
+// fixed 1024-edge consolidated delta overlaying it. Snapshot cost must
+// track the delta, not the core — the point of the delta-log design.
+graph::TransactionGraph MakeOverlaidGraph(size_t frozen_edges) {
+  graph::TransactionGraph g;
+  const auto n = static_cast<graph::NodeId>(
+      std::max<size_t>(1024, frozen_edges / 8));
+  Rng rng(11);
+  for (size_t e = 0; e < frozen_edges; ++e) {
+    const auto u = static_cast<graph::NodeId>(rng.NextBounded(n));
+    const auto v = static_cast<graph::NodeId>(rng.NextBounded(n));
+    g.AddEdge(u, v, 1.0);
+  }
+  g.Refreeze();
+  for (size_t e = 0; e < 1024; ++e) {
+    const auto u = static_cast<graph::NodeId>(rng.NextBounded(n));
+    const auto v = static_cast<graph::NodeId>(rng.NextBounded(n));
+    g.AddEdge(u, v, 1.0);
+  }
+  g.Consolidate();
+  return g;
+}
+
+void BM_GraphSnapshotCopy(benchmark::State& state) {
+  const graph::TransactionGraph g =
+      MakeOverlaidGraph(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    graph::TransactionGraph snapshot = g;
+    benchmark::DoNotOptimize(snapshot.num_edges());
+  }
+  state.counters["frozen_edges"] =
+      static_cast<double>(g.frozen_edges());
+  state.counters["snapshot_bytes"] = static_cast<double>(g.SnapshotBytes());
+  state.counters["full_copy_bytes"] = static_cast<double>(g.FullCopyBytes());
+}
+// The flat time across this range (frozen E grows 64×, the delta is fixed)
+// is the "snapshot time independent of frozen-edge count" acceptance check.
+BENCHMARK(BM_GraphSnapshotCopy)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_GraphRefreeze(benchmark::State& state) {
+  const graph::TransactionGraph g =
+      MakeOverlaidGraph(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    graph::TransactionGraph snapshot = g;
+    snapshot.Refreeze();
+    benchmark::DoNotOptimize(snapshot.core());
+  }
+}
+BENCHMARK(BM_GraphRefreeze)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_JoinGainBatch(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  alloc::CommunityState community_state;
+  community_state.eta = 4.0;
+  community_state.capacity = 100.0;
+  community_state.sigma.assign(k, 80.0);
+  community_state.lambda_hat.assign(k, 60.0);
+  core::NodeProfile node{0.5, 12.0};
+  std::vector<double> weight_to(k, 3.0);
+  std::vector<double> gains(k, 0.0);
+  for (auto _ : state) {
+    core::JoinGainBatch(community_state, node, weight_to.data(), k,
+                        gains.data());
+    benchmark::DoNotOptimize(gains.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * k);
+}
+BENCHMARK(BM_JoinGainBatch)->Arg(8)->Arg(60)->Arg(256);
+
+void BM_FlatMapLookup(benchmark::State& state) {
+  common::FlatMap<uint32_t, uint64_t> map;
+  Rng rng(5);
+  std::vector<uint32_t> keys(static_cast<size_t>(state.range(0)));
+  for (auto& key : keys) {
+    key = static_cast<uint32_t>(rng.NextUint64());
+    map.emplace(key, static_cast<uint64_t>(key) * 3);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(keys[i]));
+    i = (i + 1) % keys.size();
+  }
+}
+BENCHMARK(BM_FlatMapLookup)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_UnorderedMapLookup(benchmark::State& state) {
+  std::unordered_map<uint32_t, uint64_t> map;
+  Rng rng(5);
+  std::vector<uint32_t> keys(static_cast<size_t>(state.range(0)));
+  for (auto& key : keys) {
+    key = static_cast<uint32_t>(rng.NextUint64());
+    map.emplace(key, static_cast<uint64_t>(key) * 3);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(keys[i]));
+    i = (i + 1) % keys.size();
+  }
+}
+BENCHMARK(BM_UnorderedMapLookup)->Arg(1 << 10)->Arg(1 << 16);
 
 void BM_EvaluateAllocation(benchmark::State& state) {
   const chain::Ledger& ledger = SharedLedger();

@@ -236,13 +236,23 @@ std::unique_ptr<RebalanceTask> MetisStrategy::BeginRebalance() {
         [mapping = last_]() -> Result<alloc::Allocation> { return mapping; },
         nullptr);
   }
-  auto snapshot = std::make_shared<const graph::TransactionGraph>(graph_);
+  // O(delta) snapshot: shares the frozen CSR core, copies only the delta
+  // overlay. The task folds the snapshot into a fresh core off-thread
+  // (Refreeze) before partitioning; Commit() hands that fold back to the
+  // live graph (AdoptCore), so the owner thread never pays the O(E) fold.
+  auto snapshot = std::make_shared<graph::TransactionGraph>(graph_);
+  const uint64_t fold_generation = graph_.generation();
   return std::make_unique<ClosureRebalanceTask>(
       [snapshot, options = options_,
        k = params_.num_shards]() -> Result<alloc::Allocation> {
+        snapshot->Refreeze();
         return baselines::metis::PartitionGraph(*snapshot, k, options);
       },
-      [this](const Result<alloc::Allocation>& result) -> Status {
+      [this, snapshot,
+       fold_generation](const Result<alloc::Allocation>& result) -> Status {
+        // Adopt the off-thread fold even when partitioning failed — it is
+        // representation only, and the generation guard rejects stale folds.
+        graph_.AdoptCore(snapshot->core(), fold_generation);
         if (!result.ok()) return result.status();
         last_ = *result;
         return Status::OK();
@@ -344,12 +354,18 @@ std::unique_ptr<RebalanceTask> LouvainStrategy::BeginRebalance() {
   auto order =
       std::make_shared<const std::vector<graph::NodeId>>(
           ResolveNodeOrder(context));
-  auto snapshot = std::make_shared<const graph::TransactionGraph>(graph_);
+  // O(delta) snapshot + off-thread fold, committed back via AdoptCore —
+  // same protocol as MetisStrategy above.
+  auto snapshot = std::make_shared<graph::TransactionGraph>(graph_);
+  const uint64_t fold_generation = graph_.generation();
   return std::make_unique<ClosureRebalanceTask>(
       [this, snapshot, order]() -> Result<alloc::Allocation> {
+        snapshot->Refreeze();
         return Partition(*snapshot, *order, params_.num_shards);
       },
-      [this](const Result<alloc::Allocation>& result) -> Status {
+      [this, snapshot,
+       fold_generation](const Result<alloc::Allocation>& result) -> Status {
+        graph_.AdoptCore(snapshot->core(), fold_generation);
         if (!result.ok()) return result.status();
         last_ = *result;
         return Status::OK();
@@ -468,7 +484,10 @@ std::unique_ptr<RebalanceTask> BrokerOverlay::BeginRebalance() {
   OnlineAllocator* online = inner_->AsOnline();
   if (online == nullptr) return nullptr;
   builder_.Finish();
-  auto snapshot = std::make_shared<const graph::TransactionGraph>(graph_);
+  // O(delta) snapshot of the overlay's own traffic graph; the task folds it
+  // off-thread and the commit adopts the fold (same protocol as Metis).
+  auto snapshot = std::make_shared<graph::TransactionGraph>(graph_);
+  const uint64_t fold_generation = graph_.generation();
   // Composition: the inner strategy contributes its own frozen task; the
   // overlay adds broker re-selection over its frozen traffic graph.
   std::shared_ptr<RebalanceTask> inner_task = online->BeginRebalance();
@@ -477,11 +496,13 @@ std::unique_ptr<RebalanceTask> BrokerOverlay::BeginRebalance() {
   return std::make_unique<ClosureRebalanceTask>(
       [snapshot, inner_task, brokers,
        n = options_.num_brokers]() -> Result<alloc::Allocation> {
+        snapshot->Refreeze();
         *brokers = baselines::SelectBrokersByActivity(*snapshot, n);
         return inner_task->Run();
       },
-      [this, inner_task, brokers](
+      [this, snapshot, fold_generation, inner_task, brokers](
           const Result<alloc::Allocation>& result) -> Status {
+        graph_.AdoptCore(snapshot->core(), fold_generation);
         // On failure/abandonment the inner task must NOT commit (its
         // mapping is discarded, not folded in); it releases its own
         // bookkeeping when its last reference dies with these closures.

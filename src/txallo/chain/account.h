@@ -5,9 +5,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "txallo/common/flat_map.h"
 #include "txallo/common/status.h"
 
 namespace txallo::chain {
@@ -61,7 +61,9 @@ class AccountRegistry {
   std::vector<AccountId> IdsInHashOrder() const;
 
  private:
-  std::unordered_map<std::string, AccountId> index_;
+  // Flat open-addressing map: interning stays O(1) without libstdc++'s
+  // node allocations; iteration (unused here) would be insertion-ordered.
+  common::FlatMap<std::string, AccountId> index_;
   std::vector<std::string> addresses_;
   std::vector<AccountType> types_;
   std::vector<uint64_t> order_keys_;

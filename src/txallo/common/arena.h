@@ -1,0 +1,63 @@
+// Span arena: bump allocation of immutable spans inside one contiguous
+// buffer, value-semantic and deterministic.
+//
+// The delta-log TransactionGraph stores each consolidated adjacency row as
+// a (offset, length) reference into one arena instead of a per-node
+// std::vector<Neighbor>. Two properties matter there:
+//
+//  * Copying the arena is a single buffer copy — snapshotting a graph with
+//    ten thousand overlay rows costs one memcpy, not ten thousand heap
+//    allocations. This is load-bearing for O(delta) BeginRebalance().
+//  * Appends never move previously returned refs (offsets are stable), so
+//    a row can be re-merged by appending the new version and abandoning
+//    the old ref; `live_size` vs `size` tells the owner when to compact.
+//
+// Abandoned spans are garbage until the owner rebuilds (Compact-by-copy:
+// re-append every live ref into a fresh arena, in the owner's own
+// deterministic order). The arena itself never tracks liveness — callers
+// hold the refs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace txallo::common {
+
+template <typename T>
+class Arena {
+ public:
+  /// One immutable span inside the arena. Value-type: refs stay valid
+  /// across arena copies (offsets, not pointers).
+  struct Ref {
+    size_t offset = 0;
+    uint32_t length = 0;
+  };
+
+  Arena() = default;
+
+  /// Copies `values` into the arena; the ref stays valid until Clear().
+  Ref Append(std::span<const T> values) {
+    const Ref ref{data_.size(), static_cast<uint32_t>(values.size())};
+    data_.insert(data_.end(), values.begin(), values.end());
+    return ref;
+  }
+
+  std::span<const T> View(Ref ref) const {
+    return {data_.data() + ref.offset, ref.length};
+  }
+
+  void Clear() { data_.clear(); }
+  void reserve(size_t n) { data_.reserve(n); }
+
+  /// Total elements appended (live + abandoned).
+  size_t size() const { return data_.size(); }
+  /// Bytes a copy of this arena duplicates.
+  size_t MemoryBytes() const { return data_.size() * sizeof(T); }
+
+ private:
+  std::vector<T> data_;
+};
+
+}  // namespace txallo::common

@@ -76,11 +76,19 @@ BenchScale ResolveBenchScale(const Flags& flags) {
   } else {
     preset = {400'000, 64'000, 60, 10, 60, 12, 0};
   }
-  // Explicit flags override the preset.
+  // Explicit flags override the preset; for the account count an explicit
+  // --accounts beats TXALLO_ACCOUNTS beats the preset, so scripted sweeps
+  // (1e5 → 1e7 accounts) can rescale every bench through one env var —
+  // including google-benchmark binaries that don't parse our flags.
   preset.num_transactions = static_cast<uint64_t>(
       flags.GetInt("txs", static_cast<int64_t>(preset.num_transactions)));
-  preset.num_accounts = static_cast<uint64_t>(
-      flags.GetInt("accounts", static_cast<int64_t>(preset.num_accounts)));
+  if (flags.Has("accounts")) {
+    preset.num_accounts = static_cast<uint64_t>(
+        flags.GetInt("accounts", static_cast<int64_t>(preset.num_accounts)));
+  } else if (const char* env_accounts = std::getenv("TXALLO_ACCOUNTS")) {
+    const int64_t v = std::strtoll(env_accounts, nullptr, 10);
+    if (v > 0) preset.num_accounts = static_cast<uint64_t>(v);
+  }
   preset.max_shards =
       static_cast<int>(flags.GetInt("max-shards", preset.max_shards));
   preset.shard_step =

@@ -127,7 +127,10 @@ std::vector<NodeId> TxAlloController::FullNodeOrder() const {
 }
 
 Result<AdaptiveRunInfo> TxAlloController::StepAdaptive() {
-  graph_.Consolidate();
+  // Fold the delta overlay back into the frozen CSR core once it gets big
+  // enough to slow reads/copies; a pure function of graph state, so the
+  // sync and async pipelines make the same (bit-neutral) decision.
+  graph_.MaybeRefreeze();
   allocation_.GrowAccounts(graph_.num_nodes());
   RefreshCapacity();
   std::vector<NodeId> touched = PendingTouchedNodes();
@@ -141,7 +144,10 @@ Result<AdaptiveRunInfo> TxAlloController::StepAdaptive() {
 }
 
 Result<GlobalRunInfo> TxAlloController::StepGlobal() {
-  graph_.Consolidate();
+  // A global step is O(N + E) regardless; refreeze so Louvain and the
+  // sweeps read a pure CSR core, and so the post-step controller snapshot
+  // copy is O(1).
+  graph_.Refreeze();
   allocation_.GrowAccounts(graph_.num_nodes());
   RefreshCapacity();
   GlobalRunInfo info;

@@ -1,5 +1,9 @@
 #include "txallo/core/gain.h"
 
+#if defined(TXALLO_ENABLE_AVX2) && defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 #include "txallo/common/math.h"
 
 namespace txallo::core {
@@ -40,6 +44,63 @@ CommunityDelta LeaveDelta(const alloc::CommunityState& state, uint32_t p,
                                state.sigma[p] + delta.d_sigma, state.capacity);
   delta.throughput_gain = after - before;
   return delta;
+}
+
+void JoinGainBatch(const alloc::CommunityState& state, const NodeProfile& node,
+                   const double* weight_to, uint32_t k, double* gains) {
+  const double eta = state.eta;
+  const double cap = state.capacity;
+  // Loop-invariant pieces of JoinDelta, factored without reassociating:
+  // d_sigma   = (ℓ + η·s) + (1 − 2η)·w_q   — the scalar kernel's own tree.
+  // d_lambda_hat = ℓ + 0.5·s                — constant across q.
+  const double sigma_base = node.self_loop + eta * node.strength;
+  const double w_coef = 1.0 - 2.0 * eta;
+  const double d_lambda_hat = node.self_loop + 0.5 * node.strength;
+  const double* sigma = state.sigma.data();
+  const double* lambda_hat = state.lambda_hat.data();
+  uint32_t q = 0;
+#if defined(TXALLO_ENABLE_AVX2) && defined(__AVX2__)
+  // Four lanes of the exact scalar operations (vdivpd/vmulpd/vsubpd are
+  // IEEE-exact; the clamp select becomes a blend). The quotient is computed
+  // unconditionally and blended away on the σ <= λ lanes — same value
+  // semantics, no FP traps in the default environment.
+  const __m256d v_cap = _mm256_set1_pd(cap);
+  const __m256d v_zero = _mm256_setzero_pd();
+  const __m256d v_base = _mm256_set1_pd(sigma_base);
+  const __m256d v_wcoef = _mm256_set1_pd(w_coef);
+  const __m256d v_dlh = _mm256_set1_pd(d_lambda_hat);
+  for (; q + 4 <= k; q += 4) {
+    const __m256d sig = _mm256_loadu_pd(sigma + q);
+    const __m256d lh = _mm256_loadu_pd(lambda_hat + q);
+    const __m256d w = _mm256_loadu_pd(weight_to + q);
+    const __m256d d_sig =
+        _mm256_add_pd(v_base, _mm256_mul_pd(v_wcoef, w));
+    const __m256d sig_after = _mm256_add_pd(sig, d_sig);
+    const __m256d lh_after = _mm256_add_pd(lh, v_dlh);
+    // ClampThroughput(lh, sig, cap): lh when sig <= cap or sig <= 0,
+    // else (cap / sig) * lh.
+    const __m256d pass_b = _mm256_or_pd(
+        _mm256_cmp_pd(sig, v_cap, _CMP_LE_OQ),
+        _mm256_cmp_pd(sig, v_zero, _CMP_LE_OQ));
+    const __m256d scaled_b =
+        _mm256_mul_pd(_mm256_div_pd(v_cap, sig), lh);
+    const __m256d before = _mm256_blendv_pd(scaled_b, lh, pass_b);
+    const __m256d pass_a = _mm256_or_pd(
+        _mm256_cmp_pd(sig_after, v_cap, _CMP_LE_OQ),
+        _mm256_cmp_pd(sig_after, v_zero, _CMP_LE_OQ));
+    const __m256d scaled_a =
+        _mm256_mul_pd(_mm256_div_pd(v_cap, sig_after), lh_after);
+    const __m256d after = _mm256_blendv_pd(scaled_a, lh_after, pass_a);
+    _mm256_storeu_pd(gains + q, _mm256_sub_pd(after, before));
+  }
+#endif
+  for (; q < k; ++q) {
+    const double d_sigma = sigma_base + w_coef * weight_to[q];
+    const double before = Clamped(lambda_hat[q], sigma[q], cap);
+    const double after =
+        Clamped(lambda_hat[q] + d_lambda_hat, sigma[q] + d_sigma, cap);
+    gains[q] = after - before;
+  }
 }
 
 double MoveGain(const alloc::CommunityState& state, uint32_t p, uint32_t q,

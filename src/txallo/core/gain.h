@@ -49,6 +49,18 @@ double MoveGain(const alloc::CommunityState& state, uint32_t p, uint32_t q,
                 const NodeProfile& node, double weight_to_p,
                 double weight_to_q);
 
+/// Batched join kernel: gains[q] = JoinDelta(state, q, node,
+/// weight_to[q]).throughput_gain for every q in [0, k), in one pass over
+/// the contiguous σ/Λ̂ arrays (CommunityState is SoA). Bit-identical to the
+/// scalar JoinDelta per element: the expression tree is the same and the
+/// strict -std build forbids FP contraction, so the only difference is
+/// memory access order — which FP addition does not see. The G-TxAllo
+/// sweep uses this for its Eq. 9 candidate evaluation whenever the
+/// candidate set is dense; an explicit AVX2 path (same IEEE operations
+/// elementwise) can be enabled with -DTXALLO_ENABLE_AVX2=ON.
+void JoinGainBatch(const alloc::CommunityState& state, const NodeProfile& node,
+                   const double* weight_to, uint32_t k, double* gains);
+
 /// Applies a join to the running state (σ_q, Λ̂_q updated in place).
 void ApplyJoin(alloc::CommunityState* state, uint32_t q,
                const NodeProfile& node, double weight_to_q);

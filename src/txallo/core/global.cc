@@ -21,27 +21,51 @@ using graph::NodeId;
 using graph::TransactionGraph;
 
 // Scratch accumulator of w{v, community}, reset via a touched list so a
-// sweep over the whole graph is O(Σ degree), not O(N·k).
+// sweep over the whole graph is O(Σ degree), not O(N·k). Also owns the
+// per-node join-gain buffer the batched kernel fills.
 class WeightToCommunity {
  public:
   explicit WeightToCommunity(uint32_t num_communities)
-      : weight_(num_communities, 0.0) {
+      : num_communities_(num_communities),
+        weight_(num_communities, 0.0),
+        gains_(num_communities, 0.0) {
     touched_.reserve(64);
   }
 
   void Accumulate(const TransactionGraph& graph, NodeId v,
                   const Allocation& allocation) {
+    const ShardId* shard_of = allocation.raw().data();
+    const size_t num_accounts = allocation.num_accounts();
     for (const graph::Neighbor& nb : graph.Neighbors(v)) {
-      const ShardId c = nb.node < allocation.num_accounts()
-                            ? allocation.shard_of(nb.node)
-                            : kUnassignedShard;
+      const ShardId c =
+          nb.node < num_accounts ? shard_of[nb.node] : kUnassignedShard;
       if (c == kUnassignedShard) continue;
       if (weight_[c] == 0.0) touched_.push_back(c);
       weight_[c] += nb.weight;
     }
   }
 
+  /// Fills gains_[q] = join gain of the accumulated node into q. When the
+  /// candidate set is dense — or the caller needs all k — one batched pass
+  /// over the contiguous σ/Λ̂ arrays; otherwise scalar JoinDelta per
+  /// touched community. Both paths produce bit-identical gains (the batch
+  /// kernel replays the scalar expression tree), so the density heuristic
+  /// affects speed only, never the selected shard. Untouched entries are
+  /// stale in sparse mode; callers only read q's they asked for.
+  void ComputeJoinGains(const CommunityState& state, const NodeProfile& node,
+                        bool need_all) {
+    if (need_all || touched_.size() * 4 >= num_communities_) {
+      JoinGainBatch(state, node, weight_.data(), num_communities_,
+                    gains_.data());
+    } else {
+      for (ShardId q : touched_) {
+        gains_[q] = JoinDelta(state, q, node, weight_[q]).throughput_gain;
+      }
+    }
+  }
+
   double WeightTo(ShardId c) const { return weight_[c]; }
+  double Gain(ShardId c) const { return gains_[c]; }
   const std::vector<ShardId>& touched() const { return touched_; }
 
   void Reset() {
@@ -50,7 +74,9 @@ class WeightToCommunity {
   }
 
  private:
+  uint32_t num_communities_;
   std::vector<double> weight_;
+  std::vector<double> gains_;
   std::vector<ShardId> touched_;
 };
 
@@ -112,14 +138,15 @@ void AssignUnassignedNodes(const TransactionGraph& graph,
     if (allocation->IsAssigned(v)) continue;
     NodeProfile node{graph.SelfLoop(v), graph.Strength(v)};
     scratch.Accumulate(graph, v, *allocation);
+    scratch.ComputeJoinGains(*state, node,
+                             /*need_all=*/scratch.touched().empty());
 
     // Max join gain; ties break toward the smaller shard id (determinism).
     ShardId best = kUnassignedShard;
     double best_gain = 0.0;
     if (!scratch.touched().empty()) {
       for (ShardId q : scratch.touched()) {
-        const double gain =
-            JoinDelta(*state, q, node, scratch.WeightTo(q)).throughput_gain;
+        const double gain = scratch.Gain(q);
         if (best == kUnassignedShard || gain > best_gain + 1e-15) {
           best = q;
           best_gain = gain;
@@ -130,7 +157,7 @@ void AssignUnassignedNodes(const TransactionGraph& graph,
     } else {
       // C_v = ∅: force the candidate set to all k communities (Alg. 1 l.5).
       for (ShardId q = 0; q < params.num_shards; ++q) {
-        const double gain = JoinDelta(*state, q, node, 0.0).throughput_gain;
+        const double gain = scratch.Gain(q);
         if (best == kUnassignedShard || gain > best_gain + 1e-15) {
           best = q;
           best_gain = gain;
@@ -160,15 +187,15 @@ int OptimizeSweeps(const TransactionGraph& graph,
 
       const double w_to_p = scratch.WeightTo(p);
       const CommunityDelta leave = LeaveDelta(*state, p, node, w_to_p);
+      scratch.ComputeJoinGains(*state, node,
+                               /*need_all=*/options.search_all_communities);
 
       ShardId best = p;
       double best_gain = 0.0;
       if (options.search_all_communities) {
         for (ShardId q = 0; q < params.num_shards; ++q) {
           if (q == p) continue;
-          const double gain =
-              leave.throughput_gain +
-              JoinDelta(*state, q, node, scratch.WeightTo(q)).throughput_gain;
+          const double gain = leave.throughput_gain + scratch.Gain(q);
           if (gain > best_gain + 1e-15) {
             best = q;
             best_gain = gain;
@@ -179,9 +206,7 @@ int OptimizeSweeps(const TransactionGraph& graph,
       } else {
         for (ShardId q : scratch.touched()) {
           if (q == p) continue;
-          const double gain =
-              leave.throughput_gain +
-              JoinDelta(*state, q, node, scratch.WeightTo(q)).throughput_gain;
+          const double gain = leave.throughput_gain + scratch.Gain(q);
           if (gain > best_gain + 1e-15) {
             best = q;
             best_gain = gain;

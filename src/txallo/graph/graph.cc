@@ -4,14 +4,6 @@
 
 namespace txallo::graph {
 
-void TransactionGraph::EnsureNodeCount(size_t n) {
-  if (n <= adjacency_.size()) return;
-  adjacency_.resize(n);
-  pending_.resize(n);
-  self_loop_.resize(n, 0.0);
-  strength_.resize(n, 0.0);
-}
-
 void TransactionGraph::AddEdge(NodeId u, NodeId v, double weight) {
   if (u == v) {
     AddSelfLoop(u, weight);
@@ -19,19 +11,24 @@ void TransactionGraph::AddEdge(NodeId u, NodeId v, double weight) {
   }
   NodeId hi = std::max(u, v);
   EnsureNodeCount(static_cast<size_t>(hi) + 1);
-  pending_[u].push_back({v, weight});
-  pending_[v].push_back({u, weight});
-  ++pending_edges_;
+  log_.push_back({u, v, weight});
 }
 
 void TransactionGraph::AddSelfLoop(NodeId v, double weight) {
   EnsureNodeCount(static_cast<size_t>(v) + 1);
-  self_loop_[v] += weight;
+  // Immediate accumulation onto the current read value, exactly the legacy
+  // `self_loop_[v] += weight`. The shadow entry survives AdoptCore() so
+  // accumulations racing a fold-in-flight are never lost.
+  const double current = SelfLoop(v);
+  self_ovl_[v] = current + weight;
+  caches_dirty_ = true;
 }
 
 namespace {
 
 // Sorts a pending run by neighbor id and collapses duplicate neighbors.
+// Legacy code verbatim: the unstable sort + in-order duplicate collapse is
+// part of the bit-compatibility contract (FP addition is order-sensitive).
 void SortAndDedup(std::vector<Neighbor>* pending) {
   std::vector<Neighbor>& pend = *pending;
   std::sort(pend.begin(), pend.end(),
@@ -49,11 +46,12 @@ void SortAndDedup(std::vector<Neighbor>* pending) {
   pend.resize(w);
 }
 
-// Merges a sorted pending run into a sorted adjacency list.
-void MergeInto(std::vector<Neighbor>* adjacency,
-               const std::vector<Neighbor>& pend) {
-  std::vector<Neighbor>& adj = *adjacency;
-  std::vector<Neighbor> merged;
+// Merges a sorted row and a sorted pending run into `out` (cleared first).
+// Same walk as the legacy MergeInto, with the destination reserved once.
+void MergeRows(std::span<const Neighbor> adj, const std::vector<Neighbor>& pend,
+               std::vector<Neighbor>* out) {
+  std::vector<Neighbor>& merged = *out;
+  merged.clear();
   merged.reserve(adj.size() + pend.size());
   size_t i = 0, j = 0;
   while (i < adj.size() || j < pend.size()) {
@@ -67,55 +65,221 @@ void MergeInto(std::vector<Neighbor>* adjacency,
       ++j;
     }
   }
-  adj = std::move(merged);
 }
 
 }  // namespace
 
-void TransactionGraph::Consolidate() {
-  if (pending_edges_ != 0) {
-    for (size_t v = 0; v < pending_.size(); ++v) {
-      if (pending_[v].empty()) continue;
-      SortAndDedup(&pending_[v]);
-      MergeInto(&adjacency_[v], pending_[v]);
-      pending_[v].clear();
-      pending_[v].shrink_to_fit();
+void TransactionGraph::MergeRow(NodeId v, const std::vector<Neighbor>& pend) {
+  const std::span<const Neighbor> old_row = Neighbors(v);
+  MergeRows(old_row, pend, &scratch_merge_);
+  // Strength refresh over the merged row, in row order — the legacy
+  // consolidation recomputed every strength this way; untouched nodes keep
+  // their (bit-identical) cached values.
+  double s = 0.0;
+  for (const Neighbor& nb : scratch_merge_) s += nb.weight;
+
+  const size_t old_len = old_row.size();
+  const size_t new_len = scratch_merge_.size();
+  const ShadowRow shadow{row_arena_.Append(scratch_merge_), s};
+  auto [it, inserted] = rows_.emplace(v, shadow);
+  if (inserted) {
+    overlay_entries_ += new_len;  // Previous row (if any) lives in the core.
+  } else {
+    it->second = shadow;
+    overlay_entries_ += new_len - old_len;
+  }
+  degree_sum_ += new_len - old_len;
+}
+
+void TransactionGraph::MergePendingLog() {
+  ++generation_;
+  caches_dirty_ = true;
+
+  // Expand each undirected log edge into its two directed halves in log
+  // order, then stable-sort by owner: every owner's run is exactly the
+  // legacy per-node pending buffer (same insertion order, same values).
+  scratch_halves_.clear();
+  scratch_halves_.reserve(log_.size() * 2);
+  for (const DeltaEdge& e : log_) {
+    scratch_halves_.push_back({e.u, {e.v, e.weight}});
+    scratch_halves_.push_back({e.v, {e.u, e.weight}});
+  }
+  std::stable_sort(scratch_halves_.begin(), scratch_halves_.end(),
+                   [](const OwnedHalf& a, const OwnedHalf& b) {
+                     return a.owner < b.owner;
+                   });
+
+  size_t i = 0;
+  while (i < scratch_halves_.size()) {
+    const NodeId owner = scratch_halves_[i].owner;
+    scratch_pend_.clear();
+    while (i < scratch_halves_.size() && scratch_halves_[i].owner == owner) {
+      scratch_pend_.push_back(scratch_halves_[i].nb);
+      ++i;
     }
-    pending_edges_ = 0;
+    SortAndDedup(&scratch_pend_);
+    MergeRow(owner, scratch_pend_);
   }
-  // Refresh the derived caches (strength, edge count, total weight).
-  num_edges_ = 0;
-  total_weight_ = 0.0;
-  for (size_t v = 0; v < adjacency_.size(); ++v) {
-    double s = 0.0;
-    for (const Neighbor& nb : adjacency_[v]) s += nb.weight;
-    strength_[v] = s;
-    num_edges_ += adjacency_[v].size();
-    total_weight_ += s;
-    total_weight_ += 2.0 * self_loop_[v];
+  log_.clear();
+  // Leave the scratch empty (capacity kept) so graph copies don't
+  // duplicate stale scratch contents.
+  scratch_halves_.clear();
+  scratch_pend_.clear();
+  scratch_merge_.clear();
+}
+
+void TransactionGraph::RecomputeTotals() {
+  // The legacy consolidation re-accumulated the total on every call, in id
+  // order with the strength and (doubled) self-loop adds interleaved.
+  double total = 0.0;
+  for (size_t v = 0; v < num_nodes_; ++v) {
+    total += Strength(static_cast<NodeId>(v));
+    total += 2.0 * SelfLoop(static_cast<NodeId>(v));
   }
-  num_edges_ /= 2;       // Each edge appears in two adjacency lists.
-  total_weight_ /= 2.0;  // Edge weights counted twice, self-loops once.
+  total_weight_ = total / 2.0;  // Edges counted twice, self-loops once.
+}
+
+void TransactionGraph::Consolidate() {
+  if (!log_.empty()) MergePendingLog();
+  if (scaled_) {
+    // The legacy consolidation recomputed every strength from its (scaled)
+    // row, switching the cached (Σw)·f to Σ(w·f). Replay that by folding
+    // with a full strength re-sum.
+    InstallCore(BuildCore(/*recompute_strengths=*/true));
+    scaled_ = false;
+    caches_dirty_ = true;
+  }
+  if (caches_dirty_) {
+    RecomputeTotals();
+    caches_dirty_ = false;
+  }
+  // Freeze policy (a pure function of graph state, so it is deterministic
+  // and thread-count independent): build the first core eagerly — one-shot
+  // graphs then read pure CSR — and re-freeze once the overlay outgrows
+  // half the core. Strategy adapters normally clear the overlay every
+  // rebalance via AdoptCore(), so steady-state consolidations stay
+  // O(delta) and never trip this.
+  if (core_ == nullptr || overlay_entries_ * 2 > core_->entries.size()) {
+    InstallCore(BuildCore(/*recompute_strengths=*/false));
+  } else if (row_arena_.size() > 64 &&
+             row_arena_.size() > 2 * overlay_entries_) {
+    CompactArena();
+  }
+}
+
+std::shared_ptr<GraphCore> TransactionGraph::BuildCore(
+    bool recompute_strengths) const {
+  assert(log_.empty());
+  auto core = std::make_shared<GraphCore>();
+  const size_t n = num_nodes_;
+  core->offsets.resize(n + 1);
+  core->entries.reserve(degree_sum_);
+  core->self_loop.resize(n);
+  core->strength.resize(n);
+  core->offsets[0] = 0;
+  for (size_t v = 0; v < n; ++v) {
+    const NodeId id = static_cast<NodeId>(v);
+    const std::span<const Neighbor> row = Neighbors(id);
+    core->entries.insert(core->entries.end(), row.begin(), row.end());
+    core->offsets[v + 1] = core->entries.size();
+    core->self_loop[v] = SelfLoop(id);
+    if (recompute_strengths) {
+      double s = 0.0;
+      for (const Neighbor& nb : row) s += nb.weight;
+      core->strength[v] = s;
+    } else {
+      core->strength[v] = Strength(id);
+    }
+  }
+  return core;
+}
+
+void TransactionGraph::InstallCore(std::shared_ptr<const GraphCore> core) {
+  core_ = std::move(core);
+  rows_.clear();
+  row_arena_.Clear();
+  self_ovl_.clear();
+  overlay_entries_ = 0;
+  ++generation_;
+}
+
+void TransactionGraph::CompactArena() {
+  common::Arena<Neighbor> compacted;
+  compacted.reserve(overlay_entries_);
+  for (auto& entry : rows_) {
+    entry.second.row = compacted.Append(row_arena_.View(entry.second.row));
+  }
+  row_arena_ = std::move(compacted);
+}
+
+void TransactionGraph::Refreeze() {
+  Consolidate();
+  if (core_ == nullptr || !rows_.empty() || !self_ovl_.empty()) {
+    InstallCore(BuildCore(/*recompute_strengths=*/false));
+  }
+}
+
+bool TransactionGraph::MaybeRefreeze() {
+  Consolidate();
+  if (core_ != nullptr && overlay_entries_ * 4 <= core_->entries.size()) {
+    return false;
+  }
+  if (rows_.empty() && self_ovl_.empty() && core_ != nullptr) return false;
+  InstallCore(BuildCore(/*recompute_strengths=*/false));
+  return true;
+}
+
+bool TransactionGraph::AdoptCore(std::shared_ptr<const GraphCore> core,
+                                 uint64_t fold_generation) {
+  if (core == nullptr || fold_generation != generation_) return false;
+  // The fold subsumes every edge-row/strength shadow (no consolidation ran
+  // since the snapshot — that is what the generation match certifies).
+  // Self-loop shadows may carry AddSelfLoop() accumulations newer than the
+  // fold: keep exactly those that differ from the folded value.
+  common::FlatMap<NodeId, double> kept;
+  for (const auto& entry : self_ovl_) {
+    const bool folded = entry.first < core->num_nodes() &&
+                        core->self_loop[entry.first] == entry.second;
+    if (!folded) kept.emplace(entry.first, entry.second);
+  }
+  core_ = std::move(core);
+  rows_.clear();
+  row_arena_.Clear();
+  overlay_entries_ = 0;
+  self_ovl_ = std::move(kept);
+  // generation_ unchanged: adoption swaps representation, not content.
+  return true;
 }
 
 void TransactionGraph::ScaleWeights(double factor) {
-  for (size_t v = 0; v < adjacency_.size(); ++v) {
-    for (Neighbor& nb : adjacency_[v]) nb.weight *= factor;
-    self_loop_[v] *= factor;
-    strength_[v] *= factor;
-  }
+  assert(consolidated());
+  // Fold first (read values carry over verbatim, including the cached
+  // strengths), then scale every entry in place — the same per-entry
+  // multiplies the legacy implementation performed. The next Consolidate()
+  // re-sums strengths from the scaled rows, again like the legacy code.
+  std::shared_ptr<GraphCore> core = BuildCore(/*recompute_strengths=*/false);
+  for (Neighbor& nb : core->entries) nb.weight *= factor;
+  for (double& s : core->self_loop) s *= factor;
+  for (double& s : core->strength) s *= factor;
+  InstallCore(std::move(core));
   total_weight_ *= factor;
+  scaled_ = true;
 }
 
 double TransactionGraph::EdgeWeight(NodeId u, NodeId v) const {
-  if (u == v) return self_loop_[u];
-  const std::vector<Neighbor>& adj = adjacency_[u];
+  if (u == v) return SelfLoop(u);
+  const std::span<const Neighbor> adj = Neighbors(u);
   auto it = std::lower_bound(adj.begin(), adj.end(), v,
                              [](const Neighbor& nb, NodeId target) {
                                return nb.node < target;
                              });
   if (it == adj.end() || it->node != v) return 0.0;
   return it->weight;
+}
+
+size_t TransactionGraph::SnapshotBytes() const {
+  return log_.size() * sizeof(DeltaEdge) + row_arena_.MemoryBytes() +
+         rows_.MemoryBytes() + self_ovl_.MemoryBytes() + sizeof(*this);
 }
 
 }  // namespace txallo::graph

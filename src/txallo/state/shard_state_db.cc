@@ -148,7 +148,8 @@ std::vector<std::pair<chain::AccountId, AccountState>>
 ShardStateDb::SortedRecords() const {
   std::vector<std::pair<chain::AccountId, AccountState>> out;
   out.reserve(records_->size());
-  // txallo-lint: allow(unordered-iter) sorted by account id immediately below
+  // FlatMap iterates in insertion order (deterministic); sorted by account
+  // id immediately below.
   for (const auto& [account, record] : *records_) {
     out.emplace_back(account, record);
   }

@@ -27,11 +27,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "txallo/chain/account.h"
+#include "txallo/common/flat_map.h"
 #include "txallo/common/sha256.h"
 #include "txallo/state/account_state.h"
 #include "txallo/state/merkle.h"
@@ -40,7 +40,11 @@ namespace txallo::state {
 
 class ShardStateDb {
  public:
-  using Records = std::unordered_map<chain::AccountId, AccountState>;
+  // Flat open-addressing map with deterministic (insertion-order)
+  // iteration — the record index is hot on every staged op, and the
+  // COW clone in MutableRecords() becomes three memcpy-able vector
+  // copies instead of a per-node rebuild.
+  using Records = common::FlatMap<chain::AccountId, AccountState>;
 
   /// `initial_balance` funds accounts lazily created by their first staged
   /// op (StateConfig::initial_balance).
@@ -128,11 +132,11 @@ class ShardStateDb {
   std::shared_ptr<Records> records_;
   // Pending debit reservations and staged thunks are per-shard scratch,
   // never shared with views.
-  std::unordered_map<chain::AccountId, int64_t> reserved_;
-  std::unordered_map<uint64_t, std::vector<Op>> staged_;
+  common::FlatMap<chain::AccountId, int64_t> reserved_;
+  common::FlatMap<uint64_t, std::vector<Op>> staged_;
   // How many staged ops target each account (reservations only cover
   // debits; this pins credit-only participants against Extract too).
-  std::unordered_map<chain::AccountId, uint32_t> pinned_;
+  common::FlatMap<chain::AccountId, uint32_t> pinned_;
   MerkleTrie trie_;
 };
 

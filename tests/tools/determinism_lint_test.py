@@ -117,6 +117,18 @@ def main():
           f"mempool/ is in unordered-iter scope, vector loop not flagged "
           f"(got {found})")
 
+    rc, found = run_lint(
+        args.lint, [fixtures / "graph" / "unordered_iter_violation.cc"])
+    check(rc == 1, "graph unordered_iter fixture exits 1")
+    check([f[2] for f in found] == ["unordered-iter"],
+          f"graph/ is in unordered-iter scope, vector loop not flagged "
+          f"(got {found})")
+
+    rc, found = run_lint(args.lint, [fixtures / "chain" / "flat_map_ok.cc"])
+    check(rc == 0 and not found,
+          f"chain/ FlatMap iteration (insertion order) lints clean "
+          f"(got {found})")
+
     print("whole fixture tree:")
     rc, found = run_lint(args.lint, [fixtures])
     check(rc == 1, "fixture tree exits 1")
@@ -124,7 +136,7 @@ def main():
     for f in found:
         by_rule[f[2]] = by_rule.get(f[2], 0) + 1
     check(by_rule == {"raw-sync": 8, "raw-thread": 1, "wall-clock": 4,
-                      "unordered-iter": 3},
+                      "unordered-iter": 4},
           f"aggregate finding counts per rule (got {by_rule})")
 
     if failures:

@@ -1,0 +1,37 @@
+// Lint fixture: txallo/chain/ is in unordered-iter scope (the account
+// registry assigns ids in first-seen order), but iteration over
+// common::FlatMap is deterministic (insertion order) and must lint
+// clean — the declaration heuristic keys on `unordered_`, not on every
+// associative container.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace txallo::common {
+template <typename K, typename V>
+struct FlatMap {
+  struct Entry {
+    K first;
+    V second;
+  };
+  std::vector<Entry> entries;
+  auto begin() const { return entries.begin(); }
+  auto end() const { return entries.end(); }
+};
+}  // namespace txallo::common
+
+namespace txallo::chain {
+
+struct RegistryScan {
+  common::FlatMap<std::string, uint64_t> index;
+
+  uint64_t Sum() const {
+    uint64_t total = 0;
+    for (const auto& entry : index) {
+      total += entry.second;
+    }
+    return total;
+  }
+};
+
+}  // namespace txallo::chain

@@ -39,9 +39,15 @@ Rules (ids are what `allow(...)` escapes name):
                 paths: txallo/engine/ (execution, 2PC, replay),
                 txallo/allocator/ (Commit folds mappings back into live
                 state), txallo/state/ (account records feed the per-tick
-                Merkle roots the replay log verifies bit-identically) and
+                Merkle roots the replay log verifies bit-identically),
                 txallo/mempool/ (admission decisions and dispatch order
-                are part of the recorded trace). Hash-table iteration order is
+                are part of the recorded trace), txallo/graph/ (the
+                delta-log CSR promises bit-identical reads across copy /
+                refreeze), txallo/chain/ (the account registry assigns
+                ids in first-seen order) and txallo/core/ (gain sweeps
+                visit communities in deterministic order; these paths use
+                common::FlatMap, which iterates in insertion order, and
+                must not regress to hash-order). Hash-table iteration order is
                 implementation-defined and seed-dependent; iterate a sorted
                 copy or a vector instead. Detection is heuristic
                 (declaration-name tracking, no type inference), which is
@@ -205,6 +211,9 @@ def rules_for(subpath: str):
         or subpath.startswith("allocator/")
         or subpath.startswith("state/")
         or subpath.startswith("mempool/")
+        or subpath.startswith("graph/")
+        or subpath.startswith("chain/")
+        or subpath.startswith("core/")
     ):
         rules.discard("unordered-iter")
     return rules
