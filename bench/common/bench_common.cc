@@ -64,6 +64,27 @@ bool HandleAllocatorHelp(const Flags& flags) {
   return true;
 }
 
+bool HandleScenarioHelp(const Flags& flags) {
+  if (ResolveScenarioSpec(flags, "") != "help" &&
+      flags.GetString("scenarios", "") != "help") {
+    return false;
+  }
+  std::printf("%s", workload::ScenarioUsageText().c_str());
+  return true;
+}
+
+std::unique_ptr<workload::Scenario> MakeScenarioOrDie(
+    const std::string& spec, const workload::ScenarioShape& shape) {
+  auto made = workload::MakeScenarioFromSpec(spec, shape);
+  if (!made.ok()) {
+    std::fprintf(stderr, "scenario '%s': %s\n", spec.c_str(),
+                 made.status().ToString().c_str());
+    std::fprintf(stderr, "(--scenario=help lists the registry)\n");
+    std::abort();
+  }
+  return std::move(*made);
+}
+
 std::string MethodLabel(const std::string& spec) {
   if (spec == "txallo-global" || spec == "txallo-hybrid") return "Our Method";
   if (spec == "hash") return "Random";

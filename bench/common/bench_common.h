@@ -35,6 +35,7 @@
 #include "txallo/engine/engine.h"
 #include "txallo/graph/graph.h"
 #include "txallo/workload/ethereum_like.h"
+#include "txallo/workload/scenario_registry.h"
 
 namespace txallo::bench {
 
@@ -43,6 +44,7 @@ using txallo::BenchScale;
 using txallo::Flags;
 using txallo::ResolveAllocatorSpec;
 using txallo::ResolveBenchScale;
+using txallo::ResolveScenarioSpec;
 
 /// The paper's four-method comparison (§VI), as allocator-registry specs.
 std::vector<std::string> DefaultMethodSpecs();
@@ -62,6 +64,18 @@ std::vector<std::string> ResolveMethodSpecs(
 /// usage table (allocator::AllocatorUsageText). Returns true when help was
 /// printed — the caller should exit 0.
 bool HandleAllocatorHelp(const Flags& flags);
+
+/// `--scenario=help` / `--scenarios=help`: prints the scenario registry's
+/// generated usage table (workload::ScenarioUsageText). Returns true when
+/// help was printed — the caller should exit 0.
+bool HandleScenarioHelp(const Flags& flags);
+
+/// Instantiates `spec` through the scenario registry with `shape` as the
+/// programmatic default. Aborts with a diagnostic on an invalid spec
+/// (bench binaries treat a typo'd scenario the way they treat a typo'd
+/// allocator: fatal, never silently the default workload).
+std::unique_ptr<workload::Scenario> MakeScenarioOrDie(
+    const std::string& spec, const workload::ScenarioShape& shape);
 
 /// Table label: the paper's legend name for the classic methods
 /// ("Our Method", "Random", "Metis", "Shard Scheduler"); any other spec

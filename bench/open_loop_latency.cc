@@ -25,6 +25,7 @@
 // free to differ) verifying bit-identity.
 //
 //   ./build/bench/open_loop_latency [--methods=a;b] [--loads=60,100,140]
+//       [--scenario=SPEC] (workload/scenario_registry.h; --scenario=help)
 //       [--offered-load=X | TXALLO_OFFERED_LOAD=X] [--k=8] [--eta=2]
 //       [--blocks=64] [--txs-per-block=96] [--epoch-blocks=16]
 //       [--service-rate=120] [--dispatch-per-tick=N] [--capacity=N]
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
   using namespace txallo;
   bench::Flags flags = bench::Flags::Parse(argc, argv);
   if (bench::HandleAllocatorHelp(flags)) return 0;
+  if (bench::HandleScenarioHelp(flags)) return 0;
   bench::BenchScale scale = bench::ResolveBenchScale(flags);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 8));
@@ -139,26 +141,30 @@ int main(int argc, char** argv) {
   }
 
   // One shared ledger: every (load, method) point offers identical traffic,
-  // only the pacing differs.
-  workload::EthereumLikeConfig workload_config;
-  workload_config.txs_per_block = txs_per_block;
-  workload_config.num_blocks = static_cast<uint64_t>(blocks);
-  workload_config.num_accounts = std::min<uint64_t>(scale.num_accounts, 16'000);
-  workload_config.num_communities = static_cast<uint32_t>(
-      std::max<uint64_t>(32, workload_config.num_accounts / 160));
-  workload_config.seed = seed;
-  workload::EthereumLikeGenerator generator(workload_config);
-  const chain::Ledger ledger =
-      generator.GenerateLedger(workload_config.num_blocks);
+  // only the pacing differs. --scenario (or TXALLO_SCENARIO) swaps the
+  // pattern; the default "ethereum" spec reproduces this bench's historical
+  // inline workload bit-identically, keeping BENCH_open_loop.json stable.
+  workload::ScenarioShape shape;
+  shape.num_blocks = static_cast<uint64_t>(blocks);
+  shape.txs_per_block = txs_per_block;
+  shape.num_accounts = std::min<uint64_t>(scale.num_accounts, 16'000);
+  shape.num_communities = static_cast<uint32_t>(
+      std::max<uint64_t>(32, shape.num_accounts / 160));
+  shape.seed = seed;
+  const std::string scenario_spec =
+      bench::ResolveScenarioSpec(flags, "ethereum");
+  std::unique_ptr<workload::Scenario> scenario =
+      bench::MakeScenarioOrDie(scenario_spec, shape);
+  const chain::Ledger ledger = scenario->GenerateLedger(scenario->num_blocks());
 
   std::printf("==============================================================\n");
   std::printf("Open-loop latency vs offered load (k=%u, eta=%g, %llu txs,\n"
               "service ~%g tx/tick, dispatch cap %u/tick, epochs of %u "
-              "ticks, producers=%u, policy=%s)\n",
+              "ticks, producers=%u, policy=%s)\nscenario: %s\n",
               k, eta,
               static_cast<unsigned long long>(ledger.num_transactions()),
               service_rate, dispatch_per_tick, epoch_blocks, producers,
-              policy.c_str());
+              policy.c_str(), scenario_spec.c_str());
   std::printf("==============================================================\n");
 
   bench::SeriesTable table(
@@ -244,6 +250,7 @@ int main(int argc, char** argv) {
     engine::PipelineConfig pipeline;
     pipeline.blocks_per_epoch = epoch_blocks;
     pipeline.ingest_producers = producers;
+    pipeline.workload_spec = scenario_spec;
     pipeline.ingest_mode = engine::IngestMode::kOpenLoop;
     pipeline.open_loop.offered_load = load;
     pipeline.open_loop.dispatch_per_tick = dispatch_per_tick;
@@ -261,9 +268,13 @@ int main(int argc, char** argv) {
     }
     engine::ParallelEngine engine(make_engine_config(), nullptr);
     // The trace's meta supplies the offered load and mempool parameters;
-    // the pipeline config contributes execution shape only.
+    // the pipeline config contributes execution shape only. The recorded
+    // workload_spec is only enforced against an explicit --scenario (the
+    // ledger fingerprint is always checked regardless).
+    engine::PipelineConfig replay_pipeline = make_pipeline(1.0);
+    if (!flags.Has("scenario")) replay_pipeline.workload_spec.clear();
     auto result = engine::ReplayRecordedStream(ledger, *loaded, &engine,
-                                               make_pipeline(1.0));
+                                               replay_pipeline);
     if (!result.ok()) {
       std::fprintf(stderr, "--replay: %s\n",
                    result.status().ToString().c_str());
@@ -286,7 +297,7 @@ int main(int argc, char** argv) {
       allocator::AllocatorOptions options;
       options.params = alloc::AllocationParams::ForExperiment(
           ledger.num_transactions(), k, eta);
-      options.registry = &generator.registry();
+      options.registry = &scenario->registry();
       options.seed = seed;
       auto made = allocator::MakeAllocatorFromSpec(spec, options);
       if (!made.ok()) {

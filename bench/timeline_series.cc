@@ -27,7 +27,14 @@
 // relevant series (committed/aborted/migrated per step, final Merkle root)
 // as JSON — the committed BENCH_state.json snapshot comes from here.
 //
+// Workload selection (workload/scenario_registry.h): --scenario=SPEC (or
+// TXALLO_SCENARIO) streams any registered scenario — "spike:peak-share=0.7",
+// "shard-attack:shards=8,target=3", ... — through the same engine loop;
+// --scenario=help prints the catalog. The default reproduces this bench's
+// historical drifting Ethereum-like workload bit-identically.
+//
 //   ./build/bench/timeline_series [--methods=a;b] [--k=8] [--eta=2]
+//       [--scenario=SPEC]
 //       [--blocks=96] [--txs-per-block=120] [--epoch-blocks=12]
 //       [--alloc-mode=background|deferred|sync] [--producers=N]
 //       [--state=0|1] [--state-balance=N] [--migration-work=X]
@@ -48,6 +55,7 @@ int main(int argc, char** argv) {
   using namespace txallo;
   bench::Flags flags = bench::Flags::Parse(argc, argv);
   if (bench::HandleAllocatorHelp(flags)) return 0;
+  if (bench::HandleScenarioHelp(flags)) return 0;
   bench::BenchScale scale = bench::ResolveBenchScale(flags);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 8));
@@ -88,28 +96,35 @@ int main(int argc, char** argv) {
                 specs[0].c_str());
   }
 
-  // One shared drifting ledger: every method streams identical traffic.
-  workload::EthereumLikeConfig workload_config;
-  workload_config.txs_per_block = txs_per_block;
-  workload_config.num_blocks = static_cast<uint64_t>(blocks);
-  workload_config.num_accounts = std::min<uint64_t>(scale.num_accounts, 16'000);
-  workload_config.num_communities = static_cast<uint32_t>(
-      std::max<uint64_t>(32, workload_config.num_accounts / 160));
-  workload_config.seed = seed;
-  workload_config.initial_balance = state_balance;
-  workload_config.drift_interval_blocks =
-      std::max<uint64_t>(1, static_cast<uint64_t>(blocks) / 3);
-  workload::EthereumLikeGenerator generator(workload_config);
-  const chain::Ledger ledger =
-      generator.GenerateLedger(workload_config.num_blocks);
+  // One shared ledger: every method streams identical traffic. The shape
+  // comes from the bench flags; the pattern comes from --scenario (or
+  // TXALLO_SCENARIO). The default spec reproduces this bench's historical
+  // inline workload — a drifting Ethereum-like stream — bit-identically, so
+  // the committed BENCH_state.json snapshot survives the scenario rewiring.
+  workload::ScenarioShape shape;
+  shape.num_blocks = static_cast<uint64_t>(blocks);
+  shape.txs_per_block = txs_per_block;
+  shape.num_accounts = std::min<uint64_t>(scale.num_accounts, 16'000);
+  shape.num_communities = static_cast<uint32_t>(
+      std::max<uint64_t>(32, shape.num_accounts / 160));
+  shape.initial_balance = state_balance;
+  shape.seed = seed;
+  const std::string scenario_spec = bench::ResolveScenarioSpec(
+      flags, "ethereum:drift-interval=" +
+                 std::to_string(std::max<uint64_t>(
+                     1, static_cast<uint64_t>(blocks) / 3)));
+  std::unique_ptr<workload::Scenario> scenario =
+      bench::MakeScenarioOrDie(scenario_spec, shape);
+  const chain::Ledger ledger = scenario->GenerateLedger(scenario->num_blocks());
 
   std::printf("==============================================================\n");
   std::printf("Timeline series: per-step engine metrics (k=%u, eta=%g, %d "
               "blocks x %llu txs,\nepochs of %u blocks, alloc-mode=%s, "
-              "ingest producers=%u)\n",
+              "ingest producers=%u)\nscenario: %s\n",
               k, eta, blocks,
               static_cast<unsigned long long>(txs_per_block), epoch_blocks,
-              engine::AllocatorModeName(*mode), producers);
+              engine::AllocatorModeName(*mode), producers,
+              scenario_spec.c_str());
   std::printf("==============================================================\n");
 
   bench::SeriesTable series(
@@ -207,11 +222,15 @@ int main(int argc, char** argv) {
         scale, k, eta, 1.3 * static_cast<double>(txs_per_block) / k);
     engine_config.hash_route_unassigned = true;
     engine_config.state.enabled = state_on;
-    engine_config.state.initial_balance = workload_config.initial_balance;
+    engine_config.state.initial_balance = scenario->initial_balance();
     engine_config.state.migration_work_per_account = migration_work;
     engine::ParallelEngine engine(engine_config, nullptr);
     engine::PipelineConfig pipeline;
     pipeline.ingest_producers = producers;
+    // Only enforced when --scenario was given explicitly: the trace's own
+    // ledger fingerprint is always checked, but a recorded spec from an
+    // older flag set need not match this binary's default spec rendering.
+    if (flags.Has("scenario")) pipeline.workload_spec = scenario_spec;
     auto result =
         engine::ReplayRecordedStream(ledger, *loaded, &engine, pipeline);
     if (!result.ok()) {
@@ -238,7 +257,7 @@ int main(int argc, char** argv) {
     allocator::AllocatorOptions options;
     options.params = alloc::AllocationParams::ForExperiment(
         ledger.num_transactions(), k, eta);
-    options.registry = &generator.registry();
+    options.registry = &scenario->registry();
     options.seed = seed;
     auto made = allocator::MakeAllocatorFromSpec(spec, options);
     if (!made.ok()) {
@@ -257,7 +276,7 @@ int main(int argc, char** argv) {
         scale, k, eta, 1.3 * static_cast<double>(txs_per_block) / k);
     engine_config.hash_route_unassigned = true;
     engine_config.state.enabled = state_on;
-    engine_config.state.initial_balance = workload_config.initial_balance;
+    engine_config.state.initial_balance = scenario->initial_balance();
     engine_config.state.migration_work_per_account = migration_work;
     engine::ParallelEngine engine(engine_config, nullptr);
     engine::ReplayLog log;
@@ -266,6 +285,7 @@ int main(int argc, char** argv) {
     pipeline.allocator_mode = *mode;
     pipeline.ingest_producers = producers;
     pipeline.allow_epoch_overrun = overrun;
+    pipeline.workload_spec = scenario_spec;
     if (!trace.record_path.empty()) pipeline.record = &log;
     auto result =
         engine::RunReallocatedStream(ledger, online, &engine, pipeline);

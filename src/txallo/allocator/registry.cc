@@ -6,6 +6,7 @@
 
 #include "txallo/allocator/adapters.h"
 #include "txallo/allocator/contrib.h"
+#include "txallo/common/spec.h"
 
 namespace txallo::allocator {
 
@@ -303,42 +304,21 @@ Result<std::unique_ptr<Allocator>> MakeBroker(const std::string& name,
 }  // namespace
 
 Result<OptionMap> ParseOptionList(const std::string& spec) {
-  OptionMap options;
-  size_t start = 0;
-  while (start < spec.size()) {
-    size_t end = spec.find(',', start);
-    if (end == std::string::npos) end = spec.size();
-    const std::string clause = spec.substr(start, end - start);
-    start = end + 1;
-    if (clause.empty()) continue;
-    const size_t eq = clause.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      return Status::InvalidArgument("malformed option clause '" + clause +
-                                     "' (expected key=value)");
-    }
-    const std::string key = clause.substr(0, eq);
-    if (options.count(key) > 0) {
-      return Status::InvalidArgument("duplicate option key '" + key + "'");
-    }
-    options[key] = clause.substr(eq + 1);
-  }
-  return options;
+  return common::ParseOptionList(spec);
 }
 
 Result<AllocatorSpec> ParseAllocatorSpec(const std::string& spec) {
-  AllocatorSpec parsed;
-  const size_t colon = spec.find(':');
-  parsed.name = spec.substr(0, colon);
-  if (parsed.name.empty()) {
-    return Status::InvalidArgument("empty allocator name in spec '" + spec +
-                                   "'");
+  Result<common::ParsedSpec> parsed = common::ParseSpec(spec);
+  if (!parsed.ok()) {
+    // Keep the historical error wording for the empty-name case; option
+    // grammar errors pass through unchanged.
+    if (spec.empty() || spec[0] == ':') {
+      return Status::InvalidArgument("empty allocator name in spec '" + spec +
+                                     "'");
+    }
+    return parsed.status();
   }
-  if (colon != std::string::npos) {
-    Result<OptionMap> options = ParseOptionList(spec.substr(colon + 1));
-    if (!options.ok()) return options.status();
-    parsed.options = std::move(options.value());
-  }
-  return parsed;
+  return AllocatorSpec{std::move(parsed->name), std::move(parsed->options)};
 }
 
 std::vector<std::string> RegisteredNames() {

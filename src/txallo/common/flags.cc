@@ -118,4 +118,13 @@ std::string ResolveAllocatorSpec(const Flags& flags,
   return default_spec;
 }
 
+std::string ResolveScenarioSpec(const Flags& flags,
+                                const std::string& default_spec) {
+  if (flags.Has("scenario")) return flags.GetString("scenario", default_spec);
+  if (const char* env = std::getenv("TXALLO_SCENARIO")) {
+    if (env[0] != '\0') return env;
+  }
+  return default_spec;
+}
+
 }  // namespace txallo

@@ -62,4 +62,11 @@ BenchScale ResolveBenchScale(const Flags& flags);
 std::string ResolveAllocatorSpec(const Flags& flags,
                                  const std::string& default_spec);
 
+/// Resolves the workload-scenario spec shared by benches and examples:
+/// --scenario beats the TXALLO_SCENARIO environment variable beats
+/// `default_spec`. The value is a scenario-registry spec, e.g. "ethereum"
+/// or "spike:peak-share=0.7" (see workload/scenario_registry.h).
+std::string ResolveScenarioSpec(const Flags& flags,
+                                const std::string& default_spec);
+
 }  // namespace txallo

@@ -1,0 +1,47 @@
+#include "txallo/common/spec.h"
+
+#include <utility>
+
+namespace txallo::common {
+
+Result<std::map<std::string, std::string>> ParseOptionList(
+    const std::string& spec) {
+  std::map<std::string, std::string> options;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(start, end - start);
+    start = end + 1;
+    if (clause.empty()) continue;
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("malformed option clause '" + clause +
+                                     "' (expected key=value)");
+    }
+    const std::string key = clause.substr(0, eq);
+    if (options.count(key) > 0) {
+      return Status::InvalidArgument("duplicate option key '" + key + "'");
+    }
+    options[key] = clause.substr(eq + 1);
+  }
+  return options;
+}
+
+Result<ParsedSpec> ParseSpec(const std::string& spec) {
+  ParsedSpec parsed;
+  const size_t colon = spec.find(':');
+  parsed.name = spec.substr(0, colon);
+  if (parsed.name.empty()) {
+    return Status::InvalidArgument("empty name in spec '" + spec + "'");
+  }
+  if (colon != std::string::npos) {
+    Result<std::map<std::string, std::string>> options =
+        ParseOptionList(spec.substr(colon + 1));
+    if (!options.ok()) return options.status();
+    parsed.options = std::move(options.value());
+  }
+  return parsed;
+}
+
+}  // namespace txallo::common

@@ -1,0 +1,30 @@
+// Shared "name[:key=value,key=value...]" spec-string parsing, used by both
+// the allocator registry (--allocator=) and the workload scenario registry
+// (--scenario=). Unknown names, unknown keys and malformed values are the
+// registries' business; this layer only guarantees the uniform grammar:
+// clauses split on ',', each clause is key=value with a non-empty key, and
+// duplicate keys are rejected (never last-one-wins).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "txallo/common/status.h"
+
+namespace txallo::common {
+
+/// A parsed "name[:key=value,...]" spec.
+struct ParsedSpec {
+  std::string name;
+  std::map<std::string, std::string> options;
+};
+
+/// Parses "key=value,key=value" (empty string = no options). Fails on a
+/// clause without '=', an empty key, or a duplicate key.
+Result<std::map<std::string, std::string>> ParseOptionList(
+    const std::string& spec);
+
+/// Parses "name" or "name:key=value,...". The name must be non-empty.
+Result<ParsedSpec> ParseSpec(const std::string& spec);
+
+}  // namespace txallo::common

@@ -228,6 +228,13 @@ Status PipelineRun::Validate() {
           "configuration (backend on/off, initial balance or migration "
           "cost)");
     }
+    if (!config_.workload_spec.empty() &&
+        replay_->meta.workload_spec != config_.workload_spec) {
+      return Status::InvalidArgument(
+          "replay trace was recorded under workload spec '" +
+          replay_->meta.workload_spec + "', not '" + config_.workload_spec +
+          "'");
+    }
     if (replay_->meta.ledger_blocks != ledger_.num_blocks() ||
         replay_->meta.ledger_transactions != ledger_.num_transactions() ||
         replay_->meta.ledger_fingerprint != ledger_fingerprint_) {
@@ -672,6 +679,7 @@ Status PipelineRun::Epilogue() {
     observed_.meta.ledger_blocks = ledger_.num_blocks();
     observed_.meta.ledger_transactions = ledger_.num_transactions();
     observed_.meta.ledger_fingerprint = ledger_fingerprint_;
+    observed_.meta.workload_spec = config_.workload_spec;
     observed_.meta.ingest_mode = static_cast<uint8_t>(ingest_mode_);
     if (ingest_mode_ == IngestMode::kOpenLoop) {
       // Same normalization rule: closed-loop traces keep the open-loop

@@ -138,6 +138,13 @@ struct PipelineConfig {
   /// allocator wall time. Recorded runs still replay bit-identically —
   /// the trace pins the install blocks that actually happened.
   bool allow_epoch_overrun = false;
+  /// Workload spec the ledger was generated from ("name:key=val,..." from
+  /// the scenario registry; empty for programmatic ledgers). Purely
+  /// descriptive for the run itself, but recorded into the trace meta, and
+  /// on replay a non-empty value must match the recorded one — so a trace
+  /// replayed against a regenerated scenario fails loudly on a workload
+  /// mix-up instead of only via the ledger fingerprint.
+  std::string workload_spec;
   /// When set, the run records its deterministic trace here (the engine
   /// must be fresh — no prior submissions or ticks).
   ReplayLog* record = nullptr;

@@ -10,7 +10,7 @@ namespace txallo::engine {
 
 namespace {
 
-constexpr char kMagic[8] = {'T', 'X', 'T', 'R', 'A', 'C', 'E', '3'};
+constexpr char kMagic[8] = {'T', 'X', 'T', 'R', 'A', 'C', 'E', '4'};
 
 // Fixed-width little-endian primitives. Explicit byte shuffling (not
 // memcpy of host representation) so traces recorded on any platform load
@@ -77,6 +77,19 @@ class Reader {
     if (!Need(n)) return false;
     std::memcpy(dst, data_.data() + pos_, n);
     pos_ += n;
+    return true;
+  }
+  // u64 length + raw bytes; the length is bounds-checked against the
+  // remaining buffer before any allocation.
+  bool ReadString(std::string* v) {
+    uint64_t len = 0;
+    if (!ReadU64(&len)) return false;
+    if (len > remaining()) {
+      failed_ = true;
+      return false;
+    }
+    v->assign(data_.data() + pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
     return true;
   }
 
@@ -329,6 +342,8 @@ Status SaveReplayLog(const ReplayLog& log, const std::string& path) {
   PutU32(&out, log.meta.account_rate_limit);
   PutU64(&out, log.meta.ttl_ticks);
   PutU8(&out, log.meta.admission_policy);
+  PutU64(&out, log.meta.workload_spec.size());
+  out.append(log.meta.workload_spec);
   PutF64(&out, log.alloc_seconds);
   PutF64(&out, log.alloc_wait_seconds);
   PutF64(&out, log.alloc_overlap_ratio);
@@ -406,7 +421,7 @@ Result<ReplayLog> LoadReplayLog(const std::string& path) {
   if (data.size() < sizeof(kMagic) ||
       std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("'" + path +
-                              "' is not a TXTRACE3 replay trace");
+                              "' is not a TXTRACE4 replay trace");
   }
   const std::string body = data.substr(sizeof(kMagic));
   Reader reader(body);
@@ -434,6 +449,7 @@ Result<ReplayLog> LoadReplayLog(const std::string& path) {
             reader.ReadU32(&log.meta.account_rate_limit) &&
             reader.ReadU64(&log.meta.ttl_ticks) &&
             reader.ReadU8(&log.meta.admission_policy) &&
+            reader.ReadString(&log.meta.workload_spec) &&
             reader.ReadF64(&log.alloc_seconds) &&
             reader.ReadF64(&log.alloc_wait_seconds) &&
             reader.ReadF64(&log.alloc_overlap_ratio) &&
@@ -573,6 +589,7 @@ Status DumpReplayLogCsv(const ReplayLog& log, const std::string& path) {
   file << "meta,ttl_ticks," << log.meta.ttl_ticks << "\n";
   file << "meta,admission_policy,"
        << static_cast<uint32_t>(log.meta.admission_policy) << "\n";
+  file << "meta,workload_spec," << log.meta.workload_spec << "\n";
   file << "meta,epochs," << log.epochs << "\n";
   file << "meta,accounts_moved," << log.accounts_moved << "\n";
   for (const StepMetrics& step : log.steps) {

@@ -90,6 +90,12 @@ class ReplayLog {
     uint64_t ttl_ticks = 0;
     /// mempool::AdmissionPolicy as u8.
     uint8_t admission_policy = 0;
+    /// Workload scenario spec of the recorded run ("name:key=val,..." from
+    /// the scenario registry; empty for programmatic ledgers). The ledger
+    /// fingerprint is the binding check; this names the workload so a
+    /// gauntlet trace can be replayed against the regenerated scenario, and
+    /// a non-empty PipelineConfig::workload_spec must match on replay.
+    std::string workload_spec;
     bool operator==(const Meta&) const = default;
   };
 
@@ -150,14 +156,15 @@ Result<PipelineResult> ReplayRecordedStream(const chain::Ledger& ledger,
                                             ParallelEngine* engine,
                                             const PipelineConfig& config);
 
-/// Writes `log` in the compact binary trace format (magic "TXTRACE3",
+/// Writes `log` in the compact binary trace format (magic "TXTRACE4",
 /// fixed-width little-endian fields). Version 2 added the account-state
 /// meta fields, the CommitEvent aborted flag, the per-step
 /// aborted/accounts_migrated counters and the state-root stream; version 3
 /// added the ingest-mode / open-loop meta fields and the per-step open-loop
-/// counters (offered/admitted/drops/depths/latency percentiles). Older
-/// traces are rejected as version drift, not silently upgraded — the
-/// recorded semantics genuinely differ.
+/// counters (offered/admitted/drops/depths/latency percentiles); version 4
+/// added the workload_spec meta string (scenario engine). Older traces are
+/// rejected as version drift, not silently upgraded — the recorded
+/// semantics genuinely differ.
 Status SaveReplayLog(const ReplayLog& log, const std::string& path);
 
 /// Reads a trace written by SaveReplayLog. Corruption and version drift

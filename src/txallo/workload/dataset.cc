@@ -1,6 +1,8 @@
 #include "txallo/workload/dataset.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "txallo/common/csv.h"
@@ -9,14 +11,20 @@ namespace txallo::workload {
 
 namespace {
 
-// Splits a ';'-joined address list.
-std::vector<std::string> SplitAddresses(const std::string& joined) {
+// Splits a ';'-joined address list. Empty segments (leading/trailing ';',
+// ";;", or an empty field) are malformed — an empty address would intern as
+// a real account and silently absorb traffic — so they fail Corruption
+// instead of being dropped.
+Result<std::vector<std::string>> SplitAddresses(const std::string& joined) {
   std::vector<std::string> out;
   size_t start = 0;
   while (start <= joined.size()) {
     size_t end = joined.find(';', start);
     if (end == std::string::npos) end = joined.size();
-    if (end > start) out.push_back(joined.substr(start, end - start));
+    if (end == start) {
+      return Status::Corruption("empty address segment in '" + joined + "'");
+    }
+    out.push_back(joined.substr(start, end - start));
     start = end + 1;
   }
   return out;
@@ -72,18 +80,36 @@ Result<Dataset> LoadDatasetCsv(const std::string& path) {
       current_block = block;
       block_txs.clear();
     }
-    std::vector<chain::AccountId> inputs, outputs;
-    for (const std::string& addr : SplitAddresses(row[1])) {
-      inputs.push_back(dataset.registry.Intern(addr));
-    }
-    for (const std::string& addr : SplitAddresses(row[2])) {
-      outputs.push_back(dataset.registry.Intern(addr));
-    }
-    if (inputs.empty() || outputs.empty()) {
+    // Duplicate addresses within one side are normalized away (first-seen
+    // order kept): they carry no information the graph layer uses, and
+    // deduping here makes the load -> save round trip stable.
+    auto intern_side = [&](const std::string& joined, size_t row_index)
+        -> Result<std::vector<chain::AccountId>> {
+      Result<std::vector<std::string>> addrs = SplitAddresses(joined);
+      if (!addrs.ok()) {
+        return Status::Corruption("row " + std::to_string(row_index) + ": " +
+                                  addrs.status().message());
+      }
+      std::vector<chain::AccountId> ids;
+      ids.reserve(addrs->size());
+      for (const std::string& addr : *addrs) {
+        const chain::AccountId id = dataset.registry.Intern(addr);
+        if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+          ids.push_back(id);
+        }
+      }
+      return ids;
+    };
+    Result<std::vector<chain::AccountId>> inputs = intern_side(row[1], r);
+    if (!inputs.ok()) return inputs.status();
+    Result<std::vector<chain::AccountId>> outputs = intern_side(row[2], r);
+    if (!outputs.ok()) return outputs.status();
+    if (inputs->empty() || outputs->empty()) {
       return Status::Corruption("row " + std::to_string(r) +
                                 ": transactions need >=1 input and output");
     }
-    block_txs.emplace_back(std::move(inputs), std::move(outputs));
+    block_txs.emplace_back(std::move(inputs.value()),
+                           std::move(outputs.value()));
   }
   TXALLO_RETURN_NOT_OK(flush_block());
   return dataset;
@@ -107,13 +133,24 @@ Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
 std::pair<chain::Ledger, chain::Ledger> SplitLedger(
     const chain::Ledger& ledger, double prefix_fraction) {
   prefix_fraction = std::clamp(prefix_fraction, 0.0, 1.0);
-  const size_t cut = static_cast<size_t>(
-      prefix_fraction * static_cast<double>(ledger.num_blocks()));
+  // Round half-up: truncation would turn e.g. 0.9 * 95 = 85.499...9 (the
+  // product is not exactly representable) into an 85-block prefix and
+  // silently move a block across the paper's 9:1 train/eval split.
+  // llround is round-half-away-from-zero, which on a non-negative product
+  // is exactly round-half-up, portably.
+  size_t cut = static_cast<size_t>(std::llround(
+      prefix_fraction * static_cast<double>(ledger.num_blocks())));
+  cut = std::min<size_t>(cut, ledger.num_blocks());
   chain::Ledger prefix, suffix;
   const auto& blocks = ledger.blocks();
   for (size_t i = 0; i < blocks.size(); ++i) {
     Status st = (i < cut ? prefix : suffix).Append(blocks[i]);
-    (void)st;  // Order preserved, cannot fail.
+    if (!st.ok()) {
+      // Appending in ledger order cannot produce a decreasing block
+      // number; if it does, the input ledger violated its own invariant.
+      std::fprintf(stderr, "SplitLedger: %s\n", st.ToString().c_str());
+      std::abort();
+    }
   }
   return {std::move(prefix), std::move(suffix)};
 }

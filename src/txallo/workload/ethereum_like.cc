@@ -2,10 +2,86 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace txallo::workload {
 
 using chain::AccountId;
+
+namespace {
+
+Status CheckFraction(const char* field, double value) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    return Status::InvalidArgument(
+        std::string("EthereumLikeConfig.") + field +
+        " must be in [0, 1], got " + std::to_string(value));
+  }
+  return Status::OK();
+}
+
+Status CheckNonNegative(const char* field, double value) {
+  if (!(value >= 0.0)) {
+    return Status::InvalidArgument(std::string("EthereumLikeConfig.") +
+                                   field + " must be >= 0, got " +
+                                   std::to_string(value));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EthereumLikeConfig::Validate() const {
+  if (num_blocks == 0) {
+    return Status::InvalidArgument("EthereumLikeConfig.num_blocks must be > 0");
+  }
+  if (txs_per_block == 0) {
+    return Status::InvalidArgument(
+        "EthereumLikeConfig.txs_per_block must be > 0");
+  }
+  if (num_accounts < 2) {
+    return Status::InvalidArgument(
+        "EthereumLikeConfig.num_accounts must be >= 2, got " +
+        std::to_string(num_accounts));
+  }
+  if (num_communities == 0) {
+    return Status::InvalidArgument(
+        "EthereumLikeConfig.num_communities must be > 0");
+  }
+  if (num_accounts < num_communities) {
+    return Status::InvalidArgument(
+        "EthereumLikeConfig.num_accounts (" + std::to_string(num_accounts) +
+        ") must be >= num_communities (" + std::to_string(num_communities) +
+        ")");
+  }
+  if (max_parties < 2) {
+    return Status::InvalidArgument(
+        "EthereumLikeConfig.max_parties must be >= 2, got " +
+        std::to_string(max_parties));
+  }
+  if (initial_balance < 0) {
+    return Status::InvalidArgument(
+        "EthereumLikeConfig.initial_balance must be >= 0, got " +
+        std::to_string(initial_balance));
+  }
+  TXALLO_RETURN_NOT_OK(CheckNonNegative("community_size_skew",
+                                        community_size_skew));
+  TXALLO_RETURN_NOT_OK(CheckNonNegative("member_activity_skew",
+                                        member_activity_skew));
+  TXALLO_RETURN_NOT_OK(CheckNonNegative("hub_sender_skew", hub_sender_skew));
+  TXALLO_RETURN_NOT_OK(CheckFraction("p_intra_community", p_intra_community));
+  TXALLO_RETURN_NOT_OK(CheckFraction("hub_share", hub_share));
+  TXALLO_RETURN_NOT_OK(CheckFraction("hub_sender_local_bias",
+                                     hub_sender_local_bias));
+  TXALLO_RETURN_NOT_OK(CheckFraction("self_loop_rate", self_loop_rate));
+  TXALLO_RETURN_NOT_OK(CheckFraction("multi_party_rate", multi_party_rate));
+  TXALLO_RETURN_NOT_OK(CheckFraction("late_born_fraction",
+                                     late_born_fraction));
+  TXALLO_RETURN_NOT_OK(CheckFraction("drift_fraction", drift_fraction));
+  TXALLO_RETURN_NOT_OK(CheckFraction("drift_partner_share",
+                                     drift_partner_share));
+  return Status::OK();
+}
 
 EthereumLikeGenerator::EthereumLikeGenerator(EthereumLikeConfig config)
     : config_(config), rng_(config.seed) {
@@ -44,6 +120,7 @@ EthereumLikeGenerator::EthereumLikeGenerator(EthereumLikeConfig config)
     cursor += sizes_[c];
   }
   const uint64_t total_accounts = cursor;
+  total_accounts_ = total_accounts;
 
   // --- Register all accounts (ids dense, birth handled at sampling time).
   // The first two members of every community are contract accounts: the
@@ -202,7 +279,14 @@ chain::Ledger EthereumLikeGenerator::GenerateLedger(uint64_t n) {
   chain::Ledger ledger;
   for (uint64_t b = 0; b < n; ++b) {
     Status st = ledger.Append(NextBlock());
-    (void)st;  // Strictly increasing by construction.
+    if (!st.ok()) {
+      // Block numbers are strictly increasing by construction; a failure
+      // here means the generator contract itself broke — fail loudly
+      // instead of silently dropping blocks from the experiment.
+      std::fprintf(stderr, "EthereumLikeGenerator::GenerateLedger: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
   }
   return ledger;
 }

@@ -24,6 +24,7 @@
 #include "txallo/chain/account.h"
 #include "txallo/chain/ledger.h"
 #include "txallo/common/rng.h"
+#include "txallo/common/status.h"
 #include "txallo/common/zipf.h"
 
 namespace txallo::workload {
@@ -78,6 +79,14 @@ struct EthereumLikeConfig {
   double drift_fraction = 0.1;
   double drift_partner_share = 0.5;
   uint64_t seed = 42;
+
+  /// InvalidArgument on a config that would otherwise proceed into UB or
+  /// silent nonsense: zero blocks/txs/accounts, fewer accounts than
+  /// communities, out-of-range probabilities, negative skews,
+  /// max_parties < 2. Construction does not call this (the defaults are
+  /// valid and hot paths trust their caller); the scenario registry and
+  /// every spec-string entry point do.
+  Status Validate() const;
 };
 
 /// Stateful block-by-block generator. Accounts are pre-interned into the
@@ -96,15 +105,34 @@ class EthereumLikeGenerator {
   const chain::AccountRegistry& registry() const { return registry_; }
   const EthereumLikeConfig& config() const { return config_; }
 
+  /// Mutable registry access for scenario overlays that intern extra
+  /// synthetic accounts (mint contracts, sybil pools, asset contracts) on
+  /// top of the background population. Overlay accounts get ids after the
+  /// background accounts; CommunityOf()/SampleAccount() never return them.
+  chain::AccountRegistry* mutable_registry() { return &registry_; }
+
   /// The designated hub account.
   chain::AccountId hub_account() const { return hub_; }
 
   uint64_t blocks_generated() const { return next_block_; }
 
- private:
+  /// Number of background accounts (excludes any overlay-interned extras).
+  uint64_t num_background_accounts() const { return total_accounts_; }
+
+  uint32_t num_communities() const {
+    return static_cast<uint32_t>(sizes_.size());
+  }
+
+  // Sampling hooks for scenario overlays (scenario.cc): draw background
+  // accounts with the generator's own activity/birth model and RNG, so
+  // overlay traffic targets the same long-tail population the background
+  // produces. All draws advance rng_; call order is part of the seed
+  // contract.
   chain::AccountId SampleAccount();
   chain::AccountId SampleFromCommunity(uint32_t community);
   uint32_t CommunityOf(chain::AccountId account) const;
+
+ private:
   chain::Transaction MakeTransaction();
   void MaybeApplyDrift();
 
@@ -112,6 +140,7 @@ class EthereumLikeGenerator {
   chain::AccountRegistry registry_;
   Rng rng_;
   uint64_t next_block_ = 0;
+  uint64_t total_accounts_ = 0;
 
   // Community c owns account ids [starts_[c], starts_[c] + sizes_[c]).
   std::vector<uint64_t> starts_;

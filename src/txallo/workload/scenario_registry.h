@@ -1,0 +1,90 @@
+// String-keyed factory for workload scenarios, mirroring the allocator
+// registry (allocator/registry.h): consumers pick scenarios by
+// "name[:key=value,...]" spec, unknown names/keys/values fail with
+// InvalidArgument naming the offender, and the registry self-describes for
+// `--scenario=help` and the README catalog.
+//
+//   workload::ScenarioShape shape;
+//   shape.num_blocks = 96;
+//   auto scenario = workload::MakeScenarioFromSpec(
+//       "spike:peak-share=0.7", shape);
+//
+// Every scenario accepts the common shape keys (blocks, txs-per-block,
+// accounts, communities, balance, seed) on top of its specific ones; spec
+// keys override the programmatic ScenarioShape.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "txallo/common/status.h"
+#include "txallo/workload/ethereum_like.h"
+#include "txallo/workload/scenario.h"
+
+namespace txallo::workload {
+
+/// Shape knobs shared by every registered scenario: the size of the
+/// experiment, not its pattern. Benches fill these from their flags; spec
+/// keys (blocks=, txs-per-block=, accounts=, communities=, balance=, seed=)
+/// override them.
+struct ScenarioShape {
+  uint64_t num_blocks = 64;
+  uint64_t txs_per_block = 100;
+  uint64_t num_accounts = 4'000;
+  uint32_t num_communities = 40;
+  int64_t initial_balance = 1'000'000;
+  uint64_t seed = 42;
+
+  /// The Ethereum-like background config this shape describes (all pattern
+  /// knobs at their defaults).
+  EthereumLikeConfig ToEthereumConfig() const;
+};
+
+/// Every registered scenario name, sorted.
+std::vector<std::string> RegisteredScenarioNames();
+
+/// One-line description of a registered scenario; empty for unknown names.
+std::string DescribeScenario(const std::string& name);
+
+/// Self-description of one scenario-specific option (same shape as
+/// allocator::AllocatorOptionDoc).
+struct ScenarioOptionDoc {
+  std::string key;
+  std::string type;           // "uint", "double", "int".
+  std::string default_value;  // Rendered default ("derived" when computed).
+  std::string range;
+  std::string help;
+};
+
+/// Full self-description of one registered scenario.
+struct ScenarioDoc {
+  std::string name;
+  std::string summary;
+  std::vector<ScenarioOptionDoc> options;
+};
+
+/// Self-description of every registered scenario, sorted by name. Source of
+/// truth for `--scenario=help` and the README catalog.
+std::vector<ScenarioDoc> DescribeScenarios();
+
+/// Generated usage table over DescribeScenarios() — what `--scenario=help`
+/// prints (includes the common shape keys).
+std::string ScenarioUsageText();
+
+/// Instantiates the scenario registered under `name`. `options` carries
+/// both common shape keys and scenario-specific keys; every config is
+/// validated (InvalidArgument on out-of-range values, unknown keys,
+/// malformed numbers).
+Result<std::unique_ptr<Scenario>> MakeScenario(
+    const std::string& name, const ScenarioShape& shape,
+    const std::map<std::string, std::string>& options);
+
+/// Convenience: parses "name[:key=value,...]" and instantiates it. The
+/// returned scenario's spec() is `spec` verbatim.
+Result<std::unique_ptr<Scenario>> MakeScenarioFromSpec(
+    const std::string& spec, const ScenarioShape& shape);
+
+}  // namespace txallo::workload

@@ -1,0 +1,78 @@
+// The uniform "name[:key=value,...]" grammar shared by --allocator= and
+// --scenario=. The registries own name/key/value semantics; this layer owns
+// the split rules, so the edge cases live here once.
+#include "txallo/common/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace txallo::common {
+namespace {
+
+TEST(ParseSpecTest, BareNameHasNoOptions) {
+  auto parsed = ParseSpec("ethereum");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->name, "ethereum");
+  EXPECT_TRUE(parsed->options.empty());
+}
+
+TEST(ParseSpecTest, NameWithOptionsSplitsOnColonAndCommas) {
+  auto parsed = ParseSpec("spike:peak-share=0.7,start=3");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->name, "spike");
+  ASSERT_EQ(parsed->options.size(), 2u);
+  EXPECT_EQ(parsed->options.at("peak-share"), "0.7");
+  EXPECT_EQ(parsed->options.at("start"), "3");
+}
+
+TEST(ParseSpecTest, ValueMayContainEquals) {
+  // Only the first '=' in a clause separates key from value.
+  auto parsed = ParseSpec("x:expr=a=b");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->options.at("expr"), "a=b");
+}
+
+TEST(ParseSpecTest, TrailingColonMeansNoOptions) {
+  auto parsed = ParseSpec("hash:");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->name, "hash");
+  EXPECT_TRUE(parsed->options.empty());
+}
+
+TEST(ParseSpecTest, EmptyClausesAreSkipped) {
+  auto parsed = ParseSpec("x:a=1,,b=2,");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->options.size(), 2u);
+}
+
+TEST(ParseSpecTest, EmptyNameIsInvalid) {
+  EXPECT_FALSE(ParseSpec("").ok());
+  EXPECT_FALSE(ParseSpec(":a=1").ok());
+  EXPECT_EQ(ParseSpec(":a=1").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseSpecTest, MalformedClauseIsInvalid) {
+  auto parsed = ParseSpec("x:noequals");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("noequals"), std::string::npos);
+}
+
+TEST(ParseOptionListTest, DuplicateKeyIsRejectedNotLastOneWins) {
+  auto options = ParseOptionList("a=1,a=2");
+  ASSERT_FALSE(options.ok());
+  EXPECT_NE(options.status().message().find("'a'"), std::string::npos);
+}
+
+TEST(ParseOptionListTest, EmptyKeyIsRejected) {
+  EXPECT_FALSE(ParseOptionList("=1").ok());
+}
+
+TEST(ParseOptionListTest, EmptyValueIsAllowed) {
+  // The registries decide whether "" parses as their value type.
+  auto options = ParseOptionList("a=");
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->at("a"), "");
+}
+
+}  // namespace
+}  // namespace txallo::common

@@ -94,9 +94,17 @@ def main():
 
     print("path scoping:")
     rc, found = run_lint(args.lint,
-                         [fixtures / "workload" / "outside_scope_ok.cc"])
+                         [fixtures / "sim" / "outside_scope_ok.cc"])
     check(rc == 0 and not found,
-          f"unordered-iter does not apply outside engine//allocator/ "
+          f"unordered-iter does not apply outside the trace-affecting "
+          f"directories (got {found})")
+
+    rc, found = run_lint(
+        args.lint, [fixtures / "workload" / "unordered_iter_violation.cc"])
+    check(rc == 1, "workload unordered_iter fixture exits 1")
+    check([f[2] for f in found] == ["unordered-iter"],
+          f"workload/ is in unordered-iter scope (generators promise a "
+          f"bit-identical stream per seed), vector loop not flagged "
           f"(got {found})")
 
     rc, found = run_lint(args.lint, [fixtures / "common" / "sync.h"])
@@ -136,7 +144,7 @@ def main():
     for f in found:
         by_rule[f[2]] = by_rule.get(f[2], 0) + 1
     check(by_rule == {"raw-sync": 8, "raw-thread": 1, "wall-clock": 4,
-                      "unordered-iter": 4},
+                      "unordered-iter": 5},
           f"aggregate finding counts per rule (got {by_rule})")
 
     if failures:

@@ -1,12 +1,12 @@
 // Lint fixture: unordered-iter applies only to trace-affecting paths
-// (engine/, allocator/). This file sits in workload/, so its hash-order
-// range-for is allowed; the raw-sync/raw-thread/wall-clock rules still
-// apply tree-wide, so the steady_clock use stays unflagged and there are
+// (engine/, allocator/, workload/, ...). This file sits in sim/, which is
+// outside that set, so its hash-order range-for is allowed; the
+// raw-sync/raw-thread/wall-clock rules still apply tree-wide, so there are
 // no other tokens. Expected findings: none.
 #include <cstdint>
 #include <unordered_map>
 
-namespace txallo::workload {
+namespace txallo::sim {
 
 inline uint64_t HistogramMass(
     const std::unordered_map<uint64_t, uint64_t>& histogram) {
@@ -17,4 +17,4 @@ inline uint64_t HistogramMass(
   return total;
 }
 
-}  // namespace txallo::workload
+}  // namespace txallo::sim

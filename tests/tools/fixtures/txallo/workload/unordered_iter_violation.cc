@@ -1,0 +1,25 @@
+// Lint fixture: workload/ is a trace-affecting path — generators and
+// scenario overlays promise a bit-identical stream per seed, so hash-order
+// iteration there silently breaks gauntlet snapshots and record/replay.
+// Expected findings: one unordered-iter on the histogram range-for; the
+// vector loop below it stays unflagged.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace txallo::workload {
+
+inline uint64_t SumDegrees(
+    const std::unordered_map<uint64_t, uint64_t>& degree_by_account,
+    const std::vector<uint64_t>& ordered_accounts) {
+  uint64_t total = 0;
+  for (const auto& entry : degree_by_account) {
+    total += entry.second;
+  }
+  for (uint64_t account : ordered_accounts) {
+    total += account;
+  }
+  return total;
+}
+
+}  // namespace txallo::workload

@@ -102,6 +102,58 @@ TEST(DatasetCsvTest, RejectsEmptyAccountLists) {
   std::remove(path.c_str());
 }
 
+TEST(DatasetCsvTest, RejectsTrailingSemicolonInAddressList) {
+  // "0xa;" has an empty trailing segment; interning "" would create a
+  // phantom account, so the row must fail as corrupt, naming the row.
+  const std::string path = ::testing::TempDir() + "/txallo_trail.csv";
+  {
+    std::ofstream out(path);
+    out << "5,0xa;,0xb\n";
+  }
+  auto dataset = LoadDatasetCsv(path);
+  ASSERT_FALSE(dataset.ok());
+  EXPECT_EQ(dataset.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(dataset.status().message().find("row 0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, RejectsDoubledSemicolon) {
+  const std::string path = ::testing::TempDir() + "/txallo_dsemi.csv";
+  {
+    std::ofstream out(path);
+    out << "5,0xa,0xb;;0xc\n";
+  }
+  auto dataset = LoadDatasetCsv(path);
+  ASSERT_FALSE(dataset.ok());
+  EXPECT_EQ(dataset.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, DuplicateAddressesWithinASideAreDedupedFirstSeen) {
+  const std::string path = ::testing::TempDir() + "/txallo_dup.csv";
+  {
+    std::ofstream out(path);
+    out << "5,0xa;0xb;0xa,0xc;0xc\n";
+  }
+  auto dataset = LoadDatasetCsv(path);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  auto txs = dataset->ledger.AllTransactions();
+  ASSERT_EQ(txs.size(), 1u);
+  ASSERT_EQ(txs[0].inputs().size(), 2u);
+  EXPECT_EQ(dataset->registry.AddressOf(txs[0].inputs()[0]), "0xa");
+  EXPECT_EQ(dataset->registry.AddressOf(txs[0].inputs()[1]), "0xb");
+  ASSERT_EQ(txs[0].outputs().size(), 1u);
+  EXPECT_EQ(dataset->registry.AddressOf(txs[0].outputs()[0]), "0xc");
+  // Deduping keeps the save -> load round trip stable.
+  const std::string resaved = ::testing::TempDir() + "/txallo_dup2.csv";
+  ASSERT_TRUE(SaveDatasetCsv(*dataset, resaved).ok());
+  auto reloaded = LoadDatasetCsv(resaved);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->num_accounts(), dataset->num_accounts());
+  std::remove(path.c_str());
+  std::remove(resaved.c_str());
+}
+
 TEST(SplitLedgerTest, NineToOneSplit) {
   EthereumLikeConfig config;
   config.num_blocks = 100;
@@ -134,6 +186,52 @@ TEST(SplitLedgerTest, DegenerateFractions) {
   auto [empty, full] = SplitLedger(ledger, 0.0);
   EXPECT_EQ(empty.num_blocks(), 0u);
   EXPECT_EQ(full.num_blocks(), 5u);
+}
+
+TEST(SplitLedgerTest, InexactProductRoundsHalfUpNotTruncates) {
+  // 0.9 * 95 lands exactly on 85.5; a truncating cast yields an 85-block
+  // prefix and silently moves a block across the 9:1 split. Round half-up
+  // gives 86/9.
+  chain::Ledger ledger;
+  for (uint64_t b = 0; b < 95; ++b) {
+    ASSERT_TRUE(
+        ledger.Append(chain::Block(b, {chain::Transaction::Simple(0, 1)}))
+            .ok());
+  }
+  auto [prefix, suffix] = SplitLedger(ledger, 0.9);
+  EXPECT_EQ(prefix.num_blocks(), 86u);
+  EXPECT_EQ(suffix.num_blocks(), 9u);
+}
+
+TEST(SplitLedgerTest, SingleBlockHalfSplitKeepsTheBlockInThePrefix) {
+  chain::Ledger ledger;
+  ASSERT_TRUE(
+      ledger.Append(chain::Block(0, {chain::Transaction::Simple(0, 1)}))
+          .ok());
+  auto [prefix, suffix] = SplitLedger(ledger, 0.5);
+  EXPECT_EQ(prefix.num_blocks(), 1u);
+  EXPECT_EQ(suffix.num_blocks(), 0u);
+}
+
+TEST(SplitLedgerTest, EmptyLedgerSplitsToTwoEmptyLedgers) {
+  chain::Ledger ledger;
+  auto [prefix, suffix] = SplitLedger(ledger, 0.7);
+  EXPECT_EQ(prefix.num_blocks(), 0u);
+  EXPECT_EQ(suffix.num_blocks(), 0u);
+}
+
+TEST(SplitLedgerTest, OutOfRangeFractionsAreClamped) {
+  chain::Ledger ledger;
+  for (uint64_t b = 0; b < 3; ++b) {
+    ASSERT_TRUE(
+        ledger.Append(chain::Block(b, {chain::Transaction::Simple(0, 1)}))
+            .ok());
+  }
+  auto [all, none] = SplitLedger(ledger, 1.5);
+  EXPECT_EQ(all.num_blocks(), 3u);
+  auto [none2, all2] = SplitLedger(ledger, -0.5);
+  EXPECT_EQ(none2.num_blocks(), 0u);
+  EXPECT_EQ(all2.num_blocks(), 3u);
 }
 
 }  // namespace

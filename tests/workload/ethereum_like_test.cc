@@ -164,5 +164,83 @@ TEST(EthereumLikeTest, ContractAccountsAreMarked) {
             chain::AccountType::kContract);
 }
 
+TEST(EthereumLikeConfigTest, DefaultConfigValidates) {
+  EXPECT_TRUE(EthereumLikeConfig{}.Validate().ok());
+  EXPECT_TRUE(TestConfig().Validate().ok());
+}
+
+TEST(EthereumLikeConfigTest, StructuralZerosAreInvalidArgument) {
+  auto expect_invalid = [](EthereumLikeConfig config, const char* what) {
+    SCOPED_TRACE(what);
+    const Status status = config.Validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    // The message must name the offending field.
+    EXPECT_NE(status.message().find(what), std::string::npos);
+  };
+  EthereumLikeConfig config = TestConfig();
+  config.num_blocks = 0;
+  expect_invalid(config, "num_blocks");
+  config = TestConfig();
+  config.txs_per_block = 0;
+  expect_invalid(config, "txs_per_block");
+  config = TestConfig();
+  config.num_accounts = 1;
+  expect_invalid(config, "num_accounts");
+  config = TestConfig();
+  config.num_communities = 0;
+  expect_invalid(config, "num_communities");
+  config = TestConfig();
+  config.max_parties = 1;
+  expect_invalid(config, "max_parties");
+  config = TestConfig();
+  config.initial_balance = -1;
+  expect_invalid(config, "initial_balance");
+}
+
+TEST(EthereumLikeConfigTest, MoreCommunitiesThanAccountsIsInvalid) {
+  EthereumLikeConfig config = TestConfig();
+  config.num_accounts = 10;
+  config.num_communities = 40;
+  const Status status = config.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EthereumLikeConfigTest, FractionsMustStayInUnitInterval) {
+  auto expect_invalid = [](EthereumLikeConfig config) {
+    const Status status = config.Validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  };
+  EthereumLikeConfig config = TestConfig();
+  config.p_intra_community = 1.5;
+  expect_invalid(config);
+  config = TestConfig();
+  config.hub_share = -0.25;
+  expect_invalid(config);
+  config = TestConfig();
+  config.self_loop_rate = 2.0;
+  expect_invalid(config);
+  config = TestConfig();
+  config.late_born_fraction = -0.01;
+  expect_invalid(config);
+  config = TestConfig();
+  config.drift_fraction = 1.0001;
+  expect_invalid(config);
+}
+
+TEST(EthereumLikeConfigTest, SkewsMustBeNonNegative) {
+  EthereumLikeConfig config = TestConfig();
+  config.community_size_skew = -0.5;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config = TestConfig();
+  config.member_activity_skew = -2.0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config = TestConfig();
+  config.hub_sender_skew = -1.0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace txallo::workload

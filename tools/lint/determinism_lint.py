@@ -44,10 +44,13 @@ Rules (ids are what `allow(...)` escapes name):
                 are part of the recorded trace), txallo/graph/ (the
                 delta-log CSR promises bit-identical reads across copy /
                 refreeze), txallo/chain/ (the account registry assigns
-                ids in first-seen order) and txallo/core/ (gain sweeps
+                ids in first-seen order), txallo/core/ (gain sweeps
                 visit communities in deterministic order; these paths use
                 common::FlatMap, which iterates in insertion order, and
-                must not regress to hash-order). Hash-table iteration order is
+                must not regress to hash-order) and txallo/workload/
+                (generators and scenario overlays promise a bit-identical
+                stream per seed — the contract the gauntlet snapshots and
+                record/replay traces rest on). Hash-table iteration order is
                 implementation-defined and seed-dependent; iterate a sorted
                 copy or a vector instead. Detection is heuristic
                 (declaration-name tracking, no type inference), which is
@@ -214,6 +217,7 @@ def rules_for(subpath: str):
         or subpath.startswith("graph/")
         or subpath.startswith("chain/")
         or subpath.startswith("core/")
+        or subpath.startswith("workload/")
     ):
         rules.discard("unordered-iter")
     return rules
